@@ -1,0 +1,180 @@
+//! The STENCILGEN-style N.5D scheme (Rawat et al.): shifting register
+//! allocation and one shared-memory buffer per combined time-step.
+
+use crate::BaselineResult;
+use an5d_gpusim::{GpuDevice, InfeasibleConfig};
+use an5d_grid::Precision;
+use an5d_model::measure;
+use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, RegisterCap};
+use an5d_stencil::{StencilDef, StencilProblem};
+
+/// STENCILGEN's published kernel configuration (the paper's `Sconf`):
+/// `bT = 4`, `hS_N = 128`, 2D blocks of 128 threads, 3D blocks of 32 × 32.
+///
+/// # Panics
+///
+/// Panics if the stencil is not 2D or 3D (cannot happen for validated
+/// definitions).
+#[must_use]
+pub fn stencilgen_sconf(def: &StencilDef, precision: Precision) -> BlockConfig {
+    BlockConfig::sconf(def.ndim(), precision)
+}
+
+/// Build the STENCILGEN-style plan for a stencil at its published
+/// configuration.
+fn stencilgen_plan(
+    def: &StencilDef,
+    problem: &StencilProblem,
+    precision: Precision,
+) -> Result<KernelPlan, InfeasibleConfig> {
+    let config = stencilgen_sconf(def, precision);
+    KernelPlan::build(def, problem, &config, FrameworkScheme::stencilgen()).map_err(|e| {
+        InfeasibleConfig {
+            reason: format!("STENCILGEN configuration is invalid for {}: {e}", def.name()),
+        }
+    })
+}
+
+/// Simulate STENCILGEN's performance for a stencil problem.
+///
+/// The scheme runs through the same planner, traffic analysis and timing
+/// model as AN5D, but with the shifting register allocation and
+/// per-time-step shared-memory buffers of Table 1 — so its higher register
+/// pressure and `bT`-proportional shared-memory footprint (and the
+/// occupancy loss they cause) come out of the same machinery rather than
+/// being assumed. Register caps of no-limit, 32 and 64 are tried, as in the
+/// paper's methodology.
+///
+/// # Errors
+///
+/// Returns [`InfeasibleConfig`] when the published configuration cannot run
+/// on the device for this stencil (e.g. high-order box stencils in double
+/// precision, whose `bT` shared buffers exceed the SM capacity).
+pub fn stencilgen_measurement(
+    problem: &StencilProblem,
+    device: &GpuDevice,
+    precision: Precision,
+) -> Result<BaselineResult, InfeasibleConfig> {
+    let def = problem.def().clone();
+    let plan = stencilgen_plan(&def, problem, precision)?;
+    let mut best: Option<BaselineResult> = None;
+    let mut last_err: Option<InfeasibleConfig> = None;
+    for cap in [
+        RegisterCap::Unlimited,
+        RegisterCap::Limit(64),
+        RegisterCap::Limit(32),
+    ] {
+        match measure(&plan, problem, device, cap) {
+            Ok(m) => {
+                let result = BaselineResult {
+                    framework: "STENCILGEN".to_string(),
+                    seconds: m.seconds,
+                    gflops: m.gflops,
+                    gcells: m.gcells,
+                };
+                if best.as_ref().is_none_or(|b| result.gflops > b.gflops) {
+                    best = Some(result);
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| {
+        last_err.unwrap_or(InfeasibleConfig {
+            reason: "no register cap produced a runnable STENCILGEN kernel".to_string(),
+        })
+    })
+}
+
+/// Registers per thread of the STENCILGEN scheme with no register limit
+/// (the Fig. 7 comparison).
+#[must_use]
+pub fn stencilgen_registers_per_thread(def: &StencilDef, precision: Precision) -> usize {
+    let config = stencilgen_sconf(def, precision);
+    let class = FrameworkScheme::stencilgen().classify(def);
+    an5d_plan::ResourceUsage::compute(
+        &config,
+        def.radius(),
+        class,
+        FrameworkScheme::stencilgen().registers,
+        FrameworkScheme::stencilgen().shared_memory,
+    )
+    .registers_per_thread
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d_plan::ResourceUsage;
+    use an5d_stencil::suite;
+
+    fn problem(def: StencilDef) -> StencilProblem {
+        let interior = match def.ndim() {
+            2 => vec![8192, 8192],
+            _ => vec![512, 512, 512],
+        };
+        StencilProblem::new(def, &interior, 200).unwrap()
+    }
+
+    #[test]
+    fn stencilgen_measurement_is_reasonable_for_2d() {
+        let def = suite::j2d5pt();
+        let device = GpuDevice::tesla_v100();
+        let result =
+            stencilgen_measurement(&problem(def), &device, Precision::Single).unwrap();
+        assert_eq!(result.framework, "STENCILGEN");
+        assert!(result.gflops > 1_000.0, "{}", result.gflops);
+    }
+
+    #[test]
+    fn an5d_sconf_beats_stencilgen_in_double_precision() {
+        // Fig. 6 discussion: at the same configuration AN5D improves on
+        // STENCILGEN by up to 2× for double precision thanks to the lower
+        // register pressure and constant shared-memory footprint.
+        let def = suite::j2d9pt();
+        let device = GpuDevice::tesla_v100();
+        let p = problem(def.clone());
+        let sg = stencilgen_measurement(&p, &device, Precision::Double).unwrap();
+
+        let an5d_config = BlockConfig::sconf(2, Precision::Double);
+        let an5d_plan =
+            KernelPlan::build(&def, &p, &an5d_config, FrameworkScheme::an5d_no_associative())
+                .unwrap();
+        let an5d = an5d_model::measure_best_cap(&an5d_plan, &p, &device).unwrap();
+        assert!(
+            an5d.gflops >= sg.gflops,
+            "AN5D {} vs STENCILGEN {}",
+            an5d.gflops,
+            sg.gflops
+        );
+    }
+
+    #[test]
+    fn fig7_register_usage_exceeds_an5d() {
+        for def in suite::figure6_benchmarks() {
+            let sg = stencilgen_registers_per_thread(&def, Precision::Single);
+            let an5d_config = BlockConfig::sconf(def.ndim(), Precision::Single);
+            let an5d = ResourceUsage::compute(
+                &an5d_config,
+                def.radius(),
+                FrameworkScheme::an5d().classify(&def),
+                FrameworkScheme::an5d().registers,
+                FrameworkScheme::an5d().shared_memory,
+            )
+            .registers_per_thread;
+            assert!(sg > an5d, "{}: STENCILGEN {sg} vs AN5D {an5d}", def.name());
+            // Fig. 7's y-axis runs from ~25 to ~50 registers/thread.
+            assert!((20..=60).contains(&sg), "{}: {sg}", def.name());
+        }
+    }
+
+    #[test]
+    fn high_order_double_box_is_infeasible_for_stencilgen() {
+        // bT = 4 buffers of (1 + 2·rad) resident planes at 32 × 32 threads in
+        // double precision exceed the 96 KiB SM for rad = 4.
+        let def = suite::box3d(4);
+        let device = GpuDevice::tesla_v100();
+        let result = stencilgen_measurement(&problem(def), &device, Precision::Double);
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the execution substrate: naive reference versus
+//! N.5D-blocked functional execution, across temporal blocking degrees.
+
+use an5d::{
+    execute_plan, suite, BlockConfig, FrameworkScheme, GridInit, KernelPlan, Precision,
+    StencilProblem,
+};
+use an5d_stencil::exec::run_reference;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_reference_vs_blocked(c: &mut Criterion) {
+    let def = suite::j2d5pt();
+    let problem = StencilProblem::new(def.clone(), &[96, 96], 8).expect("valid problem");
+    let init = GridInit::Hash { seed: 7 };
+
+    let mut group = c.benchmark_group("execution/j2d5pt_96x96x8");
+    group.bench_function("naive_reference", |b| {
+        b.iter(|| run_reference::<f64>(&problem, init));
+    });
+    for bt in [1usize, 2, 4] {
+        let config = BlockConfig::new(bt, &[48], None, Precision::Double).expect("valid config");
+        let plan =
+            KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).expect("plan");
+        group.bench_with_input(BenchmarkId::new("blocked", bt), &plan, |b, plan| {
+            b.iter(|| execute_plan::<f64>(plan, &problem, init));
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocked_3d(c: &mut Criterion) {
+    let def = suite::star3d(1);
+    let problem = StencilProblem::new(def.clone(), &[24, 24, 24], 4).expect("valid problem");
+    let config = BlockConfig::new(2, &[16, 16], None, Precision::Single).expect("valid config");
+    let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).expect("plan");
+    c.bench_function("execution/star3d1r_24cubed_blocked", |b| {
+        b.iter(|| execute_plan::<f32>(&plan, &problem, GridInit::Hash { seed: 3 }));
+    });
+}
+
+criterion_group!(benches, bench_reference_vs_blocked, bench_blocked_3d);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the analytic side: traffic analysis, the
+//! Section 5 model and a full tuner sweep.
+
+use an5d::{
+    analytic_counters, predict, suite, BlockConfig, FrameworkScheme, GpuDevice, KernelPlan,
+    Precision, SearchSpace, StencilProblem, Tuner,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn paper_plan() -> (KernelPlan, StencilProblem) {
+    let def = suite::star2d(1);
+    let problem = StencilProblem::paper_scale(def.clone());
+    let config = BlockConfig::new(10, &[256], Some(256), Precision::Single).expect("valid config");
+    let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).expect("plan");
+    (plan, problem)
+}
+
+fn bench_traffic_analysis(c: &mut Criterion) {
+    let (plan, problem) = paper_plan();
+    c.bench_function("model/analytic_counters_paper_scale", |b| {
+        b.iter(|| analytic_counters(&plan, &problem));
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (plan, problem) = paper_plan();
+    let device = GpuDevice::tesla_v100();
+    c.bench_function("model/predict_paper_scale", |b| {
+        b.iter(|| predict(&plan, &problem, &device));
+    });
+}
+
+fn bench_tuner_sweep(c: &mut Criterion) {
+    let def = suite::j2d5pt();
+    let problem = StencilProblem::new(def.clone(), &[4096, 4096], 500).expect("valid problem");
+    let space = SearchSpace::paper(2, Precision::Single);
+    let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+    c.bench_function("model/tuner_full_2d_space", |b| {
+        b.iter(|| tuner.tune(&def, &problem, &space).expect("tuning succeeds"));
+    });
+}
+
+criterion_group!(benches, bench_traffic_analysis, bench_prediction, bench_tuner_sweep);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates Figures 6–9 of the paper as part of `cargo bench`.
+//!
+//! This target is a plain harness (`harness = false`): it prints the
+//! reproduced figure data so that `cargo bench --workspace` leaves a
+//! complete record of every figure in its output.
+
+use an5d_bench::experiments::{fig6, fig7, fig8, fig9};
+
+fn main() {
+    println!("{}", fig6::render());
+    println!("{}", fig7::render());
+    println!("{}", fig8::render());
+    println!("{}", fig9::render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Tables 1–5 of the paper as part of `cargo bench`.
+//!
+//! This target is a plain harness (`harness = false`): it prints the
+//! reproduced tables so that `cargo bench --workspace` leaves a complete
+//! record of every table in its output.
+
+use an5d_bench::experiments::{table1, table2, table3, table4, table5};
+
+fn main() {
+    println!("{}", table1::render());
+    println!("{}", table2::render());
+    println!("{}", table3::render());
+    println!("{}", table4::render());
+    println!("{}", table5::render());
+}

@@ -1,0 +1,5 @@
+//! Prints the reproduction of table2 of the AN5D paper (CGO 2020).
+
+fn main() {
+    println!("{}", an5d_bench::experiments::table2::render());
+}

@@ -1,0 +1,5 @@
+//! Prints the reproduction of table4 of the AN5D paper (CGO 2020).
+
+fn main() {
+    println!("{}", an5d_bench::experiments::table4::render());
+}

@@ -1,0 +1,12 @@
+//! One module per table/figure of the paper's evaluation section.
+
+pub mod common;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,110 @@
+//! Unified error type of the facade crate.
+
+use an5d_frontend::FrontendError;
+use an5d_gpusim::InfeasibleConfig;
+use an5d_plan::PlanError;
+use an5d_stencil::StencilError;
+use an5d_tuner::TunerError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error the AN5D pipeline can produce, from parsing the C input to
+/// tuning and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum An5dError {
+    /// The C front-end rejected the input.
+    Frontend(FrontendError),
+    /// The stencil definition or problem was invalid.
+    Stencil(StencilError),
+    /// The blocking configuration was invalid for the stencil/problem.
+    Plan(PlanError),
+    /// The configuration cannot execute on the target device.
+    Infeasible(InfeasibleConfig),
+    /// The tuner found no feasible configuration.
+    Tuner(TunerError),
+}
+
+impl fmt::Display for An5dError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            An5dError::Frontend(e) => write!(f, "front-end error: {e}"),
+            An5dError::Stencil(e) => write!(f, "stencil error: {e}"),
+            An5dError::Plan(e) => write!(f, "planning error: {e}"),
+            An5dError::Infeasible(e) => write!(f, "infeasible configuration: {e}"),
+            An5dError::Tuner(e) => write!(f, "tuning error: {e}"),
+        }
+    }
+}
+
+impl Error for An5dError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            An5dError::Frontend(e) => Some(e),
+            An5dError::Stencil(e) => Some(e),
+            An5dError::Plan(e) => Some(e),
+            An5dError::Infeasible(e) => Some(e),
+            An5dError::Tuner(e) => Some(e),
+        }
+    }
+}
+
+impl From<FrontendError> for An5dError {
+    fn from(e: FrontendError) -> Self {
+        An5dError::Frontend(e)
+    }
+}
+
+impl From<StencilError> for An5dError {
+    fn from(e: StencilError) -> Self {
+        An5dError::Stencil(e)
+    }
+}
+
+impl From<PlanError> for An5dError {
+    fn from(e: PlanError) -> Self {
+        An5dError::Plan(e)
+    }
+}
+
+impl From<InfeasibleConfig> for An5dError {
+    fn from(e: InfeasibleConfig) -> Self {
+        An5dError::Infeasible(e)
+    }
+}
+
+impl From<TunerError> for An5dError {
+    fn from(e: TunerError) -> Self {
+        An5dError::Tuner(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: An5dError = FrontendError::unsupported("x").into();
+        assert!(e.to_string().contains("front-end error"));
+        assert!(e.source().is_some());
+
+        let e: An5dError = StencilError::ZeroRadius.into();
+        assert!(e.to_string().contains("stencil error"));
+
+        let e: An5dError = PlanError::ZeroTemporalDegree.into();
+        assert!(e.to_string().contains("planning error"));
+
+        let e: An5dError = TunerError::NoFeasibleCandidate.into();
+        assert!(e.to_string().contains("tuning error"));
+
+        let e: An5dError = InfeasibleConfig { reason: "too big".into() }.into();
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<An5dError>();
+    }
+}

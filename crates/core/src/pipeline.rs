@@ -1,0 +1,314 @@
+//! The end-to-end AN5D pipeline.
+
+use crate::An5dError;
+use an5d_codegen::CudaCode;
+use an5d_frontend::{emit_c_source, parse_stencil};
+use an5d_gpusim::{execute_plan_on, GpuDevice, TrafficCounters};
+use an5d_grid::{default_tolerance, Grid, GridDiff, GridInit, Precision};
+use an5d_model::{measure_best_cap, predict, Measurement, ModelPrediction};
+use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan};
+use an5d_stencil::{exec::run_reference, suite, StencilDef, StencilProblem};
+use an5d_tuner::{SearchSpace, Tuner, TuningResult};
+
+/// Result of verifying a blocked execution against the naive reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationReport {
+    /// `true` when the blocked result matches the reference within the
+    /// precision-appropriate tolerance.
+    pub matches_reference: bool,
+    /// Maximum absolute difference observed.
+    pub max_abs_diff: f64,
+    /// Tolerance used for the comparison (0 for `f64`).
+    pub tolerance: f64,
+    /// Work and traffic counters of the blocked execution.
+    pub counters: TrafficCounters,
+}
+
+/// The AN5D pipeline for one stencil: detection/definition, planning,
+/// verification, prediction, measurement, tuning and code generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct An5d {
+    def: StencilDef,
+    scheme: FrameworkScheme,
+}
+
+impl An5d {
+    /// Build the pipeline from a C source snippet (Fig. 4 style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Frontend`] if the source cannot be parsed or
+    /// does not match the supported stencil pattern.
+    pub fn from_c_source(source: &str, name: &str) -> Result<Self, An5dError> {
+        let detected = parse_stencil(source, name)?;
+        Ok(Self::from_def(detected.def))
+    }
+
+    /// Build the pipeline from an existing stencil definition (e.g. one of
+    /// the Table 3 benchmarks in [`suite`]).
+    #[must_use]
+    pub fn from_def(def: StencilDef) -> Self {
+        Self {
+            def,
+            scheme: FrameworkScheme::an5d(),
+        }
+    }
+
+    /// Build the pipeline for a named Table 3 benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Frontend`] if the name is unknown.
+    pub fn benchmark(name: &str) -> Result<Self, An5dError> {
+        let def = suite::by_name(name).ok_or_else(|| {
+            An5dError::Frontend(an5d_frontend::FrontendError::unsupported(format!(
+                "unknown benchmark '{name}'"
+            )))
+        })?;
+        Ok(Self::from_def(def))
+    }
+
+    /// Use a different framework scheme (e.g. the STENCILGEN-style scheme
+    /// for comparisons).
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: FrameworkScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// The stencil definition this pipeline operates on.
+    #[must_use]
+    pub fn def(&self) -> &StencilDef {
+        &self.def
+    }
+
+    /// Render the stencil back to Fig. 4-style C source.
+    #[must_use]
+    pub fn c_source(&self) -> String {
+        emit_c_source(&self.def, "A")
+    }
+
+    /// Create a problem over the given interior extents and time-steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Stencil`] if the extents do not match the
+    /// stencil rank.
+    pub fn problem(&self, interior: &[usize], time_steps: usize) -> Result<StencilProblem, An5dError> {
+        Ok(StencilProblem::new(self.def.clone(), interior, time_steps)?)
+    }
+
+    /// The paper-scale problem (16,384² / 512³, 1,000 time-steps).
+    #[must_use]
+    pub fn paper_problem(&self) -> StencilProblem {
+        StencilProblem::paper_scale(self.def.clone())
+    }
+
+    /// Build a kernel plan for a problem and blocking configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Plan`] if the configuration is invalid for the
+    /// stencil/problem.
+    pub fn plan(
+        &self,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+    ) -> Result<KernelPlan, An5dError> {
+        Ok(KernelPlan::build(&self.def, problem, config, self.scheme)?)
+    }
+
+    /// Execute the blocked schedule functionally and compare it against the
+    /// naive reference executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Plan`] for invalid configurations.
+    pub fn verify(
+        &self,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+    ) -> Result<VerificationReport, An5dError> {
+        let plan = self.plan(problem, config)?;
+        let init = GridInit::Hash { seed: 0x5EED };
+        match config.precision() {
+            Precision::Double => {
+                let reference = run_reference::<f64>(problem, init);
+                let initial = Grid::<f64>::from_init(&problem.grid_shape(), init);
+                let blocked = execute_plan_on(&plan, problem, initial);
+                let diff = GridDiff::compute(&reference, &blocked.grid)
+                    .expect("reference and blocked grids share a shape");
+                let tolerance = default_tolerance(Precision::Double, problem.time_steps());
+                Ok(VerificationReport {
+                    matches_reference: diff.max_abs <= tolerance,
+                    max_abs_diff: diff.max_abs,
+                    tolerance,
+                    counters: blocked.counters,
+                })
+            }
+            Precision::Single => {
+                let reference = run_reference::<f32>(problem, init);
+                let initial = Grid::<f32>::from_init(&problem.grid_shape(), init);
+                let blocked = execute_plan_on(&plan, problem, initial);
+                let diff = GridDiff::compute(&reference, &blocked.grid)
+                    .expect("reference and blocked grids share a shape");
+                let tolerance = default_tolerance(Precision::Single, problem.time_steps());
+                Ok(VerificationReport {
+                    matches_reference: diff.max_abs <= tolerance,
+                    max_abs_diff: diff.max_abs,
+                    tolerance,
+                    counters: blocked.counters,
+                })
+            }
+        }
+    }
+
+    /// Run the Section 5 performance model for a configuration on a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Plan`] for invalid configurations.
+    pub fn predict(
+        &self,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+        device: &GpuDevice,
+    ) -> Result<ModelPrediction, An5dError> {
+        let plan = self.plan(problem, config)?;
+        Ok(predict(&plan, problem, device))
+    }
+
+    /// Simulate a measurement (best register cap) for a configuration on a
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Plan`] or [`An5dError::Infeasible`].
+    pub fn measure(
+        &self,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+        device: &GpuDevice,
+    ) -> Result<Measurement, An5dError> {
+        let plan = self.plan(problem, config)?;
+        Ok(measure_best_cap(&plan, problem, device)?)
+    }
+
+    /// Run the Section 6.3 tuner over a search space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Tuner`] when no feasible candidate exists.
+    pub fn tune(
+        &self,
+        problem: &StencilProblem,
+        device: &GpuDevice,
+        space: &SearchSpace,
+    ) -> Result<TuningResult, An5dError> {
+        let tuner = Tuner::new(device.clone(), space.precision()).with_scheme(self.scheme);
+        Ok(tuner.tune(&self.def, problem, space)?)
+    }
+
+    /// Generate the CUDA host and kernel sources for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Plan`] for invalid configurations.
+    pub fn generate_cuda(
+        &self,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+    ) -> Result<CudaCode, An5dError> {
+        let plan = self.plan(problem, config)?;
+        Ok(an5d_codegen::generate(&plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j2d5pt_source() -> &'static str {
+        r"
+        for (t = 0; t < I_T; t++)
+          for (i = 1; i <= I_S2; i++)
+            for (j = 1; j <= I_S1; j++)
+              A[(t+1)%2][i][j] = (5.1f * A[t%2][i-1][j] + 12.1f * A[t%2][i][j-1]
+                + 15.0f * A[t%2][i][j] + 12.2f * A[t%2][i][j+1]
+                + 5.2f * A[t%2][i+1][j]) / 118;
+        "
+    }
+
+    #[test]
+    fn pipeline_from_c_source_verifies_and_generates() {
+        let an5d = An5d::from_c_source(j2d5pt_source(), "j2d5pt").unwrap();
+        assert_eq!(an5d.def().name(), "j2d5pt");
+        let problem = an5d.problem(&[48, 48], 9).unwrap();
+        let config = BlockConfig::new(3, &[32], None, Precision::Double).unwrap();
+
+        let report = an5d.verify(&problem, &config).unwrap();
+        assert!(report.matches_reference);
+        assert_eq!(report.max_abs_diff, 0.0);
+        assert!(report.counters.cell_updates > 0);
+
+        let cuda = an5d.generate_cuda(&problem, &config).unwrap();
+        assert!(cuda.kernel_source.contains("__global__"));
+        assert!(cuda.host_source.contains("<<<grid, block>>>"));
+    }
+
+    #[test]
+    fn pipeline_from_benchmark_and_single_precision_verification() {
+        let an5d = An5d::benchmark("star3d1r").unwrap();
+        let problem = an5d.problem(&[12, 12, 12], 4).unwrap();
+        let config = BlockConfig::new(2, &[10, 10], None, Precision::Single).unwrap();
+        let report = an5d.verify(&problem, &config).unwrap();
+        assert!(report.matches_reference, "diff {}", report.max_abs_diff);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        assert!(matches!(
+            An5d::benchmark("nope"),
+            Err(An5dError::Frontend(_))
+        ));
+    }
+
+    #[test]
+    fn prediction_and_measurement_are_consistent() {
+        let an5d = An5d::benchmark("star2d1r").unwrap();
+        let problem = an5d.problem(&[4096, 4096], 100).unwrap();
+        let config = BlockConfig::new(8, &[256], Some(256), Precision::Single).unwrap();
+        let device = GpuDevice::tesla_v100();
+        let prediction = an5d.predict(&problem, &config, &device).unwrap();
+        let measurement = an5d.measure(&problem, &config, &device).unwrap();
+        assert!(prediction.gflops > measurement.gflops);
+        assert!(measurement.gflops > 0.0);
+    }
+
+    #[test]
+    fn tuning_through_the_facade() {
+        let an5d = An5d::benchmark("j2d5pt").unwrap();
+        let problem = an5d.problem(&[2048, 2048], 64).unwrap();
+        let space = SearchSpace::quick(2, Precision::Single);
+        let result = an5d.tune(&problem, &GpuDevice::tesla_v100(), &space).unwrap();
+        assert!(result.best.measured_gflops > 0.0);
+    }
+
+    #[test]
+    fn c_source_round_trips_through_the_facade() {
+        let an5d = An5d::benchmark("j2d9pt").unwrap();
+        let source = an5d.c_source();
+        let reparsed = An5d::from_c_source(&source, "j2d9pt").unwrap();
+        assert_eq!(reparsed.def().radius(), 2);
+        assert_eq!(reparsed.def().flops_per_cell(), an5d.def().flops_per_cell());
+    }
+
+    #[test]
+    fn problem_rank_mismatch_is_reported() {
+        let an5d = An5d::benchmark("j2d5pt").unwrap();
+        assert!(matches!(
+            an5d.problem(&[8, 8, 8], 1),
+            Err(An5dError::Stencil(_))
+        ));
+    }
+}

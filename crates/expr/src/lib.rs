@@ -1,0 +1,51 @@
+//! Stencil update-expression AST, evaluation and FLOP analysis.
+//!
+//! The AN5D framework (CGO 2020) consumes a C description of a stencil and
+//! needs, for every benchmark, (a) the exact update expression so that both
+//! the naive reference executor and the blocked N.5D executor compute the
+//! same values, (b) the set of accessed neighbour offsets to classify the
+//! stencil (star / box / other, radius, dimensionality), and (c) an
+//! operation count broken down into ADD / MUL / FMA / DIV / SQRT for the
+//! roofline performance model of Section 5 (ALU utilisation efficiency and
+//! total floating-point work).
+//!
+//! This crate provides all three: [`Expr`] is the expression tree,
+//! [`StencilShapeClass`]/[`ShapeInfo`] the classification, [`LinearForm`]
+//! the "sum of coefficient × neighbour" normal form used by the associative
+//! stencil optimisation, and [`FlopCount`]/[`OpMix`] the operation counts.
+//!
+//! # Example
+//!
+//! ```
+//! use an5d_expr::{Expr, Offset};
+//!
+//! // 5-point Jacobi: (5.1*A[i-1][j] + 12.1*A[i][j-1] + 15*A[i][j]
+//! //                  + 12.2*A[i][j+1] + 5.2*A[i+1][j]) / 118
+//! let expr = Expr::sum(vec![
+//!     Expr::constant(5.1) * Expr::cell(&[-1, 0]),
+//!     Expr::constant(12.1) * Expr::cell(&[0, -1]),
+//!     Expr::constant(15.0) * Expr::cell(&[0, 0]),
+//!     Expr::constant(12.2) * Expr::cell(&[0, 1]),
+//!     Expr::constant(5.2) * Expr::cell(&[1, 0]),
+//! ]) / Expr::constant(118.0);
+//!
+//! let shape = expr.shape_info().unwrap();
+//! assert_eq!(shape.radius, 1);
+//! assert_eq!(shape.ndim, 2);
+//! assert_eq!(expr.flop_count().total(), 10); // Table 3: j2d5pt = 10 FLOP/cell
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expr;
+mod flops;
+mod linear;
+mod offset;
+mod shape;
+
+pub use expr::{BinOp, Expr, UnOp};
+pub use flops::{FlopCount, OpMix};
+pub use linear::{LinearForm, LinearTerm};
+pub use offset::Offset;
+pub use shape::{ShapeError, ShapeInfo, StencilShapeClass};

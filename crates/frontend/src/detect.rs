@@ -1,0 +1,361 @@
+//! Stencil pattern detection (Section 4.3.3 restrictions).
+
+use crate::ast::{CAssignment, CExpr, CProgram};
+use crate::FrontendError;
+use an5d_expr::Expr;
+use an5d_stencil::StencilDef;
+use std::fmt;
+
+/// A loop extent: either a compile-time constant or a runtime symbol
+/// (the paper keeps `I_Si` and `I_T` as run-time parameters).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ExtentExpr {
+    /// Compile-time constant extent.
+    Const(i64),
+    /// Symbolic (run-time) extent, e.g. `I_S1`.
+    Symbol(String),
+}
+
+impl fmt::Display for ExtentExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtentExpr::Const(v) => write!(f, "{v}"),
+            ExtentExpr::Symbol(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// The result of stencil detection: the extracted [`StencilDef`] plus the
+/// surface-level information needed to generate host code that mirrors the
+/// original program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedStencil {
+    /// The extracted, validated stencil definition.
+    pub def: StencilDef,
+    /// Name of the double-buffered array (e.g. `A`).
+    pub array_name: String,
+    /// Name of the time-loop variable (e.g. `t`).
+    pub time_var: String,
+    /// Names of the spatial loop variables, outermost (streaming) first.
+    pub space_vars: Vec<String>,
+    /// Extent of the time loop (`I_T`).
+    pub time_extent: ExtentExpr,
+    /// Extents of the spatial loops, outermost (streaming) first.
+    pub space_extents: Vec<ExtentExpr>,
+}
+
+fn extent_of(expr: &CExpr) -> Result<ExtentExpr, FrontendError> {
+    match expr {
+        CExpr::Int(v) => Ok(ExtentExpr::Const(*v)),
+        CExpr::Ident(s) => Ok(ExtentExpr::Symbol(s.clone())),
+        _ => Err(FrontendError::unsupported(
+            "loop bounds must be integer constants or plain symbols",
+        )),
+    }
+}
+
+/// Detect the stencil pattern in a parsed loop nest.
+///
+/// # Errors
+///
+/// Returns [`FrontendError::UnsupportedStencil`] when the program violates
+/// one of the Section 4.3.3 restrictions (wrong buffer indices, non-static
+/// offsets, reads of a different array, unsupported operations, …).
+pub fn detect(program: &CProgram, name: &str) -> Result<DetectedStencil, FrontendError> {
+    let Some((loops, assignment)) = program.loop_nest() else {
+        return Err(FrontendError::unsupported("the loop nest is not perfectly nested"));
+    };
+    if loops.len() < 3 || loops.len() > 4 {
+        return Err(FrontendError::unsupported(format!(
+            "expected a time loop plus 2 or 3 spatial loops, found {} loops",
+            loops.len()
+        )));
+    }
+    if loops.iter().any(|l| l.step != 1) {
+        return Err(FrontendError::unsupported("all loops must advance by 1"));
+    }
+    let time_var = loops[0].var.clone();
+    let space_vars: Vec<String> = loops[1..].iter().map(|l| l.var.clone()).collect();
+    if space_vars.contains(&time_var) {
+        return Err(FrontendError::unsupported("loop variables must be distinct"));
+    }
+
+    let ndim = space_vars.len();
+    check_store(assignment, &time_var, &space_vars)?;
+
+    let expr = convert_expr(
+        &assignment.value,
+        &assignment.array,
+        &time_var,
+        &space_vars,
+    )?;
+    let def = StencilDef::new(name, expr)?;
+    if def.ndim() != ndim {
+        return Err(FrontendError::unsupported(format!(
+            "the update expression accesses {} dimensions but the loop nest has {ndim}",
+            def.ndim()
+        )));
+    }
+
+    Ok(DetectedStencil {
+        def,
+        array_name: assignment.array.clone(),
+        time_var,
+        space_vars,
+        time_extent: extent_of(&loops[0].bound)?,
+        space_extents: loops[1..]
+            .iter()
+            .map(|l| extent_of(&l.bound))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn check_store(
+    assignment: &CAssignment,
+    time_var: &str,
+    space_vars: &[String],
+) -> Result<(), FrontendError> {
+    let expected = space_vars.len() + 1;
+    if assignment.indices.len() != expected {
+        return Err(FrontendError::unsupported(format!(
+            "the store must have {expected} subscripts (buffer index plus one per spatial dimension)"
+        )));
+    }
+    if assignment.indices[0].as_parity_of(time_var) != Some(1) {
+        return Err(FrontendError::unsupported(
+            "the store must write to the (t + 1) % 2 buffer",
+        ));
+    }
+    for (index, var) in assignment.indices[1..].iter().zip(space_vars) {
+        if index.as_offset_of(var) != Some(0) {
+            return Err(FrontendError::unsupported(format!(
+                "the store subscript for '{var}' must be exactly '{var}'"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn convert_expr(
+    expr: &CExpr,
+    array: &str,
+    time_var: &str,
+    space_vars: &[String],
+) -> Result<Expr, FrontendError> {
+    match expr {
+        CExpr::Int(v) => Ok(Expr::constant(*v as f64)),
+        CExpr::Float(v) => Ok(Expr::constant(*v)),
+        CExpr::Ident(name) => Err(FrontendError::unsupported(format!(
+            "symbolic coefficient '{name}' is not supported; coefficients must be literal constants"
+        ))),
+        CExpr::ArrayAccess { name, indices } => {
+            if name != array {
+                return Err(FrontendError::unsupported(format!(
+                    "read of array '{name}' but the stencil stores to '{array}'"
+                )));
+            }
+            if indices.len() != space_vars.len() + 1 {
+                return Err(FrontendError::unsupported(format!(
+                    "read of '{name}' must have {} subscripts",
+                    space_vars.len() + 1
+                )));
+            }
+            if indices[0].as_parity_of(time_var) != Some(0) {
+                return Err(FrontendError::unsupported(
+                    "reads must come from the t % 2 buffer",
+                ));
+            }
+            let mut offsets = Vec::with_capacity(space_vars.len());
+            for (index, var) in indices[1..].iter().zip(space_vars) {
+                let Some(offset) = index.as_offset_of(var) else {
+                    return Err(FrontendError::unsupported(format!(
+                        "subscript for '{var}' must be '{var}' plus or minus a constant"
+                    )));
+                };
+                let offset = i32::try_from(offset).map_err(|_| {
+                    FrontendError::unsupported("neighbour offsets must fit in 32 bits")
+                })?;
+                offsets.push(offset);
+            }
+            Ok(Expr::cell(&offsets))
+        }
+        CExpr::Call { name, args } => {
+            if (name == "sqrt" || name == "sqrtf") && args.len() == 1 {
+                let inner = convert_expr(&args[0], array, time_var, space_vars)?;
+                Ok(Expr::sqrt(inner))
+            } else {
+                Err(FrontendError::unsupported(format!(
+                    "call to '{name}' is not supported (only sqrt/sqrtf)"
+                )))
+            }
+        }
+        CExpr::Neg(inner) => Ok(-convert_expr(inner, array, time_var, space_vars)?),
+        CExpr::Add(a, b) => Ok(convert_expr(a, array, time_var, space_vars)?
+            + convert_expr(b, array, time_var, space_vars)?),
+        CExpr::Sub(a, b) => Ok(convert_expr(a, array, time_var, space_vars)?
+            - convert_expr(b, array, time_var, space_vars)?),
+        CExpr::Mul(a, b) => Ok(convert_expr(a, array, time_var, space_vars)?
+            * convert_expr(b, array, time_var, space_vars)?),
+        CExpr::Div(a, b) => Ok(convert_expr(a, array, time_var, space_vars)?
+            / convert_expr(b, array, time_var, space_vars)?),
+        CExpr::Mod(_, _) => Err(FrontendError::unsupported(
+            "the modulo operator may only appear in the double-buffer index",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_stencil;
+    use an5d_expr::StencilShapeClass;
+
+    const J2D5PT: &str = r"
+        for (t = 0; t < I_T; t++)
+          for (i = 1; i <= I_S2; i++)
+            for (j = 1; j <= I_S1; j++)
+              A[(t+1)%2][i][j] = (5.1f * A[t%2][i-1][j] + 12.1f * A[t%2][i][j-1]
+                + 15.0f * A[t%2][i][j] + 12.2f * A[t%2][i][j+1]
+                + 5.2f * A[t%2][i+1][j]) / 118;
+    ";
+
+    #[test]
+    fn detects_fig4_j2d5pt() {
+        let d = parse_stencil(J2D5PT, "j2d5pt").unwrap();
+        assert_eq!(d.def.name(), "j2d5pt");
+        assert_eq!(d.def.ndim(), 2);
+        assert_eq!(d.def.radius(), 1);
+        assert_eq!(d.def.shape_class(), StencilShapeClass::Star);
+        assert_eq!(d.def.flops_per_cell(), 10);
+        assert!(d.def.is_associative());
+        assert_eq!(d.array_name, "A");
+        assert_eq!(d.time_var, "t");
+        assert_eq!(d.space_vars, vec!["i", "j"]);
+        assert_eq!(d.time_extent, ExtentExpr::Symbol("I_T".into()));
+        assert_eq!(
+            d.space_extents,
+            vec![ExtentExpr::Symbol("I_S2".into()), ExtentExpr::Symbol("I_S1".into())]
+        );
+    }
+
+    #[test]
+    fn detects_three_dimensional_box() {
+        let source = r"
+            for (t = 0; t < 100; t++)
+              for (i = 1; i <= 510; i++)
+                for (j = 1; j <= 510; j++)
+                  for (k = 1; k <= 510; k++)
+                    A[(t+1)%2][i][j][k] = 0.1f * A[t%2][i-1][j-1][k-1] + 0.2f * A[t%2][i][j][k]
+                      + 0.3f * A[t%2][i+1][j+1][k+1];
+        ";
+        let d = parse_stencil(source, "sparse3d").unwrap();
+        assert_eq!(d.def.ndim(), 3);
+        assert_eq!(d.def.radius(), 1);
+        assert_eq!(d.def.shape_class(), StencilShapeClass::Other);
+        assert_eq!(d.space_vars, vec!["i", "j", "k"]);
+        assert_eq!(d.time_extent, ExtentExpr::Const(100));
+    }
+
+    #[test]
+    fn detects_nonlinear_gradient_style_update() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (i = 1; i <= N; i++)
+                for (j = 1; j <= N; j++)
+                  A[(t+1)%2][i][j] = 0.5f * A[t%2][i][j]
+                    + 1.0f / sqrtf(1.0f + (A[t%2][i][j] - A[t%2][i+1][j]) * (A[t%2][i][j] - A[t%2][i+1][j]));
+        ";
+        let d = parse_stencil(source, "mini-gradient").unwrap();
+        assert!(!d.def.is_associative());
+        assert!(d.def.expr().contains_sqrt());
+    }
+
+    #[test]
+    fn rejects_wrong_store_buffer() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (i = 1; i <= N; i++)
+                for (j = 1; j <= N; j++)
+                  A[t%2][i][j] = A[t%2][i][j-1];
+        ";
+        let err = parse_stencil(source, "x").unwrap_err();
+        assert!(err.to_string().contains("(t + 1) % 2"));
+    }
+
+    #[test]
+    fn rejects_reads_from_wrong_buffer() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (i = 1; i <= N; i++)
+                for (j = 1; j <= N; j++)
+                  A[(t+1)%2][i][j] = A[(t+1)%2][i][j-1];
+        ";
+        let err = parse_stencil(source, "x").unwrap_err();
+        assert!(err.to_string().contains("t % 2 buffer"));
+    }
+
+    #[test]
+    fn rejects_second_array() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (i = 1; i <= N; i++)
+                for (j = 1; j <= N; j++)
+                  A[(t+1)%2][i][j] = B[t%2][i][j-1];
+        ";
+        let err = parse_stencil(source, "x").unwrap_err();
+        assert!(err.to_string().contains("array 'B'"));
+    }
+
+    #[test]
+    fn rejects_non_static_offsets() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (i = 1; i <= N; i++)
+                for (j = 1; j <= N; j++)
+                  A[(t+1)%2][i][j] = A[t%2][i][i];
+        ";
+        let err = parse_stencil(source, "x").unwrap_err();
+        assert!(err.to_string().contains("plus or minus a constant"));
+    }
+
+    #[test]
+    fn rejects_symbolic_coefficients() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (i = 1; i <= N; i++)
+                for (j = 1; j <= N; j++)
+                  A[(t+1)%2][i][j] = c0 * A[t%2][i][j];
+        ";
+        let err = parse_stencil(source, "x").unwrap_err();
+        assert!(err.to_string().contains("symbolic coefficient"));
+    }
+
+    #[test]
+    fn rejects_wrong_loop_count() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (j = 1; j <= N; j++)
+                A[(t+1)%2][j] = A[t%2][j-1];
+        ";
+        let err = parse_stencil(source, "x").unwrap_err();
+        assert!(err.to_string().contains("spatial loops"));
+    }
+
+    #[test]
+    fn rejects_strided_loops() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (i = 1; i <= N; i += 2)
+                for (j = 1; j <= N; j++)
+                  A[(t+1)%2][i][j] = A[t%2][i][j-1];
+        ";
+        let err = parse_stencil(source, "x").unwrap_err();
+        assert!(err.to_string().contains("advance by 1"));
+    }
+
+    #[test]
+    fn extent_display() {
+        assert_eq!(ExtentExpr::Const(128).to_string(), "128");
+        assert_eq!(ExtentExpr::Symbol("I_T".into()).to_string(), "I_T");
+    }
+}

@@ -1,0 +1,103 @@
+//! Front-end error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the C front-end: lexical, syntactic, or a violation
+/// of the stencil-pattern restrictions of Section 4.3.3.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FrontendError {
+    /// An unexpected character was found in the source.
+    Lex {
+        /// 1-based line of the offending character.
+        line: usize,
+        /// 1-based column of the offending character.
+        column: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// The token stream does not match the expected grammar.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
+        /// Description of what was expected.
+        expected: String,
+        /// Description of what was found instead.
+        found: String,
+    },
+    /// The source parsed but does not match the supported stencil pattern.
+    UnsupportedStencil {
+        /// Which restriction was violated.
+        reason: String,
+    },
+}
+
+impl FrontendError {
+    /// Helper used by the parser to build a [`FrontendError::Parse`].
+    #[must_use]
+    pub fn parse(line: usize, column: usize, expected: impl Into<String>, found: impl Into<String>) -> Self {
+        FrontendError::Parse {
+            line,
+            column,
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+
+    /// Helper to build an [`FrontendError::UnsupportedStencil`].
+    #[must_use]
+    pub fn unsupported(reason: impl Into<String>) -> Self {
+        FrontendError::UnsupportedStencil {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex { line, column, found } => {
+                write!(f, "unexpected character '{found}' at line {line}, column {column}")
+            }
+            FrontendError::Parse {
+                line,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "expected {expected} but found {found} at line {line}, column {column}"
+            ),
+            FrontendError::UnsupportedStencil { reason } => {
+                write!(f, "unsupported stencil pattern: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_positions() {
+        let e = FrontendError::Lex { line: 3, column: 7, found: '@' };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("'@'"));
+        let e = FrontendError::parse(1, 2, "';'", "identifier 'x'");
+        assert!(e.to_string().contains("expected ';'"));
+        let e = FrontendError::unsupported("two store accesses");
+        assert!(e.to_string().contains("two store accesses"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FrontendError>();
+    }
+}

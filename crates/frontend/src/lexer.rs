@@ -1,0 +1,234 @@
+//! Lexer for the supported C subset.
+
+use crate::{FrontendError, Token, TokenKind};
+
+/// Tokenize a C source snippet.
+///
+/// Line (`//`) and block (`/* … */`) comments are skipped; numeric literals
+/// may carry an `f`/`F` suffix (as in `5.1f`).
+///
+/// # Errors
+///
+/// Returns [`FrontendError::Lex`] on any character outside the supported
+/// subset.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    let advance = |i: &mut usize, line: &mut usize, column: &mut usize, c: char| {
+        *i += 1;
+        if c == '\n' {
+            *line += 1;
+            *column = 1;
+        } else {
+            *column += 1;
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let tok_line = line;
+        let tok_column = column;
+
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut column, c);
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            while i < chars.len() && chars[i] != '\n' {
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let ch = chars[i];
+            advance(&mut i, &mut line, &mut column, ch);
+            let ch = chars[i];
+            advance(&mut i, &mut line, &mut column, ch);
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            if i + 1 < chars.len() {
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            continue;
+        }
+
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut ident = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                ident.push(chars[i]);
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(ident),
+                line: tok_line,
+                column: tok_column,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) {
+            let mut text = String::new();
+            let mut is_float = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E'
+                    || ((chars[i] == '+' || chars[i] == '-')
+                        && matches!(text.chars().last(), Some('e' | 'E'))))
+            {
+                if chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' {
+                    is_float = true;
+                }
+                text.push(chars[i]);
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            // Optional float suffix.
+            if i < chars.len() && (chars[i] == 'f' || chars[i] == 'F') {
+                is_float = true;
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            let kind = if is_float {
+                TokenKind::Float(text.parse::<f64>().map_err(|_| FrontendError::Lex {
+                    line: tok_line,
+                    column: tok_column,
+                    found: c,
+                })?)
+            } else {
+                TokenKind::Int(text.parse::<i64>().map_err(|_| FrontendError::Lex {
+                    line: tok_line,
+                    column: tok_column,
+                    found: c,
+                })?)
+            };
+            tokens.push(Token { kind, line: tok_line, column: tok_column });
+            continue;
+        }
+
+        let two = if i + 1 < chars.len() {
+            Some((c, chars[i + 1]))
+        } else {
+            None
+        };
+        let (kind, width) = match (c, two) {
+            ('+', Some(('+', '+'))) => (TokenKind::Increment, 2),
+            ('+', Some(('+', '='))) => (TokenKind::PlusAssign, 2),
+            ('<', Some(('<', '='))) => (TokenKind::LessEqual, 2),
+            ('>', Some(('>', '='))) => (TokenKind::GreaterEqual, 2),
+            ('(', _) => (TokenKind::LParen, 1),
+            (')', _) => (TokenKind::RParen, 1),
+            ('[', _) => (TokenKind::LBracket, 1),
+            (']', _) => (TokenKind::RBracket, 1),
+            ('{', _) => (TokenKind::LBrace, 1),
+            ('}', _) => (TokenKind::RBrace, 1),
+            (';', _) => (TokenKind::Semicolon, 1),
+            (',', _) => (TokenKind::Comma, 1),
+            ('=', _) => (TokenKind::Assign, 1),
+            ('+', _) => (TokenKind::Plus, 1),
+            ('-', _) => (TokenKind::Minus, 1),
+            ('*', _) => (TokenKind::Star, 1),
+            ('/', _) => (TokenKind::Slash, 1),
+            ('%', _) => (TokenKind::Percent, 1),
+            ('<', _) => (TokenKind::Less, 1),
+            ('>', _) => (TokenKind::Greater, 1),
+            _ => {
+                return Err(FrontendError::Lex {
+                    line: tok_line,
+                    column: tok_column,
+                    found: c,
+                })
+            }
+        };
+        for _ in 0..width {
+            let ch = chars[i];
+            advance(&mut i, &mut line, &mut column, ch);
+        }
+        tokens.push(Token { kind, line: tok_line, column: tok_column });
+    }
+
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_for_loop_header() {
+        let k = kinds("for (t = 0; t < I_T; t++)");
+        assert_eq!(k[0], TokenKind::Ident("for".into()));
+        assert_eq!(k[1], TokenKind::LParen);
+        assert_eq!(k[3], TokenKind::Assign);
+        assert_eq!(k[4], TokenKind::Int(0));
+        assert!(k.contains(&TokenKind::Less));
+        assert!(k.contains(&TokenKind::Increment));
+    }
+
+    #[test]
+    fn lexes_float_literals_with_suffix() {
+        assert_eq!(kinds("5.1f"), vec![TokenKind::Float(5.1)]);
+        assert_eq!(kinds("12.25F"), vec![TokenKind::Float(12.25)]);
+        assert_eq!(kinds("118"), vec![TokenKind::Int(118)]);
+        assert_eq!(kinds("2e3"), vec![TokenKind::Float(2000.0)]);
+        assert_eq!(kinds("1.5e-2"), vec![TokenKind::Float(0.015)]);
+    }
+
+    #[test]
+    fn lexes_two_character_operators() {
+        assert_eq!(kinds("<="), vec![TokenKind::LessEqual]);
+        assert_eq!(kinds(">="), vec![TokenKind::GreaterEqual]);
+        assert_eq!(kinds("+="), vec![TokenKind::PlusAssign]);
+        assert_eq!(kinds("++"), vec![TokenKind::Increment]);
+        assert_eq!(kinds("+ +"), vec![TokenKind::Plus, TokenKind::Plus]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("a // comment\n + /* block \n comment */ b");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let tokens = tokenize("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].column), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].column), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(matches!(err, FrontendError::Lex { found: '@', .. }));
+    }
+
+    #[test]
+    fn lexes_array_access_with_modulo() {
+        let k = kinds("A[(t+1)%2][i][j-1]");
+        assert!(k.contains(&TokenKind::Percent));
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::LBracket).count(), 3);
+        assert!(k.contains(&TokenKind::Minus));
+    }
+}

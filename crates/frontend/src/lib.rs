@@ -1,0 +1,76 @@
+//! C-subset front-end and stencil pattern detection for AN5D.
+//!
+//! The original AN5D is implemented as a dedicated backend inside the
+//! polyhedral compiler PPCG: PPCG normalises the input C code and AN5D then
+//! detects the stencil pattern under the restrictions listed in
+//! Section 4.3.3 of the paper. Reimplementing all of PPCG is out of scope
+//! (see `DESIGN.md`); this crate implements the part AN5D actually relies
+//! on — accepting Fig. 4-style C code and extracting the stencil pattern —
+//! with the same input restrictions:
+//!
+//! * a perfect loop nest whose outermost loop is the time loop and whose
+//!   next loop is the streaming dimension;
+//! * a single assignment statement with a single store;
+//! * double-buffered array accesses via `t % 2` / `(t + 1) % 2`;
+//! * statically known neighbour offsets.
+//!
+//! # Example
+//!
+//! ```
+//! use an5d_frontend::parse_stencil;
+//!
+//! let source = r#"
+//! for (t = 0; t < I_T; t++)
+//!   for (i = 1; i <= I_S2; i++)
+//!     for (j = 1; j <= I_S1; j++)
+//!       A[(t+1)%2][i][j] = (5.1f * A[t%2][i-1][j] + 12.1f * A[t%2][i][j-1]
+//!         + 15.0f * A[t%2][i][j] + 12.2f * A[t%2][i][j+1]
+//!         + 5.2f * A[t%2][i+1][j]) / 118;
+//! "#;
+//! let detected = parse_stencil(source, "j2d5pt").unwrap();
+//! assert_eq!(detected.def.radius(), 1);
+//! assert_eq!(detected.def.flops_per_cell(), 10);
+//! assert_eq!(detected.array_name, "A");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod detect;
+mod emit;
+mod error;
+mod lexer;
+mod parser;
+mod token;
+
+pub use ast::{CExpr, CForLoop, CProgram, CStatement, CompareOp};
+pub use detect::{detect, DetectedStencil};
+pub use emit::emit_c_source;
+pub use error::FrontendError;
+pub use lexer::tokenize;
+pub use parser::parse_program;
+pub use token::{Token, TokenKind};
+
+use an5d_stencil::StencilError;
+
+/// End-to-end convenience: tokenize, parse and detect the stencil in a C
+/// source snippet.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] if the source cannot be lexed/parsed or does
+/// not match the supported stencil pattern (Section 4.3.3 restrictions).
+pub fn parse_stencil(source: &str, name: &str) -> Result<DetectedStencil, FrontendError> {
+    let tokens = tokenize(source)?;
+    let program = parse_program(&tokens)?;
+    detect(&program, name)
+}
+
+impl From<StencilError> for FrontendError {
+    fn from(e: StencilError) -> Self {
+        FrontendError::UnsupportedStencil {
+            reason: e.to_string(),
+        }
+    }
+}

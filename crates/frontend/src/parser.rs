@@ -1,0 +1,418 @@
+//! Recursive-descent parser for the supported C subset.
+
+use crate::ast::{CAssignment, CExpr, CForLoop, CProgram, CStatement, CompareOp};
+use crate::{FrontendError, Token, TokenKind};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn position(&self) -> (usize, usize) {
+        self.peek()
+            .map(|t| (t.line, t.column))
+            .or_else(|| self.tokens.last().map(|t| (t.line, t.column + 1)))
+            .unwrap_or((1, 1))
+    }
+
+    fn error(&self, expected: &str) -> FrontendError {
+        let (line, column) = self.position();
+        let found = self
+            .peek()
+            .map_or_else(|| "end of input".to_string(), |t| t.kind.to_string());
+        FrontendError::parse(line, column, expected, found)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), FrontendError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, FrontendError> {
+        match self.peek() {
+            Some(Token { kind: TokenKind::Ident(s), .. }) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if let Some(Token { kind: TokenKind::Ident(s), .. }) = self.peek() {
+            if s == keyword {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_program(&mut self) -> Result<CProgram, FrontendError> {
+        // Tolerate leading scalar declarations such as `int t, i, j;` or
+        // `float A[2][N][N];` by skipping statements until the first `for`.
+        while let Some(t) = self.peek() {
+            if matches!(&t.kind, TokenKind::Ident(s) if s == "for") {
+                break;
+            }
+            // Skip to the next ';'.
+            while let Some(t) = self.advance() {
+                if t.kind == TokenKind::Semicolon {
+                    break;
+                }
+            }
+        }
+        let root = self.parse_for()?;
+        // Trailing tokens (e.g. a closing brace of an outer function) are
+        // not supported: the input is expected to be the loop nest only.
+        if self.peek().is_some() {
+            return Err(self.error("end of input after the loop nest"));
+        }
+        Ok(CProgram { root })
+    }
+
+    fn parse_for(&mut self) -> Result<CForLoop, FrontendError> {
+        if !self.eat_keyword("for") {
+            return Err(self.error("'for'"));
+        }
+        self.expect(&TokenKind::LParen, "'(' after 'for'")?;
+        // Optional `int` in the init clause.
+        self.eat_keyword("int");
+        let var = self.expect_ident("loop variable")?;
+        self.expect(&TokenKind::Assign, "'=' in loop initialiser")?;
+        let start = self.parse_expr()?;
+        self.expect(&TokenKind::Semicolon, "';' after loop initialiser")?;
+
+        let cond_var = self.expect_ident("loop variable in condition")?;
+        if cond_var != var {
+            return Err(FrontendError::unsupported(format!(
+                "loop condition tests '{cond_var}' but the loop variable is '{var}'"
+            )));
+        }
+        let compare = match self.advance().map(|t| t.kind.clone()) {
+            Some(TokenKind::Less) => CompareOp::Less,
+            Some(TokenKind::LessEqual) => CompareOp::LessEqual,
+            _ => return Err(self.error("'<' or '<=' in loop condition")),
+        };
+        let bound = self.parse_expr()?;
+        self.expect(&TokenKind::Semicolon, "';' after loop condition")?;
+
+        let inc_var = self.expect_ident("loop variable in increment")?;
+        if inc_var != var {
+            return Err(FrontendError::unsupported(format!(
+                "loop increment updates '{inc_var}' but the loop variable is '{var}'"
+            )));
+        }
+        let step = match self.advance().map(|t| t.kind.clone()) {
+            Some(TokenKind::Increment) => 1,
+            Some(TokenKind::PlusAssign) => match self.advance().map(|t| t.kind.clone()) {
+                Some(TokenKind::Int(v)) if v > 0 => v,
+                _ => return Err(self.error("positive integer step after '+='")),
+            },
+            _ => return Err(self.error("'++' or '+=' in loop increment")),
+        };
+        self.expect(&TokenKind::RParen, "')' after loop header")?;
+
+        let body = self.parse_statement()?;
+        Ok(CForLoop {
+            var,
+            start,
+            compare,
+            bound,
+            step,
+            body: Box::new(body),
+        })
+    }
+
+    fn parse_statement(&mut self) -> Result<CStatement, FrontendError> {
+        if let Some(Token { kind: TokenKind::LBrace, .. }) = self.peek() {
+            self.pos += 1;
+            let inner = self.parse_statement()?;
+            self.expect(&TokenKind::RBrace, "'}' after block")?;
+            return Ok(inner);
+        }
+        if matches!(self.peek(), Some(Token { kind: TokenKind::Ident(s), .. }) if s == "for") {
+            return Ok(CStatement::For(self.parse_for()?));
+        }
+        // Assignment: array access '=' expr ';'
+        let target = self.parse_postfix()?;
+        let CExpr::ArrayAccess { name, indices } = target else {
+            return Err(self.error("array store on the left-hand side"));
+        };
+        self.expect(&TokenKind::Assign, "'=' in assignment")?;
+        let value = self.parse_expr()?;
+        self.expect(&TokenKind::Semicolon, "';' after assignment")?;
+        Ok(CStatement::Assign(CAssignment {
+            array: name,
+            indices,
+            value,
+        }))
+    }
+
+    fn parse_expr(&mut self) -> Result<CExpr, FrontendError> {
+        self.parse_additive()
+    }
+
+    fn parse_additive(&mut self) -> Result<CExpr, FrontendError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            match self.peek().map(|t| t.kind.clone()) {
+                Some(TokenKind::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.parse_multiplicative()?;
+                    lhs = CExpr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(TokenKind::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.parse_multiplicative()?;
+                    lhs = CExpr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<CExpr, FrontendError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            match self.peek().map(|t| t.kind.clone()) {
+                Some(TokenKind::Star) => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = CExpr::Mul(Box::new(lhs), Box::new(rhs));
+                }
+                Some(TokenKind::Slash) => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = CExpr::Div(Box::new(lhs), Box::new(rhs));
+                }
+                Some(TokenKind::Percent) => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = CExpr::Mod(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<CExpr, FrontendError> {
+        if let Some(Token { kind: TokenKind::Minus, .. }) = self.peek() {
+            self.pos += 1;
+            let inner = self.parse_unary()?;
+            return Ok(CExpr::Neg(Box::new(inner)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<CExpr, FrontendError> {
+        let primary = self.parse_primary()?;
+        // Array subscripts.
+        if let CExpr::Ident(name) = &primary {
+            if matches!(self.peek(), Some(Token { kind: TokenKind::LBracket, .. })) {
+                let mut indices = Vec::new();
+                while matches!(self.peek(), Some(Token { kind: TokenKind::LBracket, .. })) {
+                    self.pos += 1;
+                    indices.push(self.parse_expr()?);
+                    self.expect(&TokenKind::RBracket, "']' after subscript")?;
+                }
+                return Ok(CExpr::ArrayAccess {
+                    name: name.clone(),
+                    indices,
+                });
+            }
+        }
+        Ok(primary)
+    }
+
+    fn parse_primary(&mut self) -> Result<CExpr, FrontendError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Int(v)) => {
+                self.pos += 1;
+                Ok(CExpr::Int(v))
+            }
+            Some(TokenKind::Float(v)) => {
+                self.pos += 1;
+                Ok(CExpr::Float(v))
+            }
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')' after parenthesised expression")?;
+                Ok(inner)
+            }
+            Some(TokenKind::Ident(name)) => {
+                self.pos += 1;
+                // Function call?
+                if matches!(self.peek(), Some(Token { kind: TokenKind::LParen, .. })) {
+                    self.pos += 1;
+                    let mut args = vec![self.parse_expr()?];
+                    while matches!(self.peek(), Some(Token { kind: TokenKind::Comma, .. })) {
+                        self.pos += 1;
+                        args.push(self.parse_expr()?);
+                    }
+                    self.expect(&TokenKind::RParen, "')' after call arguments")?;
+                    return Ok(CExpr::Call { name, args });
+                }
+                Ok(CExpr::Ident(name))
+            }
+            _ => Err(self.error("an expression")),
+        }
+    }
+}
+
+/// Parse a token stream into a loop-nest program.
+///
+/// # Errors
+///
+/// Returns [`FrontendError::Parse`] (with source position) when the tokens
+/// do not match the supported grammar, or
+/// [`FrontendError::UnsupportedStencil`] for structurally unsupported loop
+/// forms.
+pub fn parse_program(tokens: &[Token]) -> Result<CProgram, FrontendError> {
+    Parser::new(tokens).parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    fn parse(source: &str) -> Result<CProgram, FrontendError> {
+        parse_program(&tokenize(source).unwrap())
+    }
+
+    const J2D5PT: &str = r"
+        for (t = 0; t < I_T; t++)
+          for (i = 1; i <= I_S2; i++)
+            for (j = 1; j <= I_S1; j++)
+              A[(t+1)%2][i][j] = (5.1f * A[t%2][i-1][j] + 12.1f * A[t%2][i][j-1]
+                + 15.0f * A[t%2][i][j] + 12.2f * A[t%2][i][j+1]
+                + 5.2f * A[t%2][i+1][j]) / 118;
+    ";
+
+    #[test]
+    fn parses_fig4_loop_nest() {
+        let program = parse(J2D5PT).unwrap();
+        let (loops, assignment) = program.loop_nest().unwrap();
+        assert_eq!(loops.len(), 3);
+        assert_eq!(loops[0].var, "t");
+        assert_eq!(loops[1].var, "i");
+        assert_eq!(loops[2].var, "j");
+        assert_eq!(loops[0].compare, CompareOp::Less);
+        assert_eq!(loops[1].compare, CompareOp::LessEqual);
+        assert_eq!(assignment.array, "A");
+        assert_eq!(assignment.indices.len(), 3);
+    }
+
+    #[test]
+    fn parses_braced_bodies_and_declarations() {
+        let source = r"
+            int t, i, j;
+            for (t = 0; t < 100; t++) {
+              for (i = 1; i <= 64; i++) {
+                for (j = 1; j <= 64; j++) {
+                  A[(t+1)%2][i][j] = 0.25f * A[t%2][i][j];
+                }
+              }
+            }
+        ";
+        let program = parse(source).unwrap();
+        let (loops, _) = program.loop_nest().unwrap();
+        assert_eq!(loops.len(), 3);
+        assert_eq!(loops[0].bound, CExpr::Int(100));
+    }
+
+    #[test]
+    fn parses_calls_and_negation() {
+        let source = r"
+            for (t = 0; t < I_T; t++)
+              for (i = 1; i <= N; i++)
+                for (j = 1; j <= N; j++)
+                  A[(t+1)%2][i][j] = 1.0f / sqrtf(1.0f + -A[t%2][i][j]);
+        ";
+        let program = parse(source).unwrap();
+        let (_, assignment) = program.loop_nest().unwrap();
+        let CExpr::Div(_, rhs) = &assignment.value else {
+            panic!("expected division at top level");
+        };
+        assert!(matches!(rhs.as_ref(), CExpr::Call { name, .. } if name == "sqrtf"));
+    }
+
+    #[test]
+    fn parses_step_increment() {
+        let source = r"
+            for (t = 0; t < 8; t += 2)
+              for (i = 1; i <= 4; i++)
+                for (j = 1; j <= 4; j++)
+                  A[(t+1)%2][i][j] = A[t%2][i][j];
+        ";
+        let program = parse(source).unwrap();
+        assert_eq!(program.root.step, 2);
+    }
+
+    #[test]
+    fn reports_missing_semicolon_with_position() {
+        let source = "for (t = 0; t < 4; t++) for (i = 1; i <= 4; i++) for (j = 1; j <= 4; j++) A[(t+1)%2][i][j] = A[t%2][i][j]";
+        let err = parse(source).unwrap_err();
+        assert!(matches!(err, FrontendError::Parse { .. }));
+        assert!(err.to_string().contains("';'"));
+    }
+
+    #[test]
+    fn rejects_non_array_store() {
+        let source = r"
+            for (t = 0; t < 4; t++)
+              for (i = 1; i <= 4; i++)
+                for (j = 1; j <= 4; j++)
+                  x = A[t%2][i][j];
+        ";
+        let err = parse(source).unwrap_err();
+        assert!(err.to_string().contains("array store"));
+    }
+
+    #[test]
+    fn rejects_mismatched_loop_variable() {
+        let source = r"
+            for (t = 0; i < 4; t++)
+              for (i = 1; i <= 4; i++)
+                for (j = 1; j <= 4; j++)
+                  A[(t+1)%2][i][j] = A[t%2][i][j];
+        ";
+        let err = parse(source).unwrap_err();
+        assert!(matches!(err, FrontendError::UnsupportedStencil { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let source = r"
+            for (t = 0; t < 4; t++)
+              for (i = 1; i <= 4; i++)
+                for (j = 1; j <= 4; j++)
+                  A[(t+1)%2][i][j] = A[t%2][i][j];
+            }
+        ";
+        assert!(parse(source).is_err());
+    }
+}

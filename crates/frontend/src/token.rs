@@ -1,0 +1,109 @@
+//! Tokens of the supported C subset.
+
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `t`, `A`, `I_S1`, `sqrtf`, …).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal (an optional `f`/`F` suffix is consumed).
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Less,
+    /// `<=`
+    LessEqual,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEqual,
+    /// `++`
+    Increment,
+    /// `+=`
+    PlusAssign,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Assign => write!(f, "'='"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Percent => write!(f, "'%'"),
+            TokenKind::Less => write!(f, "'<'"),
+            TokenKind::LessEqual => write!(f, "'<='"),
+            TokenKind::Greater => write!(f, "'>'"),
+            TokenKind::GreaterEqual => write!(f, "'>='"),
+            TokenKind::Increment => write!(f, "'++'"),
+            TokenKind::PlusAssign => write!(f, "'+='"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub column: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_kinds_display() {
+        assert_eq!(TokenKind::Ident("for".into()).to_string(), "identifier 'for'");
+        assert_eq!(TokenKind::Int(42).to_string(), "integer 42");
+        assert_eq!(TokenKind::LessEqual.to_string(), "'<='");
+        assert_eq!(TokenKind::Increment.to_string(), "'++'");
+        assert_eq!(TokenKind::LBrace.to_string(), "'{'");
+    }
+}

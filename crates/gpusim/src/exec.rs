@@ -1,0 +1,432 @@
+//! Functional execution of an N.5D-blocked kernel plan.
+//!
+//! The executor processes the grid exactly the way the generated CUDA
+//! kernel does at the tile level: one overlapped tile per thread block,
+//! redundant recomputation inside the `bT·rad` halo, streaming-dimension
+//! division with its extra overlap, write-back restricted to the compute
+//! region, constant boundary cells, and the host-side splitting of the time
+//! loop into temporal blocks with a shorter final block when
+//! `I_T mod bT ≠ 0` (Section 4.3.1). Its numerical output is therefore
+//! comparable (bit-for-bit in `f64`) with the naive reference executor,
+//! and its counters measure the real redundant work and memory traffic of
+//! the chosen configuration.
+
+use crate::TrafficCounters;
+use an5d_grid::{Element, Grid, GridInit};
+use an5d_plan::{practical_shared_reads, KernelPlan};
+use an5d_stencil::exec::eval_expr;
+use an5d_stencil::StencilProblem;
+
+/// Result of a blocked run: the final grid plus the work/traffic counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedRun<T> {
+    /// Final grid state (same shape as the problem's padded grid).
+    pub grid: Grid<T>,
+    /// Work and traffic counters accumulated over the whole run.
+    pub counters: TrafficCounters,
+}
+
+/// Execute a kernel plan starting from a deterministic initial state.
+///
+/// # Panics
+///
+/// Panics if the plan and problem disagree on the stencil (they are built
+/// together in normal use).
+#[must_use]
+pub fn execute_plan<T: Element>(
+    plan: &KernelPlan,
+    problem: &StencilProblem,
+    init: GridInit,
+) -> BlockedRun<T> {
+    let initial = Grid::<T>::from_init(&problem.grid_shape(), init);
+    execute_plan_on(plan, problem, initial)
+}
+
+/// Execute a kernel plan starting from an explicit initial grid (used by
+/// the equivalence tests to feed the exact same state to the reference and
+/// blocked executors).
+///
+/// # Panics
+///
+/// Panics if the initial grid's shape does not match the problem.
+#[must_use]
+pub fn execute_plan_on<T: Element>(
+    plan: &KernelPlan,
+    problem: &StencilProblem,
+    initial: Grid<T>,
+) -> BlockedRun<T> {
+    assert_eq!(
+        initial.shape(),
+        problem.grid_shape().as_slice(),
+        "initial grid shape does not match the problem"
+    );
+    assert_eq!(
+        plan.def().name(),
+        problem.def().name(),
+        "plan and problem describe different stencils"
+    );
+
+    let bt = plan.config().bt();
+    let mut counters = TrafficCounters::new();
+    let mut current = initial;
+    let mut remaining = problem.time_steps();
+    while remaining > 0 {
+        // Host code: one kernel launch per temporal block; the final block
+        // shrinks when I_T is not a multiple of bT (Section 4.3.1).
+        let chunk = remaining.min(bt);
+        current = run_temporal_block(plan, problem, &current, chunk, &mut counters);
+        counters.kernel_launches += 1;
+        remaining -= chunk;
+    }
+    BlockedRun {
+        grid: current,
+        counters,
+    }
+}
+
+/// Tiling of one dimension: a list of `(origin, length, halo)` triples in
+/// interior coordinates.
+fn tiles_for_dim(extent: usize, tile_len: usize, halo: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    let mut origin = 0usize;
+    while origin < extent {
+        let len = tile_len.min(extent - origin);
+        out.push((origin, len, halo));
+        origin += tile_len;
+    }
+    out
+}
+
+fn run_temporal_block<T: Element>(
+    plan: &KernelPlan,
+    problem: &StencilProblem,
+    current: &Grid<T>,
+    chunk: usize,
+    counters: &mut TrafficCounters,
+) -> Grid<T> {
+    let def = plan.def();
+    let rad = def.radius();
+    let halo = plan.geometry().halo_per_side;
+    let shape = current.shape().to_vec();
+    let ndim = shape.len();
+    let interior = problem.interior();
+
+    let sm_writes_per_update = plan.resources().shared_stores_per_cell as u128;
+    let sm_reads_per_update = practical_shared_reads(def) as u128;
+    let flops_per_update = def.flops_per_cell() as u128;
+    let syncs_per_plane = plan.schedule().syncs_per_plane() as u128;
+
+    // Per-dimension tilings: the streaming dimension is divided only when
+    // hS_N is set (then each stream block carries the bT·rad overlap); the
+    // blocked dimensions are tiled by the compute region.
+    let mut dim_tiles: Vec<Vec<(usize, usize, usize)>> = Vec::with_capacity(ndim);
+    match plan.config().hsn() {
+        Some(h) => dim_tiles.push(tiles_for_dim(interior[0], h, halo)),
+        None => dim_tiles.push(vec![(0, interior[0], 0)]),
+    }
+    for (d, &cr) in plan.geometry().compute_region.iter().enumerate() {
+        dim_tiles.push(tiles_for_dim(interior[d + 1], cr, halo));
+    }
+
+    let mut next = current.clone();
+
+    // Odometer over the cartesian product of per-dimension tiles.
+    let mut tile_idx = vec![0usize; ndim];
+    'tiles: loop {
+        let tile: Vec<(usize, usize, usize)> = tile_idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| dim_tiles[d][i])
+            .collect();
+        process_tile(
+            def,
+            current,
+            &mut next,
+            &shape,
+            rad,
+            chunk,
+            &tile,
+            counters,
+            flops_per_update,
+            sm_reads_per_update,
+            sm_writes_per_update,
+            syncs_per_plane,
+        );
+
+        // Advance the odometer.
+        let mut d = ndim;
+        loop {
+            if d == 0 {
+                break 'tiles;
+            }
+            d -= 1;
+            tile_idx[d] += 1;
+            if tile_idx[d] < dim_tiles[d].len() {
+                break;
+            }
+            tile_idx[d] = 0;
+        }
+    }
+
+    next
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_tile<T: Element>(
+    def: &an5d_stencil::StencilDef,
+    current: &Grid<T>,
+    next: &mut Grid<T>,
+    shape: &[usize],
+    rad: usize,
+    chunk: usize,
+    tile: &[(usize, usize, usize)],
+    counters: &mut TrafficCounters,
+    flops_per_update: u128,
+    sm_reads_per_update: u128,
+    sm_writes_per_update: u128,
+    syncs_per_plane: u128,
+) {
+    let ndim = shape.len();
+    // Local box bounds in stored-grid coordinates: the compute region plus
+    // the recomputation halo plus one stencil radius of read-only data,
+    // clipped to the stored grid.
+    let mut lo = vec![0usize; ndim];
+    let mut hi = vec![0usize; ndim];
+    for d in 0..ndim {
+        let (origin, len, halo) = tile[d];
+        lo[d] = origin.saturating_sub(halo);
+        hi[d] = (origin + len + halo + 2 * rad).min(shape[d]);
+    }
+    let local_shape: Vec<usize> = (0..ndim).map(|d| hi[d] - lo[d]).collect();
+
+    // Load the tile from global memory (one read per cell per temporal
+    // block — the defining property of N.5D blocking).
+    let mut src = Grid::<T>::from_fn(&local_shape, |l| {
+        let g: Vec<usize> = l.iter().zip(&lo).map(|(&a, &b)| a + b).collect();
+        current.get(&g)
+    });
+    counters.gm_reads += src.len() as u128;
+    counters.thread_blocks += 1;
+    counters.syncs += syncs_per_plane * local_shape[0] as u128;
+
+    let expr = def.expr();
+    for _step in 0..chunk {
+        let mut dst = src.clone();
+        let mut idx = vec![0usize; ndim];
+        let total: usize = local_shape.iter().product();
+        for flat in 0..total {
+            // Decode the flat index (row-major).
+            let mut rem = flat;
+            for d in (0..ndim).rev() {
+                idx[d] = rem % local_shape[d];
+                rem /= local_shape[d];
+            }
+            // (a) all neighbours available within the local box,
+            // (b) the cell is in the global interior (never update the
+            //     boundary ring).
+            let locally_updatable = (0..ndim)
+                .all(|d| idx[d] >= rad && idx[d] + rad < local_shape[d]);
+            if !locally_updatable {
+                continue;
+            }
+            let globally_interior = (0..ndim).all(|d| {
+                let g = idx[d] + lo[d];
+                g >= rad && g + rad < shape[d]
+            });
+            if !globally_interior {
+                continue;
+            }
+            let resolve = |offset: an5d_expr::Offset| {
+                let mut n = [0isize; 3];
+                for (d, (&i, &o)) in idx.iter().zip(offset.components()).enumerate() {
+                    n[d] = i as isize + o as isize;
+                }
+                src.at(&n[..ndim]).expect("neighbour inside the local box")
+            };
+            let value = eval_expr(expr, &resolve);
+            dst.set(&idx, value);
+            counters.cell_updates += 1;
+            counters.flops += flops_per_update;
+            counters.sm_reads += sm_reads_per_update;
+            counters.sm_writes += sm_writes_per_update;
+        }
+        src = dst;
+    }
+
+    // Write back the compute region (which always lies in the interior).
+    let mut written = 0u128;
+    let mut idx = vec![0usize; ndim];
+    let region: Vec<(usize, usize)> = tile.iter().map(|&(o, l, _)| (o, l)).collect();
+    let total: usize = region.iter().map(|&(_, l)| l).product();
+    for flat in 0..total {
+        let mut rem = flat;
+        for d in (0..ndim).rev() {
+            idx[d] = rem % region[d].1;
+            rem /= region[d].1;
+        }
+        let g: Vec<usize> = (0..ndim).map(|d| region[d].0 + idx[d] + rad).collect();
+        let l: Vec<usize> = (0..ndim).map(|d| g[d] - lo[d]).collect();
+        next.set(&g, src.get(&l));
+        written += 1;
+    }
+    counters.gm_writes += written;
+    counters.valid_updates += written * chunk as u128;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d_grid::{GridDiff, Precision};
+    use an5d_plan::{BlockConfig, FrameworkScheme};
+    use an5d_stencil::{exec::run_reference, suite, StencilDef};
+
+    fn check_equivalence(
+        def: StencilDef,
+        interior: &[usize],
+        steps: usize,
+        bt: usize,
+        bs: &[usize],
+        hsn: Option<usize>,
+    ) -> TrafficCounters {
+        let problem = StencilProblem::new(def.clone(), interior, steps).unwrap();
+        let config = BlockConfig::new(bt, bs, hsn, Precision::Double).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let init = GridInit::Hash { seed: 42 };
+        let reference = run_reference::<f64>(&problem, init);
+        let blocked = execute_plan::<f64>(&plan, &problem, init);
+        let diff = GridDiff::compute(&reference, &blocked.grid).unwrap();
+        assert!(
+            diff.is_exact(),
+            "{}: blocked execution diverged (max abs {:.3e} at {})",
+            def.name(),
+            diff.max_abs,
+            diff.worst_flat_index
+        );
+        blocked.counters
+    }
+
+    #[test]
+    fn blocked_matches_reference_2d_star() {
+        check_equivalence(suite::j2d5pt(), &[24, 30], 7, 3, &[16], None);
+    }
+
+    #[test]
+    fn blocked_matches_reference_2d_second_order() {
+        check_equivalence(suite::j2d9pt(), &[20, 26], 6, 2, &[18], None);
+    }
+
+    #[test]
+    fn blocked_matches_reference_2d_box() {
+        check_equivalence(suite::box2d(1), &[16, 16], 5, 2, &[12], None);
+    }
+
+    #[test]
+    fn blocked_matches_reference_nonlinear_gradient() {
+        check_equivalence(suite::gradient2d(), &[18, 18], 4, 2, &[14], None);
+    }
+
+    #[test]
+    fn blocked_matches_reference_with_stream_division() {
+        check_equivalence(suite::j2d5pt(), &[32, 20], 6, 2, &[16], Some(8));
+    }
+
+    #[test]
+    fn blocked_matches_reference_3d_star() {
+        check_equivalence(suite::star3d(1), &[10, 12, 14], 5, 2, &[10, 12], None);
+    }
+
+    #[test]
+    fn blocked_matches_reference_3d_box_with_division() {
+        check_equivalence(suite::j3d27pt(), &[12, 10, 10], 4, 1, &[8, 8], Some(6));
+    }
+
+    #[test]
+    fn remainder_temporal_block_is_handled() {
+        // 7 steps with bT = 3 → blocks of 3, 3, 1.
+        let counters = check_equivalence(suite::j2d5pt(), &[20, 20], 7, 3, &[16], None);
+        assert_eq!(counters.kernel_launches, 3);
+    }
+
+    #[test]
+    fn single_precision_blocked_matches_reference_closely() {
+        let def = suite::j2d5pt();
+        let problem = StencilProblem::new(def.clone(), &[24, 24], 6).unwrap();
+        let config = BlockConfig::new(2, &[16], None, Precision::Single).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let init = GridInit::Hash { seed: 5 };
+        let reference = run_reference::<f32>(&problem, init);
+        let blocked = execute_plan::<f32>(&plan, &problem, init);
+        let diff = GridDiff::compute(&reference, &blocked.grid).unwrap();
+        assert!(diff.max_abs <= 1e-5, "f32 divergence too large: {diff:?}");
+    }
+
+    #[test]
+    fn counters_reflect_redundant_computation() {
+        let def = suite::j2d5pt();
+        let problem = StencilProblem::new(def.clone(), &[40, 40], 4).unwrap();
+        let config = BlockConfig::new(4, &[20], None, Precision::Double).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let run = execute_plan::<f64>(&plan, &problem, GridInit::Hash { seed: 1 });
+        // Every interior cell update that ends up in global memory:
+        assert_eq!(run.counters.valid_updates, 40 * 40 * 4);
+        // Overlapped tiling must have recomputed additional halo cells.
+        assert!(run.counters.cell_updates > run.counters.valid_updates);
+        assert!(run.counters.redundancy_ratio() > 0.0);
+        // N.5D blocking reads each tile once per temporal block; with
+        // bT = 4 and 4 steps there is exactly one temporal block.
+        assert_eq!(run.counters.kernel_launches, 1);
+        assert!(run.counters.gm_reads >= (42 * 42) as u128);
+        assert_eq!(run.counters.gm_writes, 40 * 40);
+        assert_eq!(
+            run.counters.flops,
+            run.counters.cell_updates * def.flops_per_cell() as u128
+        );
+    }
+
+    #[test]
+    fn higher_bt_reduces_global_traffic_per_step() {
+        let def = suite::j2d5pt();
+        let problem = StencilProblem::new(def.clone(), &[64, 64], 8).unwrap();
+        let init = GridInit::Hash { seed: 3 };
+        let mut traffic = Vec::new();
+        for bt in [1usize, 2, 4] {
+            let config = BlockConfig::new(bt, &[32], None, Precision::Double).unwrap();
+            let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+            let run = execute_plan::<f64>(&plan, &problem, init);
+            traffic.push(run.counters.gm_reads + run.counters.gm_writes);
+        }
+        assert!(traffic[0] > traffic[1], "bT=2 should move less data than bT=1");
+        assert!(traffic[1] > traffic[2], "bT=4 should move less data than bT=2");
+    }
+
+    #[test]
+    fn stream_division_adds_redundancy_but_more_blocks() {
+        let def = suite::j2d5pt();
+        let problem = StencilProblem::new(def.clone(), &[64, 32], 4).unwrap();
+        let init = GridInit::Hash { seed: 8 };
+        let undivided = {
+            let config = BlockConfig::new(2, &[24], None, Precision::Double).unwrap();
+            let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+            execute_plan::<f64>(&plan, &problem, init).counters
+        };
+        let divided = {
+            let config = BlockConfig::new(2, &[24], Some(16), Precision::Double).unwrap();
+            let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+            execute_plan::<f64>(&plan, &problem, init).counters
+        };
+        assert!(divided.thread_blocks > undivided.thread_blocks);
+        assert!(divided.cell_updates > undivided.cell_updates);
+        assert_eq!(divided.valid_updates, undivided.valid_updates);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial grid shape")]
+    fn shape_mismatch_is_rejected() {
+        let def = suite::j2d5pt();
+        let problem = StencilProblem::new(def.clone(), &[16, 16], 2).unwrap();
+        let config = BlockConfig::new(1, &[8], None, Precision::Double).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let wrong = Grid::<f64>::zeros(&[4, 4]);
+        let _ = execute_plan_on(&plan, &problem, wrong);
+    }
+}

@@ -1,0 +1,40 @@
+//! Functional and analytical GPU execution model — the evaluation substrate
+//! of the AN5D reproduction.
+//!
+//! The original paper evaluates generated CUDA on NVIDIA Tesla P100/V100
+//! GPUs. This environment has no GPU, so this crate substitutes a two-level
+//! execution model (see `DESIGN.md`, substitution table):
+//!
+//! 1. **Functional execution** ([`exec`]): the N.5D-blocked schedule is run
+//!    thread-block by thread-block on the CPU, with the same overlapped
+//!    halos, shrinking valid regions, stream-block overlap and remainder
+//!    handling as the generated kernel — so its numerical output can be
+//!    compared bit-for-bit against the naive reference, and global/shared
+//!    traffic and redundant work are *counted* rather than estimated.
+//! 2. **Analytical timing** ([`timing`]): counted (or analytically derived)
+//!    work is converted to a simulated run time using the device data of
+//!    Table 4 plus the efficiency derates the paper itself reports
+//!    (shared-memory efficiency, double-precision-division slow-down,
+//!    occupancy limits, register-spill penalty).
+//!
+//! The paper's own Section 5 model lives in the separate `an5d-model`
+//! crate; keeping "simulated measurement" and "model prediction" apart is
+//! what lets the harness reproduce the paper's model-accuracy analysis
+//! (Section 7.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod device;
+pub mod exec;
+mod occupancy;
+mod profile;
+pub mod timing;
+
+pub use counters::TrafficCounters;
+pub use device::GpuDevice;
+pub use exec::{execute_plan, execute_plan_on, BlockedRun};
+pub use occupancy::{Occupancy, OccupancyLimit};
+pub use profile::WorkloadProfile;
+pub use timing::{simulate, Bottleneck, InfeasibleConfig, SimulatedTime};

@@ -1,0 +1,51 @@
+//! N.5D blocking plans, kernel schedules and resource analysis for AN5D.
+//!
+//! This crate implements the planning half of the AN5D framework
+//! (Sections 4.1 and 4.2 of the CGO 2020 paper): given a stencil definition
+//! and a blocking configuration `(bT, bS_i, hS_N)` it derives
+//!
+//! * the execution geometry — thread-block size `nthr`, compute region,
+//!   halo widths, thread-block counts `ntb` / `n'tb`, streaming-division
+//!   overlap (Section 4.2.3);
+//! * the on-chip resource usage — registers per thread (fixed vs shifting
+//!   allocation, Section 4.2.1 / Fig. 3), shared-memory footprint
+//!   (double buffering vs one buffer per combined time-step, Section 4.2.2 /
+//!   Table 1), shared-memory stores per cell, and a register-spill estimate
+//!   used when a `-maxrregcount` cap is applied (Section 6.3);
+//! * the kernel schedule — the head / inner / tail macro sequence of Fig. 5
+//!   that the code generator prints and whose structure the tests check.
+//!
+//! The same abstractions describe both AN5D's scheme and the
+//! STENCILGEN-style scheme, so the Table 1 / Fig. 7 comparisons are
+//! apples-to-apples.
+//!
+//! # Example
+//!
+//! ```
+//! use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan};
+//! use an5d_stencil::{suite, StencilProblem};
+//! use an5d_grid::Precision;
+//!
+//! let def = suite::j2d5pt();
+//! let problem = StencilProblem::new(def.clone(), &[512, 512], 100).unwrap();
+//! let config = BlockConfig::new(4, &[256], Some(256), Precision::Single).unwrap();
+//! let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+//!
+//! assert_eq!(plan.resources().shared_buffers, 2);          // double buffering
+//! assert_eq!(plan.resources().shared_stores_per_cell, 1);  // star stencil
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod plan;
+mod resources;
+mod schedule;
+mod scheme;
+
+pub use config::{BlockConfig, BlockGeometry, PlanError};
+pub use plan::KernelPlan;
+pub use resources::{expected_shared_reads, practical_shared_reads, RegisterCap, ResourceUsage};
+pub use schedule::{KernelSchedule, MacroCall, MacroOp, Phase, RegSlot};
+pub use scheme::{FrameworkScheme, OptimizationClass, RegisterScheme, SharedMemoryScheme};

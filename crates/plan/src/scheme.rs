@@ -1,0 +1,286 @@
+//! Framework schemes: how registers and shared memory are managed.
+
+use an5d_stencil::StencilDef;
+use std::fmt;
+
+/// Register allocation strategy for the per-time-step sub-plane window
+/// (Section 4.2.1, Fig. 3 (b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RegisterScheme {
+    /// AN5D: a fixed register is assigned to each sub-plane slot; advancing
+    /// the stream rotates the *roles* of the registers (encoded statically
+    /// in the macro arguments), so each sub-plane update performs exactly
+    /// one register store.
+    Fixed,
+    /// Previous work (STENCILGEN, 3.5D blocking): values are shifted through
+    /// the registers to make room for the new sub-plane, costing
+    /// `1 + 2·rad` stores per sub-plane update.
+    Shifting,
+}
+
+impl RegisterScheme {
+    /// Register (data-movement) stores per sub-plane update per thread.
+    #[must_use]
+    pub fn stores_per_update(self, radius: usize) -> usize {
+        match self {
+            RegisterScheme::Fixed => 1,
+            RegisterScheme::Shifting => 1 + 2 * radius,
+        }
+    }
+}
+
+impl fmt::Display for RegisterScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterScheme::Fixed => write!(f, "fixed"),
+            RegisterScheme::Shifting => write!(f, "shifting"),
+        }
+    }
+}
+
+/// Shared-memory buffering strategy (Section 4.2.2, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SharedMemoryScheme {
+    /// AN5D: two buffers shared by all combined time-steps (double
+    /// buffering removes the second block synchronisation).
+    DoubleBuffered,
+    /// STENCILGEN: one buffer per combined time-step (`bT` buffers), used
+    /// for streaming the sub-planes themselves.
+    PerTimeStep,
+}
+
+impl SharedMemoryScheme {
+    /// Number of shared-memory buffers allocated per thread block.
+    #[must_use]
+    pub fn buffer_count(self, bt: usize) -> usize {
+        match self {
+            SharedMemoryScheme::DoubleBuffered => 2,
+            SharedMemoryScheme::PerTimeStep => bt,
+        }
+    }
+}
+
+impl fmt::Display for SharedMemoryScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharedMemoryScheme::DoubleBuffered => write!(f, "double-buffered"),
+            SharedMemoryScheme::PerTimeStep => write!(f, "per-time-step"),
+        }
+    }
+}
+
+/// Which of the stencil-class-specific optimisations of Section 4.1 applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum OptimizationClass {
+    /// Star stencil: no diagonal accesses, so the upper/lower sub-planes are
+    /// kept in registers and only the current sub-plane goes through shared
+    /// memory.
+    DiagonalAccessFree,
+    /// Box (or other) stencil whose update is a plain weighted sum: the
+    /// partial-summation trick evaluates one source sub-plane at a time, so
+    /// a single shared-memory plane suffices.
+    Associative,
+    /// Anything else: all `1 + 2·rad` source sub-planes must be resident in
+    /// shared memory simultaneously.
+    General,
+}
+
+impl OptimizationClass {
+    /// Classify a stencil the way AN5D's code generator does.
+    ///
+    /// The `allow_associative` switch mirrors the compile-time flag the
+    /// paper uses to disable the associative optimisation (e.g. for the
+    /// `Sconf` configuration of 2D stencils, to match STENCILGEN).
+    #[must_use]
+    pub fn classify(def: &StencilDef, allow_associative: bool) -> Self {
+        if def.diagonal_access_free() {
+            OptimizationClass::DiagonalAccessFree
+        } else if allow_associative && def.is_associative() {
+            OptimizationClass::Associative
+        } else {
+            OptimizationClass::General
+        }
+    }
+
+    /// Number of sub-planes that must be resident in one shared-memory
+    /// buffer at the same time (the `(1 + 2·rad)` factor of Table 1 applies
+    /// only to the general class).
+    #[must_use]
+    pub fn resident_planes(self, radius: usize) -> usize {
+        match self {
+            OptimizationClass::DiagonalAccessFree | OptimizationClass::Associative => 1,
+            OptimizationClass::General => 1 + 2 * radius,
+        }
+    }
+
+    /// Shared-memory stores per cell per time-step (Table 1, bottom).
+    #[must_use]
+    pub fn shared_stores_per_cell(self, radius: usize) -> usize {
+        match self {
+            OptimizationClass::DiagonalAccessFree | OptimizationClass::Associative => 1,
+            OptimizationClass::General => 1 + 2 * radius,
+        }
+    }
+}
+
+impl fmt::Display for OptimizationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizationClass::DiagonalAccessFree => write!(f, "diagonal-access free"),
+            OptimizationClass::Associative => write!(f, "associative"),
+            OptimizationClass::General => write!(f, "general"),
+        }
+    }
+}
+
+/// A complete framework scheme: register + shared-memory strategy plus
+/// whether the associative optimisation may be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct FrameworkScheme {
+    /// Register allocation strategy.
+    pub registers: RegisterScheme,
+    /// Shared-memory buffering strategy.
+    pub shared_memory: SharedMemoryScheme,
+    /// Whether the associative-stencil (partial summation) optimisation is
+    /// enabled.
+    pub allow_associative: bool,
+    /// Human-readable name used in reports ("AN5D", "STENCILGEN", …).
+    pub name: &'static str,
+}
+
+impl FrameworkScheme {
+    /// The AN5D scheme: fixed registers, double-buffered shared memory,
+    /// associative optimisation enabled.
+    #[must_use]
+    pub fn an5d() -> Self {
+        Self {
+            registers: RegisterScheme::Fixed,
+            shared_memory: SharedMemoryScheme::DoubleBuffered,
+            allow_associative: true,
+            name: "AN5D",
+        }
+    }
+
+    /// AN5D with the associative optimisation disabled (used by the `Sconf`
+    /// configuration for 2D stencils to mirror STENCILGEN).
+    #[must_use]
+    pub fn an5d_no_associative() -> Self {
+        Self {
+            allow_associative: false,
+            ..Self::an5d()
+        }
+    }
+
+    /// The STENCILGEN-style scheme of Table 1: shifting registers and one
+    /// shared-memory buffer per combined time-step.
+    #[must_use]
+    pub fn stencilgen() -> Self {
+        Self {
+            registers: RegisterScheme::Shifting,
+            shared_memory: SharedMemoryScheme::PerTimeStep,
+            allow_associative: true,
+            name: "STENCILGEN",
+        }
+    }
+
+    /// Classify a stencil under this scheme's optimisation switches.
+    #[must_use]
+    pub fn classify(&self, def: &StencilDef) -> OptimizationClass {
+        OptimizationClass::classify(def, self.allow_associative)
+    }
+}
+
+impl fmt::Display for FrameworkScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} registers, {} shared memory)",
+            self.name, self.registers, self.shared_memory
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d_stencil::suite;
+
+    #[test]
+    fn register_stores_per_update_match_paper() {
+        // Section 4.2.1: fixed allocation reduces stores from 1+2·rad to 1.
+        assert_eq!(RegisterScheme::Fixed.stores_per_update(3), 1);
+        assert_eq!(RegisterScheme::Shifting.stores_per_update(3), 7);
+        assert_eq!(RegisterScheme::Shifting.stores_per_update(1), 3);
+    }
+
+    #[test]
+    fn shared_buffer_counts_match_table1() {
+        assert_eq!(SharedMemoryScheme::DoubleBuffered.buffer_count(10), 2);
+        assert_eq!(SharedMemoryScheme::PerTimeStep.buffer_count(10), 10);
+        assert_eq!(SharedMemoryScheme::PerTimeStep.buffer_count(4), 4);
+    }
+
+    #[test]
+    fn classification_follows_stencil_properties() {
+        assert_eq!(
+            OptimizationClass::classify(&suite::star2d(2), true),
+            OptimizationClass::DiagonalAccessFree
+        );
+        assert_eq!(
+            OptimizationClass::classify(&suite::box2d(2), true),
+            OptimizationClass::Associative
+        );
+        assert_eq!(
+            OptimizationClass::classify(&suite::box2d(2), false),
+            OptimizationClass::General
+        );
+        // gradient2d is star-shaped, so it is diagonal-access free even
+        // though it is non-associative.
+        assert_eq!(
+            OptimizationClass::classify(&suite::gradient2d(), true),
+            OptimizationClass::DiagonalAccessFree
+        );
+    }
+
+    #[test]
+    fn resident_planes_and_stores_match_table1() {
+        assert_eq!(OptimizationClass::DiagonalAccessFree.resident_planes(3), 1);
+        assert_eq!(OptimizationClass::Associative.resident_planes(3), 1);
+        assert_eq!(OptimizationClass::General.resident_planes(3), 7);
+        assert_eq!(OptimizationClass::General.shared_stores_per_cell(2), 5);
+        assert_eq!(OptimizationClass::Associative.shared_stores_per_cell(2), 1);
+    }
+
+    #[test]
+    fn framework_presets() {
+        let an5d = FrameworkScheme::an5d();
+        assert_eq!(an5d.registers, RegisterScheme::Fixed);
+        assert_eq!(an5d.shared_memory, SharedMemoryScheme::DoubleBuffered);
+        assert!(an5d.allow_associative);
+
+        let sg = FrameworkScheme::stencilgen();
+        assert_eq!(sg.registers, RegisterScheme::Shifting);
+        assert_eq!(sg.shared_memory, SharedMemoryScheme::PerTimeStep);
+
+        let sconf = FrameworkScheme::an5d_no_associative();
+        assert_eq!(sconf.registers, RegisterScheme::Fixed);
+        assert!(!sconf.allow_associative);
+        assert_eq!(
+            sconf.classify(&suite::j2d9pt_gol()),
+            OptimizationClass::General
+        );
+        assert_eq!(
+            FrameworkScheme::an5d().classify(&suite::j2d9pt_gol()),
+            OptimizationClass::Associative
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert!(FrameworkScheme::an5d().to_string().contains("AN5D"));
+        assert!(FrameworkScheme::stencilgen().to_string().contains("shifting"));
+        assert_eq!(OptimizationClass::General.to_string(), "general");
+        assert_eq!(RegisterScheme::Fixed.to_string(), "fixed");
+        assert_eq!(SharedMemoryScheme::DoubleBuffered.to_string(), "double-buffered");
+    }
+}

@@ -1,0 +1,43 @@
+//! Stencil definitions, the CGO 2020 benchmark suite and a naive reference
+//! executor.
+//!
+//! This crate sits between the expression layer ([`an5d_expr`]) and the
+//! blocking/execution layers. It provides:
+//!
+//! * [`StencilDef`] — a validated stencil: name, update expression and the
+//!   derived access-pattern metadata (shape class, radius, dimensionality,
+//!   FLOP counts) that every later stage (planner, performance model,
+//!   code generator) consumes;
+//! * [`suite`] — constructors for all 21 benchmarks of Table 3 of the paper
+//!   (`star2d{1..4}r`, `box2d{1..4}r`, `j2d5pt`, `j2d9pt`, `j2d9pt-gol`,
+//!   `gradient2d`, `star3d{1..4}r`, `box3d{1..4}r`, `j3d27pt`);
+//! * [`StencilProblem`] — a stencil plus grid extents and a time-step count
+//!   (the paper's evaluation uses 16,384² × 1,000 iterations for 2D and
+//!   512³ × 1,000 for 3D);
+//! * [`exec`] — the naive, double-buffered reference executor that defines
+//!   the semantics every blocked execution must reproduce.
+//!
+//! # Example
+//!
+//! ```
+//! use an5d_stencil::{suite, StencilProblem};
+//! use an5d_grid::GridInit;
+//!
+//! let def = suite::j2d5pt();
+//! assert_eq!(def.flops_per_cell(), 10);
+//!
+//! let problem = StencilProblem::new(def, &[32, 32], 4).unwrap();
+//! let result = an5d_stencil::exec::run_reference::<f64>(&problem, GridInit::Hash { seed: 7 });
+//! assert_eq!(result.shape(), &[34, 34]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod def;
+pub mod exec;
+mod problem;
+pub mod suite;
+
+pub use def::{StencilDef, StencilError};
+pub use problem::StencilProblem;

@@ -1,0 +1,35 @@
+//! Model-guided parameter tuning for AN5D blocking configurations
+//! (Section 6.3 of the paper).
+//!
+//! The tuner enumerates the paper's parameter space (`bT`, `bS_i`, `hS_N`),
+//! prunes configurations whose expected register demand exceeds the
+//! hardware limits, ranks the survivors with the Section 5 performance
+//! model, "runs" the top-k candidates through the simulated-measurement
+//! path (with every `-maxrregcount` cap of the methodology) and returns the
+//! configuration with the best measured performance — exactly the Tuned
+//! flow of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use an5d_tuner::{SearchSpace, Tuner};
+//! use an5d_stencil::{suite, StencilProblem};
+//! use an5d_gpusim::GpuDevice;
+//! use an5d_grid::Precision;
+//!
+//! let def = suite::j2d5pt();
+//! let problem = StencilProblem::new(def.clone(), &[2048, 2048], 100).unwrap();
+//! let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+//! let space = SearchSpace::paper(def.ndim(), Precision::Single);
+//! let result = tuner.tune(&def, &problem, &space).unwrap();
+//! assert!(result.best.measured_gflops > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod space;
+mod tuner;
+
+pub use space::SearchSpace;
+pub use tuner::{TunedCandidate, Tuner, TunerError, TuningResult};

@@ -1,0 +1,169 @@
+//! Parameter search spaces.
+
+use an5d_grid::Precision;
+use an5d_plan::BlockConfig;
+
+/// A set of candidate blocking parameters to explore.
+///
+/// [`SearchSpace::paper`] reproduces the sets of Section 6.3:
+///
+/// * 2D — `bT ∈ [1, 16]`, `bS ∈ {128, 256, 512}`, `hS_N ∈ {256, 512, 1024}`
+///   (144 combinations);
+/// * 3D — `bT ∈ [1, 8]`, `bS ∈ {16×16, 32×16, 32×32, 64×16}`,
+///   `hS_N ∈ {128, 256}` (64 combinations).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchSpace {
+    bt_values: Vec<usize>,
+    bs_values: Vec<Vec<usize>>,
+    hsn_values: Vec<Option<usize>>,
+    precision: Precision,
+}
+
+impl SearchSpace {
+    /// Build a custom search space.
+    #[must_use]
+    pub fn new(
+        bt_values: Vec<usize>,
+        bs_values: Vec<Vec<usize>>,
+        hsn_values: Vec<Option<usize>>,
+        precision: Precision,
+    ) -> Self {
+        Self {
+            bt_values,
+            bs_values,
+            hsn_values,
+            precision,
+        }
+    }
+
+    /// The paper's search space for the given stencil dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ndim` is not 2 or 3.
+    #[must_use]
+    pub fn paper(ndim: usize, precision: Precision) -> Self {
+        match ndim {
+            2 => Self {
+                bt_values: (1..=16).collect(),
+                bs_values: vec![vec![128], vec![256], vec![512]],
+                hsn_values: vec![Some(256), Some(512), Some(1024)],
+                precision,
+            },
+            3 => Self {
+                bt_values: (1..=8).collect(),
+                bs_values: vec![vec![16, 16], vec![32, 16], vec![32, 32], vec![64, 16]],
+                hsn_values: vec![Some(128), Some(256)],
+                precision,
+            },
+            other => panic!("the paper's search space covers 2D and 3D stencils, not {other}D"),
+        }
+    }
+
+    /// A reduced space for quick exploration in examples and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ndim` is not 2 or 3.
+    #[must_use]
+    pub fn quick(ndim: usize, precision: Precision) -> Self {
+        match ndim {
+            2 => Self {
+                bt_values: vec![1, 2, 4, 8],
+                bs_values: vec![vec![128], vec![256]],
+                hsn_values: vec![Some(256), None],
+                precision,
+            },
+            3 => Self {
+                bt_values: vec![1, 2, 3],
+                bs_values: vec![vec![32, 16], vec![32, 32]],
+                hsn_values: vec![Some(128), None],
+                precision,
+            },
+            other => panic!("the quick search space covers 2D and 3D stencils, not {other}D"),
+        }
+    }
+
+    /// Cell precision of the candidates.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Enumerate every syntactically valid candidate configuration.
+    #[must_use]
+    pub fn candidates(&self) -> Vec<BlockConfig> {
+        let mut out = Vec::new();
+        for &bt in &self.bt_values {
+            for bs in &self.bs_values {
+                for &hsn in &self.hsn_values {
+                    if let Ok(config) = BlockConfig::new(bt, bs, hsn, self.precision) {
+                        out.push(config);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of raw combinations (before stencil-specific pruning).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bt_values.len() * self.bs_values.len() * self.hsn_values.len()
+    }
+
+    /// `true` when the space contains no combination at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_sizes_match_section_6_3() {
+        let s2 = SearchSpace::paper(2, Precision::Single);
+        assert_eq!(s2.len(), 16 * 3 * 3);
+        assert_eq!(s2.candidates().len(), 144);
+        let s3 = SearchSpace::paper(3, Precision::Double);
+        assert_eq!(s3.len(), 8 * 4 * 2);
+        assert_eq!(s3.candidates().len(), 64);
+    }
+
+    #[test]
+    fn quick_space_is_smaller() {
+        let q = SearchSpace::quick(2, Precision::Single);
+        assert!(q.len() < SearchSpace::paper(2, Precision::Single).len());
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn candidates_carry_precision_and_parameters() {
+        let s = SearchSpace::paper(3, Precision::Double);
+        let candidates = s.candidates();
+        assert!(candidates.iter().all(|c| c.precision() == Precision::Double));
+        assert!(candidates.iter().any(|c| c.bs() == [64, 16]));
+        assert!(candidates.iter().any(|c| c.hsn() == Some(256)));
+        assert_eq!(s.precision(), Precision::Double);
+    }
+
+    #[test]
+    #[should_panic(expected = "2D and 3D")]
+    fn unsupported_rank_panics() {
+        let _ = SearchSpace::paper(1, Precision::Single);
+    }
+
+    #[test]
+    fn custom_space_enumerates_products() {
+        let s = SearchSpace::new(
+            vec![2, 4],
+            vec![vec![64]],
+            vec![None, Some(128)],
+            Precision::Single,
+        );
+        assert_eq!(s.candidates().len(), 4);
+    }
+}

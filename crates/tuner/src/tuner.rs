@@ -1,0 +1,373 @@
+//! The model-guided tuning flow of Section 6.3.
+
+use crate::SearchSpace;
+use an5d_gpusim::GpuDevice;
+use an5d_grid::Precision;
+use an5d_model::{measure, predict};
+use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, RegisterCap};
+use an5d_stencil::{StencilDef, StencilProblem};
+use std::error::Error;
+use std::fmt;
+
+/// How many model-ranked candidates are actually "run" (simulated); the
+/// paper uses the top 5.
+const DEFAULT_TOP_K: usize = 5;
+
+/// Errors produced by the tuner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TunerError {
+    /// No candidate in the search space was valid for the stencil/problem
+    /// after pruning.
+    NoFeasibleCandidate,
+}
+
+impl fmt::Display for TunerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TunerError::NoFeasibleCandidate => {
+                write!(f, "no feasible blocking configuration found in the search space")
+            }
+        }
+    }
+}
+
+impl Error for TunerError {}
+
+/// One fully evaluated candidate configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TunedCandidate {
+    /// The blocking configuration.
+    pub config: BlockConfig,
+    /// Best register cap found for this configuration.
+    pub register_cap: RegisterCap,
+    /// Performance predicted by the Section 5 model (GFLOP/s).
+    pub predicted_gflops: f64,
+    /// Simulated measured performance (GFLOP/s).
+    pub measured_gflops: f64,
+    /// Simulated measured performance (GCell/s).
+    pub measured_gcells: f64,
+    /// Simulated run time (seconds).
+    pub seconds: f64,
+}
+
+impl TunedCandidate {
+    /// Model accuracy for this candidate: measured over predicted
+    /// performance (the paper's Section 7.2 metric).
+    #[must_use]
+    pub fn model_accuracy(&self) -> f64 {
+        if self.predicted_gflops <= 0.0 {
+            return 0.0;
+        }
+        self.measured_gflops / self.predicted_gflops
+    }
+}
+
+/// Result of a tuning run: the winner plus every candidate that was
+/// actually measured (the model-ranked top-k).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TuningResult {
+    /// The configuration with the best simulated measured performance.
+    pub best: TunedCandidate,
+    /// All measured candidates, sorted by measured performance
+    /// (best first).
+    pub measured: Vec<TunedCandidate>,
+    /// Number of candidates surviving validity/register pruning and ranked
+    /// by the model.
+    pub ranked_candidates: usize,
+    /// Number of raw combinations in the search space.
+    pub total_candidates: usize,
+}
+
+/// The Section 6.3 tuner: prune → rank by model → measure top-k → pick best.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    device: GpuDevice,
+    precision: Precision,
+    scheme: FrameworkScheme,
+    top_k: usize,
+}
+
+impl Tuner {
+    /// Create a tuner for a device and precision, using the AN5D scheme.
+    #[must_use]
+    pub fn new(device: GpuDevice, precision: Precision) -> Self {
+        Self {
+            device,
+            precision,
+            scheme: FrameworkScheme::an5d(),
+            top_k: DEFAULT_TOP_K,
+        }
+    }
+
+    /// Use a different framework scheme (e.g. STENCILGEN for comparisons).
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: FrameworkScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Change how many model-ranked candidates are measured (default 5).
+    #[must_use]
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k.max(1);
+        self
+    }
+
+    /// The device this tuner targets.
+    #[must_use]
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// Prune a candidate by the Section 6.3 register heuristic: the expected
+    /// per-thread register demand must not exceed 255 registers per thread
+    /// or the 65,536-register SM budget.
+    fn survives_register_pruning(&self, plan: &KernelPlan) -> bool {
+        let regs = plan.resources().registers_per_thread;
+        if regs > self.device.max_registers_per_thread {
+            return false;
+        }
+        regs * plan.geometry().nthr <= self.device.registers_per_sm
+    }
+
+    /// Run the full tuning flow for a stencil and problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::NoFeasibleCandidate`] when pruning removes every
+    /// candidate or none of the measured candidates can execute on the
+    /// device.
+    pub fn tune(
+        &self,
+        def: &StencilDef,
+        problem: &StencilProblem,
+        space: &SearchSpace,
+    ) -> Result<TuningResult, TunerError> {
+        let total_candidates = space.len();
+
+        // Step 1: build plans for every valid combination and rank them with
+        // the Section 5 model. Candidate evaluation is independent, so the
+        // ranking is computed in parallel.
+        let candidates = space.candidates();
+        let mut ranked: Vec<(BlockConfig, KernelPlan, f64)> = Vec::new();
+        let chunk_size = candidates.len().div_ceil(num_workers()).max(1);
+        let chunks: Vec<&[BlockConfig]> = candidates.chunks(chunk_size).collect();
+        let results: Vec<Vec<(BlockConfig, KernelPlan, f64)>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for config in chunk {
+                            let Ok(plan) = KernelPlan::build(def, problem, config, self.scheme)
+                            else {
+                                continue;
+                            };
+                            if !self.survives_register_pruning(&plan) {
+                                continue;
+                            }
+                            let prediction = predict(&plan, problem, &self.device);
+                            local.push((config.clone(), plan, prediction.gflops));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("tuner worker panicked")).collect()
+        })
+        .expect("tuner thread pool failed");
+        for chunk in results {
+            ranked.extend(chunk);
+        }
+        if ranked.is_empty() {
+            return Err(TunerError::NoFeasibleCandidate);
+        }
+        ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let ranked_candidates = ranked.len();
+
+        // Step 2: "run" the model-ranked top-k with every register cap and
+        // keep the best measured performance per candidate.
+        let mut measured: Vec<TunedCandidate> = Vec::new();
+        for (config, plan, predicted_gflops) in ranked.into_iter().take(self.top_k) {
+            let mut best_for_candidate: Option<TunedCandidate> = None;
+            for cap in RegisterCap::tuning_candidates() {
+                let Ok(m) = measure(&plan, problem, &self.device, cap) else {
+                    continue;
+                };
+                let candidate = TunedCandidate {
+                    config: config.clone(),
+                    register_cap: cap,
+                    predicted_gflops,
+                    measured_gflops: m.gflops,
+                    measured_gcells: m.gcells,
+                    seconds: m.seconds,
+                };
+                if best_for_candidate
+                    .as_ref()
+                    .is_none_or(|b| candidate.measured_gflops > b.measured_gflops)
+                {
+                    best_for_candidate = Some(candidate);
+                }
+            }
+            if let Some(c) = best_for_candidate {
+                measured.push(c);
+            }
+        }
+        if measured.is_empty() {
+            return Err(TunerError::NoFeasibleCandidate);
+        }
+        measured.sort_by(|a, b| {
+            b.measured_gflops
+                .partial_cmp(&a.measured_gflops)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let best = measured[0].clone();
+        Ok(TuningResult {
+            best,
+            measured,
+            ranked_candidates,
+            total_candidates,
+        })
+    }
+
+    /// Tune at the paper's evaluation scale with the paper's search space.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tuner::tune`].
+    pub fn tune_paper_scale(&self, def: &StencilDef) -> Result<TuningResult, TunerError> {
+        let problem = StencilProblem::paper_scale(def.clone());
+        let space = SearchSpace::paper(def.ndim(), self.precision);
+        self.tune(def, &problem, &space)
+    }
+}
+
+fn num_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d_stencil::suite;
+
+    fn small_problem(def: &StencilDef) -> StencilProblem {
+        let interior = match def.ndim() {
+            2 => vec![2048, 2048],
+            _ => vec![256, 256, 256],
+        };
+        StencilProblem::new(def.clone(), &interior, 100).unwrap()
+    }
+
+    #[test]
+    fn tuner_finds_a_configuration_for_2d_star() {
+        let def = suite::star2d(1);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        let space = SearchSpace::quick(2, Precision::Single);
+        let result = tuner.tune(&def, &small_problem(&def), &space).unwrap();
+        assert!(result.best.measured_gflops > 0.0);
+        assert!(result.ranked_candidates > 0);
+        assert!(result.ranked_candidates <= result.total_candidates);
+        assert!(!result.measured.is_empty());
+        assert!(result.measured.len() <= 5);
+        // Measured list is sorted best-first and the winner is its head.
+        for pair in result.measured.windows(2) {
+            assert!(pair[0].measured_gflops >= pair[1].measured_gflops);
+        }
+        assert_eq!(result.best, result.measured[0]);
+    }
+
+    #[test]
+    fn tuned_beats_bt1_baseline_for_first_order_2d() {
+        // The central claim: temporal blocking pays off, so the tuned bT
+        // should exceed 1 and beat the bT = 1 configuration.
+        let def = suite::star2d(1);
+        let problem = small_problem(&def);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        let result = tuner
+            .tune(&def, &problem, &SearchSpace::paper(2, Precision::Single))
+            .unwrap();
+        assert!(result.best.config.bt() > 1, "tuned bT = {}", result.best.config.bt());
+
+        let bt1 = BlockConfig::new(1, &[256], Some(256), Precision::Single).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &bt1, FrameworkScheme::an5d()).unwrap();
+        let bt1_measured = measure(&plan, &problem, tuner.device(), RegisterCap::Unlimited).unwrap();
+        assert!(result.best.measured_gflops > bt1_measured.gflops);
+    }
+
+    #[test]
+    fn tuner_handles_3d_stencils() {
+        let def = suite::star3d(1);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        let space = SearchSpace::quick(3, Precision::Single);
+        let result = tuner.tune(&def, &small_problem(&def), &space).unwrap();
+        assert!(result.best.measured_gflops > 0.0);
+        assert!(result.best.config.bs().len() == 2);
+    }
+
+    #[test]
+    fn high_order_box_prefers_low_bt() {
+        // Section 7.3: high-order 3D box stencils do not scale with temporal
+        // blocking; the tuner should settle on bT = 1 (or at most 2).
+        let def = suite::box3d(4);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        let space = SearchSpace::paper(3, Precision::Single);
+        let result = tuner.tune(&def, &small_problem(&def), &space).unwrap();
+        assert!(
+            result.best.config.bt() <= 2,
+            "box3d4r tuned to bT = {}",
+            result.best.config.bt()
+        );
+    }
+
+    #[test]
+    fn model_accuracy_is_within_the_papers_band() {
+        let def = suite::star2d(1);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        let space = SearchSpace::quick(2, Precision::Single);
+        let result = tuner.tune(&def, &small_problem(&def), &space).unwrap();
+        let acc = result.best.model_accuracy();
+        assert!(acc > 0.2 && acc < 1.0, "model accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_space_reports_no_feasible_candidate() {
+        let def = suite::j2d9pt();
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        // Blocks far too small for the requested bT: every candidate fails
+        // plan validation.
+        let space = SearchSpace::new(
+            vec![16],
+            vec![vec![32]],
+            vec![None],
+            Precision::Single,
+        );
+        let err = tuner.tune(&def, &small_problem(&def), &space).unwrap_err();
+        assert_eq!(err, TunerError::NoFeasibleCandidate);
+        assert!(err.to_string().contains("no feasible"));
+    }
+
+    #[test]
+    fn top_k_limits_number_of_measured_candidates() {
+        let def = suite::star2d(1);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single).with_top_k(2);
+        let space = SearchSpace::quick(2, Precision::Single);
+        let result = tuner.tune(&def, &small_problem(&def), &space).unwrap();
+        assert!(result.measured.len() <= 2);
+    }
+
+    #[test]
+    fn stencilgen_scheme_can_be_tuned_too() {
+        let def = suite::j2d5pt();
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single)
+            .with_scheme(FrameworkScheme::stencilgen())
+            .with_top_k(3);
+        let space = SearchSpace::quick(2, Precision::Single);
+        let result = tuner.tune(&def, &small_problem(&def), &space).unwrap();
+        assert!(result.best.measured_gflops > 0.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate of the AN5D-rs workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories have a package to attach to; it simply re-exports the
+//! public API of the [`an5d`] facade crate. Library users should depend on
+//! `an5d` directly.
+
+#![forbid(unsafe_code)]
+
+pub use an5d::*;

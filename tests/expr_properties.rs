@@ -1,0 +1,110 @@
+//! Property-based tests of the expression layer: linear-form extraction,
+//! FLOP counting and shape classification on randomly generated stencils.
+
+use an5d::{Expr, Offset, StencilShapeClass};
+use proptest::prelude::*;
+
+/// Strategy: a random 2D star stencil expression of radius 1..=4 with
+/// random (non-zero) coefficients.
+fn random_star_2d() -> impl Strategy<Value = (Expr, usize)> {
+    (1usize..=4).prop_flat_map(|radius| {
+        let coeff_count = 4 * radius + 1;
+        prop::collection::vec(-2.0f64..2.0, coeff_count).prop_map(move |coeffs| {
+            let mut terms = vec![Expr::constant(coeffs[0] + 0.25) * Expr::cell(&[0, 0])];
+            let mut k = 1;
+            for d in 1..=radius as i32 {
+                for off in [[d, 0], [-d, 0], [0, d], [0, -d]] {
+                    terms.push(Expr::constant(coeffs[k] + 0.1) * Expr::cell(&off));
+                    k += 1;
+                }
+            }
+            (Expr::sum(terms), radius)
+        })
+    })
+}
+
+/// Strategy: a random dense 2D box stencil of radius 1..=2.
+fn random_box_2d() -> impl Strategy<Value = (Expr, usize)> {
+    (1usize..=2).prop_flat_map(|radius| {
+        let side = 2 * radius + 1;
+        prop::collection::vec(0.01f64..1.0, side * side).prop_map(move |coeffs| {
+            let mut terms = Vec::new();
+            let mut k = 0;
+            for i in -(radius as i32)..=radius as i32 {
+                for j in -(radius as i32)..=radius as i32 {
+                    terms.push(Expr::constant(coeffs[k]) * Expr::cell(&[i, j]));
+                    k += 1;
+                }
+            }
+            (Expr::sum(terms), radius)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn star_stencils_classify_as_star_with_correct_radius((expr, radius) in random_star_2d()) {
+        let info = expr.shape_info().unwrap();
+        prop_assert_eq!(info.class, StencilShapeClass::Star);
+        prop_assert_eq!(info.radius, radius);
+        prop_assert_eq!(info.ndim, 2);
+        prop_assert!(info.diagonal_access_free);
+        prop_assert_eq!(info.tap_count(), 4 * radius + 1);
+    }
+
+    #[test]
+    fn box_stencils_classify_as_box((expr, radius) in random_box_2d()) {
+        let info = expr.shape_info().unwrap();
+        prop_assert_eq!(info.class, StencilShapeClass::Box);
+        prop_assert_eq!(info.radius, radius);
+        prop_assert_eq!(info.tap_count(), (2 * radius + 1).pow(2));
+    }
+
+    #[test]
+    fn linear_form_evaluates_identically_to_the_expression(
+        (expr, _) in random_star_2d(),
+        sample in prop::collection::vec(-5.0f64..5.0, 32),
+    ) {
+        let form = expr.as_linear().expect("weighted sums are associative");
+        let resolve = |o: Offset| {
+            let idx = ((o.component(0) + 4) * 9 + (o.component(1) + 4)) as usize % sample.len();
+            sample[idx]
+        };
+        let direct = expr.eval(&resolve);
+        let via_form = form.eval(&resolve);
+        prop_assert!((direct - via_form).abs() <= 1e-9 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn flop_count_matches_table3_formula_for_synthetic_stencils(
+        (expr, radius) in random_star_2d(),
+    ) {
+        // Table 3: star2d{x}r performs 8x + 1 FLOP per cell.
+        prop_assert_eq!(expr.flop_count().total(), 8 * radius + 1);
+        // The fast-math instruction mix performs the same number of FLOPs.
+        prop_assert_eq!(expr.op_mix().flops(), 8 * radius + 1);
+        prop_assert!(expr.op_mix().alu_efficiency() <= 1.0);
+        prop_assert!(expr.op_mix().alu_efficiency() >= 0.5);
+    }
+
+    #[test]
+    fn partial_sums_cover_every_term((expr, radius) in random_box_2d()) {
+        let form = expr.as_linear().unwrap();
+        let groups = form.partial_sums_by_plane();
+        // One partial sum per source sub-plane.
+        prop_assert_eq!(groups.len(), 2 * radius + 1);
+        let total: usize = groups.values().map(Vec::len).sum();
+        prop_assert_eq!(total, form.terms().len());
+    }
+
+    #[test]
+    fn single_precision_eval_stays_close_to_double((expr, _) in random_star_2d(), seed in any::<u32>()) {
+        let resolve64 = |o: Offset| f64::from(seed % 97) * 0.01 + 0.3 * f64::from(o.component(0)) - 0.2 * f64::from(o.component(1));
+        let resolve32 = |o: Offset| resolve64(o) as f32;
+        let d = expr.eval(&resolve64);
+        let s = expr.eval_f32(&resolve32);
+        prop_assert!((d - f64::from(s)).abs() < 1e-3 * d.abs().max(1.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests of the grid substrate.
+
+use an5d::{Grid, GridDiff, GridInit};
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        prop::collection::vec(2usize..20, 2),
+        prop::collection::vec(2usize..10, 3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flatten_is_a_bijection_over_all_indices(shape in small_shape()) {
+        let grid = Grid::<f64>::zeros(&shape);
+        let mut seen = std::collections::BTreeSet::new();
+        for idx in grid.interior_indices(0) {
+            let flat = grid.flatten(&idx);
+            prop_assert!(flat < grid.len());
+            prop_assert!(seen.insert(flat), "duplicate flat index {flat} for {idx:?}");
+        }
+        prop_assert_eq!(seen.len(), grid.len());
+    }
+
+    #[test]
+    fn interior_count_matches_formula(shape in small_shape(), radius in 0usize..3) {
+        let grid = Grid::<f64>::zeros(&shape);
+        let expected: usize = shape
+            .iter()
+            .map(|&e| e.saturating_sub(2 * radius))
+            .product();
+        prop_assert_eq!(grid.interior_indices(radius).len(), expected);
+        prop_assert_eq!(grid.interior_len(radius), expected);
+    }
+
+    #[test]
+    fn signed_access_agrees_with_unsigned_access(shape in small_shape(), seed in any::<u64>()) {
+        let grid = Grid::<f64>::from_init(&shape, GridInit::Hash { seed });
+        for idx in grid.interior_indices(0) {
+            let signed: Vec<isize> = idx.iter().map(|&i| i as isize).collect();
+            prop_assert_eq!(grid.at(&signed), Some(grid.get(&idx)));
+        }
+        // Any index with a negative component is outside.
+        let mut outside: Vec<isize> = vec![0; shape.len()];
+        outside[0] = -1;
+        prop_assert_eq!(grid.at(&outside), None);
+    }
+
+    #[test]
+    fn hash_init_is_reproducible_and_diff_detects_changes(
+        shape in small_shape(),
+        seed in any::<u64>(),
+        delta in 0.001f64..10.0,
+    ) {
+        let a = Grid::<f64>::from_init(&shape, GridInit::Hash { seed });
+        let b = Grid::<f64>::from_init(&shape, GridInit::Hash { seed });
+        prop_assert!(GridDiff::compute(&a, &b).unwrap().is_exact());
+
+        let mut c = b.clone();
+        let idx: Vec<usize> = shape.iter().map(|&e| e / 2).collect();
+        c.set(&idx, c.get(&idx) + delta);
+        let diff = GridDiff::compute(&a, &c).unwrap();
+        prop_assert!(!diff.is_exact());
+        prop_assert!((diff.max_abs - delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_f64_preserves_f32_values(shape in small_shape(), seed in any::<u64>()) {
+        let single = Grid::<f32>::from_init(&shape, GridInit::Hash { seed });
+        let as_double = single.to_f64();
+        for idx in single.interior_indices(0) {
+            prop_assert_eq!(as_double.get(&idx), f64::from(single.get(&idx)));
+        }
+    }
+}
