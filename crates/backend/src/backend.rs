@@ -1,0 +1,312 @@
+//! The [`ExecutionBackend`] trait and its CPU implementations.
+
+use an5d_gpusim::{execute_plan_on, temporal_chunks, BlockedRun, TileContext, TileRun};
+use an5d_grid::{Element, Grid};
+use an5d_plan::KernelPlan;
+use an5d_stencil::StencilProblem;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Grid element types a backend can execute (`f32` and `f64`).
+///
+/// The trait routes a generic element type to the matching monomorphic
+/// [`ExecutionBackend`] method, so generic code (tests, the batch driver)
+/// can run any backend through a `dyn` reference.
+pub trait BackendElement: Element + Send + Sync + sealed::Sealed {
+    /// Execute `plan` on `backend` starting from `initial`.
+    fn execute_on(
+        backend: &dyn ExecutionBackend,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<Self>,
+    ) -> BlockedRun<Self>;
+}
+
+impl BackendElement for f32 {
+    fn execute_on(
+        backend: &dyn ExecutionBackend,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f32>,
+    ) -> BlockedRun<f32> {
+        backend.execute_f32(plan, problem, initial)
+    }
+}
+
+impl BackendElement for f64 {
+    fn execute_on(
+        backend: &dyn ExecutionBackend,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f64>,
+    ) -> BlockedRun<f64> {
+        backend.execute_f64(plan, problem, initial)
+    }
+}
+
+/// An execution strategy for blocked kernel plans.
+///
+/// A backend takes a [`KernelPlan`] plus a [`StencilProblem`] and produces
+/// the final grid and the [`an5d_gpusim::TrafficCounters`] of the run.
+/// Every implementation must be *semantically transparent*: for the same
+/// inputs it must return bit-identical grids and identical counter totals
+/// as the reference serial driver ([`an5d_gpusim::execute_plan_on`]) —
+/// backends may only change *how fast* the answer arrives, never the
+/// answer.
+pub trait ExecutionBackend: Send + Sync {
+    /// Registry name of this backend (e.g. `"serial"`, `"parallel"`).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable description of the schedule (worker count etc.).
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Execute a plan over single-precision cells.
+    fn execute_f32(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f32>,
+    ) -> BlockedRun<f32>;
+
+    /// Execute a plan over double-precision cells.
+    fn execute_f64(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f64>,
+    ) -> BlockedRun<f64>;
+}
+
+/// The reference backend: one thread, tiles in canonical order, exactly
+/// the behaviour of [`an5d_gpusim::execute_plan_on`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialBackend;
+
+impl ExecutionBackend for SerialBackend {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn execute_f32(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f32>,
+    ) -> BlockedRun<f32> {
+        execute_plan_on(plan, problem, initial)
+    }
+
+    fn execute_f64(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f64>,
+    ) -> BlockedRun<f64> {
+        execute_plan_on(plan, problem, initial)
+    }
+}
+
+/// Tile-parallel CPU backend.
+///
+/// Within each temporal block the spatial tiles are independent: every
+/// tile reads only the immutable input grid and owns a disjoint write-back
+/// region of the output grid. This backend fans the tiles of each temporal
+/// block across scoped worker threads, collects the detached
+/// [`TileRun`]s, and applies them **in canonical tile order** on the
+/// driving thread.
+///
+/// Determinism: each `f64` cell value is produced by exactly one tile
+/// running exactly the serial executor's per-tile code, so grids are
+/// bit-identical to [`SerialBackend`] regardless of thread count or
+/// scheduling; counters are aggregated in tile order, so totals are
+/// identical too. Temporal blocks stay sequential (block *k + 1* consumes
+/// the grid block *k* produced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelCpuBackend {
+    threads: usize,
+}
+
+impl ParallelCpuBackend {
+    /// A backend with an explicit worker-thread count (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A backend with one worker per available CPU.
+    #[must_use]
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::new(threads)
+    }
+
+    /// The worker-thread count used for tile execution.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn execute<T: BackendElement>(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<T>,
+    ) -> BlockedRun<T> {
+        assert_eq!(
+            initial.shape(),
+            problem.grid_shape().as_slice(),
+            "initial grid shape does not match the problem"
+        );
+
+        let ctx = TileContext::new(plan, problem);
+        let tiles = ctx.tiles();
+        let mut counters = an5d_gpusim::TrafficCounters::new();
+        let mut current = initial;
+        for chunk in temporal_chunks(problem.time_steps(), plan.config().bt()) {
+            // Fan the tiles of this temporal block across workers. Each
+            // worker owns a contiguous slice of result slots, so no locks
+            // and no unsafe are needed; the slot index doubles as the tile
+            // index, keeping aggregation order canonical.
+            let workers = self.threads.min(tiles.len()).max(1);
+            let per_worker = tiles.len().div_ceil(workers);
+            let mut runs: Vec<Option<TileRun<T>>> = (0..tiles.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let current = &current;
+                let ctx = &ctx;
+                for (worker, slots) in runs.chunks_mut(per_worker).enumerate() {
+                    let begin = worker * per_worker;
+                    scope.spawn(move || {
+                        for (k, slot) in slots.iter_mut().enumerate() {
+                            *slot = Some(ctx.execute_tile(current, &tiles[begin + k], chunk));
+                        }
+                    });
+                }
+            });
+
+            // Deterministic aggregation: apply write-backs and sum counters
+            // in canonical tile order on the driving thread.
+            let mut next = current.clone();
+            for run in runs
+                .into_iter()
+                .map(|r| r.expect("worker filled every slot"))
+            {
+                run.apply_to(&mut next);
+                counters += run.counters;
+            }
+            counters.kernel_launches += 1;
+            current = next;
+        }
+        BlockedRun {
+            grid: current,
+            counters,
+        }
+    }
+}
+
+impl Default for ParallelCpuBackend {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+impl ExecutionBackend for ParallelCpuBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn describe(&self) -> String {
+        format!("parallel ({} worker threads)", self.threads)
+    }
+
+    fn execute_f32(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f32>,
+    ) -> BlockedRun<f32> {
+        self.execute(plan, problem, initial)
+    }
+
+    fn execute_f64(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f64>,
+    ) -> BlockedRun<f64> {
+        self.execute(plan, problem, initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d_grid::{GridInit, Precision};
+    use an5d_plan::{BlockConfig, FrameworkScheme};
+    use an5d_stencil::suite;
+
+    fn setup(
+        interior: &[usize],
+        steps: usize,
+        bt: usize,
+        bs: &[usize],
+        hsn: Option<usize>,
+    ) -> (KernelPlan, StencilProblem, Grid<f64>) {
+        let def = suite::j2d5pt();
+        let problem = StencilProblem::new(def.clone(), interior, steps).unwrap();
+        let config = BlockConfig::new(bt, bs, hsn, Precision::Double).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let initial = Grid::<f64>::from_init(&problem.grid_shape(), GridInit::Hash { seed: 77 });
+        (plan, problem, initial)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise_across_thread_counts() {
+        let (plan, problem, initial) = setup(&[32, 28], 7, 3, &[12], Some(12));
+        let serial = SerialBackend.execute_f64(&plan, &problem, initial.clone());
+        for threads in [1, 2, 3, 8] {
+            let parallel =
+                ParallelCpuBackend::new(threads).execute_f64(&plan, &problem, initial.clone());
+            assert_eq!(serial.grid, parallel.grid, "{threads} threads");
+            assert_eq!(serial.counters, parallel.counters, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_more_workers_than_tiles() {
+        let (plan, problem, initial) = setup(&[16, 16], 3, 3, &[16], None);
+        let serial = SerialBackend.execute_f64(&plan, &problem, initial.clone());
+        let parallel = ParallelCpuBackend::new(64).execute_f64(&plan, &problem, initial);
+        assert_eq!(serial.grid, parallel.grid);
+        assert_eq!(serial.counters, parallel.counters);
+    }
+
+    #[test]
+    fn generic_dispatch_reaches_the_right_method() {
+        let (plan, problem, initial) = setup(&[20, 20], 4, 2, &[10], None);
+        let backend: &dyn ExecutionBackend = &ParallelCpuBackend::new(2);
+        let via_trait = f64::execute_on(backend, &plan, &problem, initial.clone());
+        let direct = ParallelCpuBackend::new(2).execute_f64(&plan, &problem, initial);
+        assert_eq!(via_trait.grid, direct.grid);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_at_least_one() {
+        assert_eq!(ParallelCpuBackend::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn describe_mentions_the_worker_count() {
+        assert!(ParallelCpuBackend::new(3).describe().contains('3'));
+        assert_eq!(SerialBackend.describe(), "serial");
+    }
+}

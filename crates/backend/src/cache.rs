@@ -1,0 +1,396 @@
+//! An LRU plan cache keyed by (stencil fingerprint, problem, config,
+//! scheme).
+//!
+//! Planning is pure — the same `(StencilDef, StencilProblem, BlockConfig,
+//! FrameworkScheme)` inputs always derive the same [`KernelPlan`] — so
+//! repeated tuner sweeps and benchmark harness queries can reuse plans
+//! instead of re-deriving geometry, resources and schedules. The cache is
+//! `Mutex`-protected and shared via `Arc`, so the batch driver's worker
+//! pool and the tuner's ranking threads all hit one instance.
+
+use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, PlanError};
+use an5d_stencil::{StencilDef, StencilProblem};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Default number of cached plans.
+const DEFAULT_CAPACITY: usize = 256;
+
+/// A stable fingerprint of a stencil definition.
+///
+/// [`StencilDef`] stores `f64` coefficients, so it cannot derive `Hash`;
+/// the fingerprint hashes the name, rank, radius and the debug rendering
+/// of the update expression (which prints `f64`s in shortest-round-trip
+/// form, i.e. injectively for the finite values stencils use).
+#[must_use]
+pub(crate) fn stencil_fingerprint(def: &StencilDef) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    def.name().hash(&mut hasher);
+    def.ndim().hash(&mut hasher);
+    def.radius().hash(&mut hasher);
+    format!("{:?}", def.expr()).hash(&mut hasher);
+    hasher.finish()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    def_fingerprint: u64,
+    def_name: String,
+    interior: Vec<usize>,
+    time_steps: usize,
+    config: BlockConfig,
+    scheme: FrameworkScheme,
+}
+
+impl PlanKey {
+    fn new(
+        def: &StencilDef,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+        scheme: FrameworkScheme,
+    ) -> Self {
+        Self {
+            def_fingerprint: stencil_fingerprint(def),
+            def_name: def.name().to_string(),
+            interior: problem.interior().to_vec(),
+            time_steps: problem.time_steps(),
+            config: config.clone(),
+            scheme,
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<KernelPlan>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+    /// Maximum number of cached plans.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A bounded, thread-safe LRU cache of built [`KernelPlan`]s.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Return the cached plan for the key, building (and caching) it on a
+    /// miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from [`KernelPlan::build`]; failed builds
+    /// are not cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn get_or_build(
+        &self,
+        def: &StencilDef,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+        scheme: FrameworkScheme,
+    ) -> Result<Arc<KernelPlan>, PlanError> {
+        self.get_or_build_traced(def, problem, config, scheme)
+            .map(|(plan, _)| plan)
+    }
+
+    /// Like [`PlanCache::get_or_build`], additionally reporting whether
+    /// this particular lookup was answered from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from [`KernelPlan::build`]; failed builds
+    /// are not cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn get_or_build_traced(
+        &self,
+        def: &StencilDef,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+        scheme: FrameworkScheme,
+    ) -> Result<(Arc<KernelPlan>, bool), PlanError> {
+        let key = PlanKey::new(def, problem, config, scheme);
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let cached = inner.map.get_mut(&key).and_then(|entry| {
+                // The key carries only a fingerprint of the stencil, so a
+                // hit must still compare the full definition: a colliding
+                // fingerprint (same name/config, different expression) is
+                // rejected here and rebuilt.
+                if entry.plan.def() == def {
+                    entry.last_used = tick;
+                    Some(Arc::clone(&entry.plan))
+                } else {
+                    None
+                }
+            });
+            if let Some(plan) = cached {
+                inner.hits += 1;
+                return Ok((plan, true));
+            }
+            inner.misses += 1;
+        }
+
+        // Build outside the lock: planning is pure, so a racing duplicate
+        // build is wasted work, never an inconsistency.
+        let plan = Arc::new(KernelPlan::build(def, problem, config, scheme)?);
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            inner.map.remove(&oldest);
+        }
+        Ok((plan, false))
+    }
+
+    /// Current hit/miss/occupancy statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every cached plan (statistics are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn clear(&self) {
+        self.inner.lock().expect("plan cache poisoned").map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d_grid::Precision;
+    use an5d_stencil::suite;
+
+    fn problem(def: &StencilDef) -> StencilProblem {
+        StencilProblem::new(def.clone(), &[32, 32], 8).unwrap()
+    }
+
+    #[test]
+    fn repeated_keys_hit_and_return_the_identical_plan() {
+        let cache = PlanCache::new(8);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let config = BlockConfig::new(2, &[16], None, Precision::Double).unwrap();
+
+        let first = cache
+            .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+            .unwrap();
+        let second = cache
+            .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+            .unwrap();
+
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hit must return the cached Arc"
+        );
+        assert_eq!(*first, *second);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_lookup_reports_hit_or_miss_per_call() {
+        let cache = PlanCache::new(8);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let config = BlockConfig::new(2, &[16], None, Precision::Double).unwrap();
+
+        let (first, was_hit) = cache
+            .get_or_build_traced(&def, &problem, &config, FrameworkScheme::an5d())
+            .unwrap();
+        assert!(!was_hit, "first lookup builds");
+        let (second, was_hit) = cache
+            .get_or_build_traced(&def, &problem, &config, FrameworkScheme::an5d())
+            .unwrap();
+        assert!(was_hit, "second lookup is served from the cache");
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn different_configs_schemes_and_problems_miss() {
+        let cache = PlanCache::new(8);
+        let def = suite::j2d5pt();
+        let p1 = problem(&def);
+        let p2 = StencilProblem::new(def.clone(), &[48, 48], 8).unwrap();
+        let c1 = BlockConfig::new(2, &[16], None, Precision::Double).unwrap();
+        let c2 = BlockConfig::new(4, &[16], None, Precision::Double).unwrap();
+
+        cache
+            .get_or_build(&def, &p1, &c1, FrameworkScheme::an5d())
+            .unwrap();
+        cache
+            .get_or_build(&def, &p1, &c2, FrameworkScheme::an5d())
+            .unwrap();
+        cache
+            .get_or_build(&def, &p2, &c1, FrameworkScheme::an5d())
+            .unwrap();
+        cache
+            .get_or_build(&def, &p1, &c1, FrameworkScheme::stencilgen())
+            .unwrap();
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 4);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let cache = PlanCache::new(2);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        for bt in [1usize, 2, 3] {
+            let config = BlockConfig::new(bt, &[16], None, Precision::Double).unwrap();
+            cache
+                .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2, "capacity bound holds");
+
+        // bt=1 was evicted (least recently used); re-requesting it misses.
+        let config = BlockConfig::new(1, &[16], None, Precision::Double).unwrap();
+        cache
+            .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+            .unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn failed_builds_propagate_and_are_not_cached() {
+        let cache = PlanCache::new(4);
+        let def = suite::j2d9pt();
+        let problem = problem(&def);
+        // Block far too small for bT = 16: plan validation fails.
+        let config = BlockConfig::new(16, &[32], None, Precision::Double).unwrap();
+        assert!(cache
+            .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+            .is_err());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn distinct_defs_with_same_name_are_distinguished() {
+        let a = suite::star2d(1);
+        let b = suite::star2d(2);
+        assert_ne!(stencil_fingerprint(&a), stencil_fingerprint(&b));
+        assert_eq!(
+            stencil_fingerprint(&a),
+            stencil_fingerprint(&suite::star2d(1))
+        );
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = PlanCache::new(4);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let config = BlockConfig::new(2, &[16], None, Precision::Double).unwrap();
+        cache
+            .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+            .unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

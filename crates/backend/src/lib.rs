@@ -1,0 +1,77 @@
+//! Pluggable execution backends for the AN5D reproduction.
+//!
+//! The functional executor in `an5d-gpusim` defines *what* a blocked run
+//! computes; this crate decides *how* that work is scheduled onto the host
+//! machine. It is the horizontal-scaling seam of the system: everything
+//! above it (the `an5d` facade pipeline, the tuner, the `an5d-bench`
+//! experiment harnesses) asks for an [`ExecutionBackend`] by name instead
+//! of hard-wiring a call into the executor, so suites of experiments can
+//! switch execution strategies — or adopt future GPU/FFI backends — with
+//! no code changes.
+//!
+//! Three building blocks:
+//!
+//! * [`ExecutionBackend`] implementations:
+//!   [`SerialBackend`] (the reference driver, one tile at a time) and
+//!   [`ParallelCpuBackend`] (the independent spatial tiles of each
+//!   temporal block fan out across scoped worker threads). Because each
+//!   tile reads only the immutable input grid and writes a disjoint
+//!   region of the output grid, every backend produces **bit-identical**
+//!   `f64` grids and identical counter totals;
+//! * [`PlanCache`] — an LRU plan/codegen cache keyed by
+//!   (stencil fingerprint, problem extents, [`BlockConfig`],
+//!   [`FrameworkScheme`]) so repeated tuner and benchmark queries skip
+//!   re-planning;
+//! * [`BatchDriver`] — fans a whole suite of (stencil, config) jobs across
+//!   a bounded worker pool, planning through a shared [`PlanCache`] and
+//!   executing through any [`ExecutionBackend`].
+//!
+//! # Backend selection
+//!
+//! Backends are registered by name (see [`create_backend`] /
+//! [`available_backends`]). The `AN5D_BACKEND` environment variable picks
+//! the process-wide default consumed by [`backend_from_env`]:
+//!
+//! ```text
+//! AN5D_BACKEND=serial        # reference serial driver (default)
+//! AN5D_BACKEND=parallel      # tile-parallel, one worker per CPU
+//! AN5D_BACKEND=parallel:8    # tile-parallel with exactly 8 workers
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use an5d_backend::{BackendElement, ExecutionBackend, ParallelCpuBackend, SerialBackend};
+//! use an5d_grid::{Grid, GridInit, Precision};
+//! use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan};
+//! use an5d_stencil::{suite, StencilProblem};
+//!
+//! let def = suite::j2d5pt();
+//! let problem = StencilProblem::new(def.clone(), &[24, 24], 5).unwrap();
+//! let config = BlockConfig::new(2, &[12], None, Precision::Double).unwrap();
+//! let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+//! let initial = Grid::<f64>::from_init(&problem.grid_shape(), GridInit::Hash { seed: 1 });
+//!
+//! let serial = SerialBackend.execute_f64(&plan, &problem, initial.clone());
+//! let parallel = ParallelCpuBackend::new(4).execute_f64(&plan, &problem, initial);
+//! assert_eq!(serial.grid, parallel.grid);          // bit-identical
+//! assert_eq!(serial.counters, parallel.counters);  // deterministic counters
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod batch;
+mod cache;
+mod registry;
+
+pub use backend::{BackendElement, ExecutionBackend, ParallelCpuBackend, SerialBackend};
+pub use batch::{BatchDriver, BatchError, BatchFailure, BatchJob, BatchOutcome};
+pub use cache::{CacheStats, PlanCache};
+pub use registry::{available_backends, backend_from_env, create_backend, BACKEND_ENV};
+
+// Re-exported so backend users can name the key/config types without an
+// extra dependency edge.
+pub use an5d_gpusim::{BlockedRun, TrafficCounters};
+pub use an5d_plan::{BlockConfig, FrameworkScheme};

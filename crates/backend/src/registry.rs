@@ -1,0 +1,85 @@
+//! Name-based backend registry and environment-variable selection.
+
+use crate::{ExecutionBackend, ParallelCpuBackend, SerialBackend};
+use std::sync::Arc;
+
+/// Environment variable consulted by [`backend_from_env`].
+pub const BACKEND_ENV: &str = "AN5D_BACKEND";
+
+/// The registered backend family names.
+///
+/// `"parallel"` also accepts an explicit worker count as
+/// `"parallel:<threads>"`.
+#[must_use]
+pub fn available_backends() -> &'static [&'static str] {
+    &["serial", "parallel"]
+}
+
+/// Instantiate a backend from its registry spec.
+///
+/// Accepted specs: `"serial"`, `"parallel"` (one worker per CPU) and
+/// `"parallel:<threads>"`. Returns `None` for anything else.
+#[must_use]
+pub fn create_backend(spec: &str) -> Option<Arc<dyn ExecutionBackend>> {
+    match spec.trim() {
+        "serial" => Some(Arc::new(SerialBackend)),
+        "parallel" => Some(Arc::new(ParallelCpuBackend::with_available_parallelism())),
+        other => {
+            let threads = other.strip_prefix("parallel:")?.parse::<usize>().ok()?;
+            Some(Arc::new(ParallelCpuBackend::new(threads)))
+        }
+    }
+}
+
+/// The process-wide default backend: the spec in `AN5D_BACKEND` when set
+/// and valid, otherwise [`SerialBackend`].
+///
+/// An invalid spec falls back to the serial backend (with a note on
+/// stderr) rather than failing, so experiment harnesses keep running
+/// under a typo'd environment.
+#[must_use]
+pub fn backend_from_env() -> Arc<dyn ExecutionBackend> {
+    match std::env::var(BACKEND_ENV) {
+        Ok(spec) => create_backend(&spec).unwrap_or_else(|| {
+            eprintln!(
+                "warning: {BACKEND_ENV}={spec} is not a registered backend \
+                 (expected one of {:?} or parallel:<threads>); using serial",
+                available_backends()
+            );
+            Arc::new(SerialBackend)
+        }),
+        Err(_) => Arc::new(SerialBackend),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_knows_both_families() {
+        assert_eq!(available_backends(), &["serial", "parallel"]);
+        assert_eq!(create_backend("serial").unwrap().name(), "serial");
+        assert_eq!(create_backend("parallel").unwrap().name(), "parallel");
+    }
+
+    #[test]
+    fn parallel_spec_accepts_an_explicit_thread_count() {
+        let backend = create_backend("parallel:7").unwrap();
+        assert_eq!(backend.name(), "parallel");
+        assert!(backend.describe().contains('7'));
+    }
+
+    #[test]
+    fn unknown_specs_are_rejected() {
+        assert!(create_backend("gpu").is_none());
+        assert!(create_backend("parallel:").is_none());
+        assert!(create_backend("parallel:x").is_none());
+        assert!(create_backend("").is_none());
+    }
+
+    #[test]
+    fn spec_whitespace_is_tolerated() {
+        assert_eq!(create_backend(" serial ").unwrap().name(), "serial");
+    }
+}

@@ -79,10 +79,7 @@ pub fn hybrid_measurement(
         // every face (the hexagon/wavefront dependence region); stores write
         // the tile once per temporal block. No recomputation happens, so the
         // FLOP count is exactly the useful work.
-        let tile_with_halo: u128 = blocks
-            .iter()
-            .map(|&b| (b + 2 * bt * rad) as u128)
-            .product();
+        let tile_with_halo: u128 = blocks.iter().map(|&b| (b + 2 * bt * rad) as u128).product();
         let tiles: u128 = problem
             .interior()
             .iter()
@@ -166,7 +163,12 @@ mod tests {
         let p3 = StencilProblem::new(suite::star3d(1), &[512, 512, 512], 100).unwrap();
         let r2 = hybrid_measurement(&p2, &device, Precision::Single).unwrap();
         let r3 = hybrid_measurement(&p3, &device, Precision::Single).unwrap();
-        assert!(r2.gcells > 1.5 * r3.gcells, "2D {} vs 3D {}", r2.gcells, r3.gcells);
+        assert!(
+            r2.gcells > 1.5 * r3.gcells,
+            "2D {} vs 3D {}",
+            r2.gcells,
+            r3.gcells
+        );
     }
 
     #[test]

@@ -101,10 +101,10 @@ mod tests {
 
     #[test]
     fn v100_beats_p100() {
-        let v =
-            loop_tiling_measurement(&problem(), &GpuDevice::tesla_v100(), Precision::Single).unwrap();
-        let p =
-            loop_tiling_measurement(&problem(), &GpuDevice::tesla_p100(), Precision::Single).unwrap();
+        let v = loop_tiling_measurement(&problem(), &GpuDevice::tesla_v100(), Precision::Single)
+            .unwrap();
+        let p = loop_tiling_measurement(&problem(), &GpuDevice::tesla_p100(), Precision::Single)
+            .unwrap();
         assert!(v.gflops > p.gflops);
     }
 

@@ -30,7 +30,10 @@ fn stencilgen_plan(
     let config = stencilgen_sconf(def, precision);
     KernelPlan::build(def, problem, &config, FrameworkScheme::stencilgen()).map_err(|e| {
         InfeasibleConfig {
-            reason: format!("STENCILGEN configuration is invalid for {}: {e}", def.name()),
+            reason: format!(
+                "STENCILGEN configuration is invalid for {}: {e}",
+                def.name()
+            ),
         }
     })
 }
@@ -120,8 +123,7 @@ mod tests {
     fn stencilgen_measurement_is_reasonable_for_2d() {
         let def = suite::j2d5pt();
         let device = GpuDevice::tesla_v100();
-        let result =
-            stencilgen_measurement(&problem(def), &device, Precision::Single).unwrap();
+        let result = stencilgen_measurement(&problem(def), &device, Precision::Single).unwrap();
         assert_eq!(result.framework, "STENCILGEN");
         assert!(result.gflops > 1_000.0, "{}", result.gflops);
     }
@@ -137,9 +139,13 @@ mod tests {
         let sg = stencilgen_measurement(&p, &device, Precision::Double).unwrap();
 
         let an5d_config = BlockConfig::sconf(2, Precision::Double);
-        let an5d_plan =
-            KernelPlan::build(&def, &p, &an5d_config, FrameworkScheme::an5d_no_associative())
-                .unwrap();
+        let an5d_plan = KernelPlan::build(
+            &def,
+            &p,
+            &an5d_config,
+            FrameworkScheme::an5d_no_associative(),
+        )
+        .unwrap();
         let an5d = an5d_model::measure_best_cap(&an5d_plan, &p, &device).unwrap();
         assert!(
             an5d.gflops >= sg.gflops,

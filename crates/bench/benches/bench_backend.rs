@@ -1,0 +1,64 @@
+//! Criterion benchmark comparing execution backends (serial vs
+//! tile-parallel CPU) on a 3-D suite stencil, reporting the speedup.
+
+use an5d::{suite, ExecutionBackend};
+use an5d::{
+    BlockConfig, FrameworkScheme, Grid, GridInit, KernelPlan, ParallelCpuBackend, Precision,
+    SerialBackend, StencilProblem,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+fn workload() -> (KernelPlan, StencilProblem, Grid<f64>) {
+    let def = suite::star3d(1);
+    let problem = StencilProblem::new(def.clone(), &[32, 32, 32], 4).expect("valid problem");
+    let config = BlockConfig::new(2, &[12, 12], Some(12), Precision::Double).expect("valid config");
+    let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).expect("plan");
+    let initial = Grid::<f64>::from_init(&problem.grid_shape(), GridInit::Hash { seed: 11 });
+    (plan, problem, initial)
+}
+
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let (plan, problem, initial) = workload();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("backend/star3d1r_32cubed_bt2");
+    group.bench_function("serial", |b| {
+        b.iter(|| SerialBackend.execute_f64(&plan, &problem, initial.clone()));
+    });
+    for workers in [2usize, threads.max(2)] {
+        let backend = ParallelCpuBackend::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &backend,
+            |b, backend| {
+                b.iter(|| backend.execute_f64(&plan, &problem, initial.clone()));
+            },
+        );
+    }
+    group.finish();
+
+    // Direct speedup report (min-of-3 wall clock), independent of the
+    // harness: >1.5x is expected on a multi-core runner.
+    let time = |backend: &dyn ExecutionBackend| {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                criterion::black_box(backend.execute_f64(&plan, &problem, initial.clone()));
+                start.elapsed()
+            })
+            .min()
+            .expect("three samples")
+    };
+    let serial = time(&SerialBackend);
+    let parallel = time(&ParallelCpuBackend::with_available_parallelism());
+    println!(
+        "backend speedup: serial {serial:?} / parallel[{threads}] {parallel:?} = {:.2}x",
+        serial.as_secs_f64() / parallel.as_secs_f64()
+    );
+}
+
+criterion_group!(benches, bench_serial_vs_parallel);
+criterion_main!(benches);

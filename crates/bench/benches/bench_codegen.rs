@@ -1,6 +1,9 @@
 //! Criterion benchmarks of the CUDA code generator.
 
-use an5d::{generate_cuda_for_plan, suite, BlockConfig, FrameworkScheme, KernelPlan, Precision, StencilProblem};
+use an5d::{
+    generate_cuda_for_plan, suite, BlockConfig, FrameworkScheme, KernelPlan, Precision,
+    StencilProblem,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_codegen(c: &mut Criterion) {
@@ -10,11 +13,16 @@ fn bench_codegen(c: &mut Criterion) {
         ("j2d9pt_bt4", suite::j2d9pt(), vec![256]),
         ("j3d27pt_bt3", suite::j3d27pt(), vec![32, 32]),
     ] {
-        let interior = if def.ndim() == 2 { vec![4096, 4096] } else { vec![256, 256, 256] };
+        let interior = if def.ndim() == 2 {
+            vec![4096, 4096]
+        } else {
+            vec![256, 256, 256]
+        };
         let bt = if def.ndim() == 2 { 4 } else { 3 };
         let problem = StencilProblem::new(def.clone(), &interior, 100).expect("problem");
         let config = BlockConfig::new(bt, &bs, Some(128), Precision::Single).expect("config");
-        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).expect("plan");
+        let plan =
+            KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).expect("plan");
         group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
             b.iter(|| generate_cuda_for_plan(plan));
         });

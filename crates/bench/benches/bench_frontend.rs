@@ -5,7 +5,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_parse_stencil(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend/parse_stencil");
-    for def in [suite::j2d5pt(), suite::j2d9pt_gol(), suite::box3d(2), suite::gradient2d()] {
+    for def in [
+        suite::j2d5pt(),
+        suite::j2d9pt_gol(),
+        suite::box3d(2),
+        suite::gradient2d(),
+    ] {
         let source = emit_c_source(&def, "A");
         group.bench_with_input(
             BenchmarkId::from_parameter(def.name().to_string()),

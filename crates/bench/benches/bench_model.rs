@@ -40,5 +40,10 @@ fn bench_tuner_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_traffic_analysis, bench_prediction, bench_tuner_sweep);
+criterion_group!(
+    benches,
+    bench_traffic_analysis,
+    bench_prediction,
+    bench_tuner_sweep
+);
 criterion_main!(benches);

@@ -1,9 +1,61 @@
 //! Shared helpers for the experiment harnesses.
+//!
+//! All plan construction goes through one process-wide [`PlanCache`]
+//! (repeated device/precision sweeps re-request the same plans), and all
+//! functional execution goes through the [`ExecutionBackend`] selected by
+//! the `AN5D_BACKEND` environment variable — so every experiment,
+//! example and test switches backends without code changes.
 
 use an5d::{
-    measure_best_cap, predict, BlockConfig, FrameworkScheme, GpuDevice, KernelPlan, Measurement,
-    ModelPrediction, Precision, SearchSpace, StencilDef, StencilProblem, Tuner, TuningResult,
+    backend_from_env, measure_best_cap, predict, BlockConfig, ExecutionBackend, FrameworkScheme,
+    GpuDevice, KernelPlan, Measurement, ModelPrediction, PlanCache, Precision, SearchSpace,
+    StencilDef, StencilProblem, TrafficCounters, Tuner, TuningResult,
 };
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide plan cache shared by every experiment harness.
+pub fn plan_cache() -> Arc<PlanCache> {
+    static CACHE: OnceLock<Arc<PlanCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(|| Arc::new(PlanCache::new(512))))
+}
+
+/// The execution backend selected for this process (`AN5D_BACKEND`).
+#[must_use]
+pub fn execution_backend() -> Arc<dyn ExecutionBackend> {
+    backend_from_env()
+}
+
+/// Build (or fetch from the shared cache) a plan under the AN5D scheme.
+#[must_use]
+pub fn cached_plan(
+    def: &StencilDef,
+    problem: &StencilProblem,
+    config: &BlockConfig,
+) -> Option<Arc<KernelPlan>> {
+    plan_cache()
+        .get_or_build(def, problem, config, FrameworkScheme::an5d())
+        .ok()
+}
+
+/// Execute a plan functionally on the selected backend and return its
+/// counted work/traffic (used by backend-comparison harnesses).
+#[must_use]
+pub fn counted_run(
+    def: &StencilDef,
+    interior: &[usize],
+    time_steps: usize,
+    config: &BlockConfig,
+) -> Option<TrafficCounters> {
+    use an5d::{Grid, GridInit};
+    let problem = StencilProblem::new(def.clone(), interior, time_steps).ok()?;
+    let plan = cached_plan(def, &problem, config)?;
+    let initial = Grid::<f64>::from_init(&problem.grid_shape(), GridInit::Hash { seed: 0x5EED });
+    Some(
+        execution_backend()
+            .execute_f64(&plan, &problem, initial)
+            .counters,
+    )
+}
 
 /// The two evaluation devices, V100 first (the paper's Fig. 6 order).
 #[must_use]
@@ -33,14 +85,20 @@ pub fn paper_problem(def: &StencilDef) -> StencilProblem {
 /// happens for stencils whose radius × bT exceeds the Sconf block — the
 /// paper never runs Sconf on those either.
 #[must_use]
-pub fn sconf_plan(def: &StencilDef, problem: &StencilProblem, precision: Precision) -> KernelPlan {
+pub fn sconf_plan(
+    def: &StencilDef,
+    problem: &StencilProblem,
+    precision: Precision,
+) -> Arc<KernelPlan> {
     let config = BlockConfig::sconf(def.ndim(), precision);
     let scheme = if def.ndim() == 2 {
         FrameworkScheme::an5d_no_associative()
     } else {
         FrameworkScheme::an5d()
     };
-    KernelPlan::build(def, problem, &config, scheme).expect("Sconf configuration is valid")
+    plan_cache()
+        .get_or_build(def, problem, &config, scheme)
+        .expect("Sconf configuration is valid")
 }
 
 /// Simulated `Sconf` measurement.
@@ -61,6 +119,7 @@ pub fn tuned(def: &StencilDef, device: &GpuDevice, precision: Precision) -> Opti
     let problem = paper_problem(def);
     let space = SearchSpace::paper(def.ndim(), precision);
     Tuner::new(device.clone(), precision)
+        .with_plan_cache(plan_cache())
         .tune(def, &problem, &space)
         .ok()
 }
@@ -73,7 +132,7 @@ pub fn prediction_for(
     device: &GpuDevice,
 ) -> Option<ModelPrediction> {
     let problem = paper_problem(def);
-    let plan = KernelPlan::build(def, &problem, config, FrameworkScheme::an5d()).ok()?;
+    let plan = cached_plan(def, &problem, config)?;
     Some(predict(&plan, &problem, device))
 }
 
@@ -85,7 +144,7 @@ pub fn measurement_for(
     device: &GpuDevice,
 ) -> Option<Measurement> {
     let problem = paper_problem(def);
-    let plan = KernelPlan::build(def, &problem, config, FrameworkScheme::an5d()).ok()?;
+    let plan = cached_plan(def, &problem, config)?;
     measure_best_cap(&plan, &problem, device).ok()
 }
 

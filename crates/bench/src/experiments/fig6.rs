@@ -3,8 +3,8 @@
 use super::common::{devices, paper_problem, precisions, sconf_measurement, tuned};
 use crate::report::{gflops, render_table};
 use an5d::{
-    hybrid_measurement, loop_tiling_measurement, predict, stencilgen_measurement, suite,
-    FrameworkScheme, GpuDevice, KernelPlan, Precision,
+    hybrid_measurement, loop_tiling_measurement, predict, stencilgen_measurement, suite, GpuDevice,
+    Precision,
 };
 use serde::Serialize;
 
@@ -52,7 +52,7 @@ pub fn row(stencil: &str, device: &GpuDevice, precision: Precision) -> Option<Fi
     let tuned_result = tuned(&def, device, precision);
     let an5d_tuned = tuned_result.as_ref().map(|t| t.best.measured_gflops);
     let model = tuned_result.as_ref().and_then(|t| {
-        let plan = KernelPlan::build(&def, &problem, &t.best.config, FrameworkScheme::an5d()).ok()?;
+        let plan = super::common::cached_plan(&def, &problem, &t.best.config)?;
         Some(predict(&plan, &problem, device).gflops)
     });
 

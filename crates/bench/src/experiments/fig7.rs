@@ -76,14 +76,25 @@ pub fn render() -> String {
                 r.stencil,
                 r.stencilgen_regs.to_string(),
                 r.an5d_regs.to_string(),
-                if r.stencilgen_spills_at_32 { "yes" } else { "no" }.to_string(),
+                if r.stencilgen_spills_at_32 {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
                 if r.an5d_spills_at_32 { "yes" } else { "no" }.to_string(),
             ]
         })
         .collect();
     render_table(
         "Fig. 7: Registers per thread with no register limitation (float, Sconf)",
-        &["Stencil", "STENCILGEN regs", "AN5D regs", "STENCILGEN spills @32", "AN5D spills @32"],
+        &[
+            "Stencil",
+            "STENCILGEN regs",
+            "AN5D regs",
+            "STENCILGEN spills @32",
+            "AN5D spills @32",
+        ],
         &table_rows,
     )
 }
@@ -123,7 +134,15 @@ mod tests {
     #[test]
     fn render_contains_all_benchmarks() {
         let s = render();
-        for name in ["j2d5pt", "j2d9pt", "j2d9pt-gol", "gradient2d", "star3d1r", "star3d2r", "j3d27pt"] {
+        for name in [
+            "j2d5pt",
+            "j2d9pt",
+            "j2d9pt-gol",
+            "gradient2d",
+            "star3d1r",
+            "star3d2r",
+            "j3d27pt",
+        ] {
             assert!(s.contains(name));
         }
     }

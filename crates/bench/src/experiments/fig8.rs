@@ -31,7 +31,12 @@ fn config_for(def: &StencilDef, bt: usize) -> Option<BlockConfig> {
     config.fits_stencil(def).then_some(config)
 }
 
-fn series(star: &StencilDef, boxy: &StencilDef, max_bt: usize, device: &GpuDevice) -> Vec<Fig8Point> {
+fn series(
+    star: &StencilDef,
+    boxy: &StencilDef,
+    max_bt: usize,
+    device: &GpuDevice,
+) -> Vec<Fig8Point> {
     (1..=max_bt)
         .map(|bt| {
             let eval = |def: &StencilDef| -> (Option<f64>, Option<f64>) {
@@ -59,13 +64,23 @@ fn series(star: &StencilDef, boxy: &StencilDef, max_bt: usize, device: &GpuDevic
 /// The 2D series of Fig. 8 (left plot): `bT ∈ [1, 16]`, rad = 1.
 #[must_use]
 pub fn rows_2d() -> Vec<Fig8Point> {
-    series(&suite::star2d(1), &suite::box2d(1), 16, &GpuDevice::tesla_v100())
+    series(
+        &suite::star2d(1),
+        &suite::box2d(1),
+        16,
+        &GpuDevice::tesla_v100(),
+    )
 }
 
 /// The 3D series of Fig. 8 (right plot): `bT ∈ [1, 8]`, rad = 1.
 #[must_use]
 pub fn rows_3d() -> Vec<Fig8Point> {
-    series(&suite::star3d(1), &suite::box3d(1), 8, &GpuDevice::tesla_v100())
+    series(
+        &suite::star3d(1),
+        &suite::box3d(1),
+        8,
+        &GpuDevice::tesla_v100(),
+    )
 }
 
 fn render_series(title: &str, points: &[Fig8Point]) -> String {
@@ -84,7 +99,13 @@ fn render_series(title: &str, points: &[Fig8Point]) -> String {
         .collect();
     render_table(
         title,
-        &["bT", "Star (Tuned)", "Star (Model)", "Box (Tuned)", "Box (Model)"],
+        &[
+            "bT",
+            "Star (Tuned)",
+            "Star (Model)",
+            "Box (Tuned)",
+            "Box (Model)",
+        ],
         &rows,
     )
 }
@@ -140,7 +161,10 @@ mod tests {
         let star_best = peak_bt(&points, |p| p.star_tuned);
         let box_best = peak_bt(&points, |p| p.box_tuned);
         // Section 7.3: 3D star scales to bT ≈ 5, 3D box only to bT ≈ 3.
-        assert!((2..=6).contains(&star_best), "3D star peaked at {star_best}");
+        assert!(
+            (2..=6).contains(&star_best),
+            "3D star peaked at {star_best}"
+        );
         assert!(box_best <= 4, "3D box peaked at {box_best}");
     }
 }

@@ -110,6 +110,9 @@ mod tests {
             .iter()
             .filter(|r| r.stencil.contains("2d") && r.best_bt >= 2)
             .count();
-        assert!(count_bt2 >= 6, "only {count_bt2} 2D stencils picked bT >= 2");
+        assert!(
+            count_bt2 >= 6,
+            "only {count_bt2} 2D stencils picked bT >= 2"
+        );
     }
 }

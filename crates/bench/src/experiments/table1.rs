@@ -37,7 +37,10 @@ pub fn rows() -> Vec<Table1Row> {
     let config = reference_config();
     let radius = 2usize;
     let classes = [
-        ("Diagonal-Access Free", OptimizationClass::DiagonalAccessFree),
+        (
+            "Diagonal-Access Free",
+            OptimizationClass::DiagonalAccessFree,
+        ),
         ("Associative Stencil", OptimizationClass::Associative),
         ("Otherwise", OptimizationClass::General),
     ];
@@ -84,7 +87,9 @@ pub fn render() -> String {
     out.push_str("Shared Memory Use:        STENCILGEN = for streaming, AN5D = for calculation\n");
     out.push_str(&format!(
         "Shared Memory Buffers:    STENCILGEN = bT = {}, AN5D = 2 (double buffering)\n\n",
-        FrameworkScheme::stencilgen().shared_memory.buffer_count(config.bt())
+        FrameworkScheme::stencilgen()
+            .shared_memory
+            .buffer_count(config.bt())
     ));
     let table_rows: Vec<Vec<String>> = rows()
         .into_iter()
@@ -100,7 +105,13 @@ pub fn render() -> String {
         .collect();
     out.push_str(&render_table(
         "Shared memory footprint per block (32-bit words) and stores per cell",
-        &["Stencil class", "STENCILGEN words", "AN5D words", "STENCILGEN stores/cell", "AN5D stores/cell"],
+        &[
+            "Stencil class",
+            "STENCILGEN words",
+            "AN5D words",
+            "STENCILGEN stores/cell",
+            "AN5D stores/cell",
+        ],
         &table_rows,
     ));
     out

@@ -65,7 +65,13 @@ pub fn render() -> String {
         .collect();
     render_table(
         "Table 2: Shared memory accesses per thread",
-        &["Shape", "rad", "Read (expected)", "Read (practical)", "Write"],
+        &[
+            "Shape",
+            "rad",
+            "Read (expected)",
+            "Read (practical)",
+            "Write",
+        ],
         &table_rows,
     )
 }
@@ -79,10 +85,16 @@ mod tests {
         let rows = rows();
         assert_eq!(rows.len(), 16);
         // 2D star, rad = 3: 2·rad = 6 for both columns.
-        let r = rows.iter().find(|r| r.shape == "2D star" && r.radius == 3).unwrap();
+        let r = rows
+            .iter()
+            .find(|r| r.shape == "2D star" && r.radius == 3)
+            .unwrap();
         assert_eq!((r.read_expected, r.read_practical), (6, 6));
         // 3D box, rad = 2: expected (2r+1)³ − (2r+1) = 120, practical (2r+1)² − 1 = 24.
-        let r = rows.iter().find(|r| r.shape == "3D box" && r.radius == 2).unwrap();
+        let r = rows
+            .iter()
+            .find(|r| r.shape == "3D box" && r.radius == 2)
+            .unwrap();
         assert_eq!((r.read_expected, r.read_practical), (120, 24));
         assert!(rows.iter().all(|r| r.write == 1));
     }

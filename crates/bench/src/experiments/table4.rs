@@ -57,7 +57,10 @@ pub fn render() -> String {
                 format!("{:.0} | {:.0}", r.performance.0, r.performance.1),
                 format!("{:.0}", r.peak_mem_bw),
                 format!("{:.0} | {:.0}", r.measured_mem_bw.0, r.measured_mem_bw.1),
-                format!("{:.0} | {:.0}", r.measured_shared_bw.0, r.measured_shared_bw.1),
+                format!(
+                    "{:.0} | {:.0}",
+                    r.measured_shared_bw.0, r.measured_shared_bw.1
+                ),
                 r.sm_count.to_string(),
             ]
         })

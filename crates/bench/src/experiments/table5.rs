@@ -2,7 +2,7 @@
 
 use super::common::{devices, paper_problem, precisions, tuned};
 use crate::report::{gflops, render_table};
-use an5d::{predict, suite, FrameworkScheme, GpuDevice, KernelPlan, Precision};
+use an5d::{predict, suite, GpuDevice, Precision};
 use serde::Serialize;
 
 /// One (stencil, device, precision) entry of Table 5.
@@ -48,8 +48,7 @@ pub fn rows_for(device: &GpuDevice, precision: Precision) -> Vec<Table5Row> {
             let result = tuned(def, device, precision)?;
             let best = &result.best;
             let problem = paper_problem(def);
-            let plan =
-                KernelPlan::build(def, &problem, &best.config, FrameworkScheme::an5d()).ok()?;
+            let plan = super::common::cached_plan(def, &problem, &best.config)?;
             let model = predict(&plan, &problem, device);
             Some(Table5Row {
                 pattern: def.name().to_string(),
@@ -107,7 +106,9 @@ pub fn render() -> String {
         .collect();
     out.push_str(&render_table(
         "Table 5: AN5D configuration and performance (Tuned & Model in GFLOP/s)",
-        &["Pattern", "GPU", "Prec", "bT", "bS", "hSN", "Regs", "Tuned", "Model", "Accuracy"],
+        &[
+            "Pattern", "GPU", "Prec", "bT", "bS", "hSN", "Regs", "Tuned", "Model", "Accuracy",
+        ],
         &table_rows,
     ));
     out.push_str(&format!(

@@ -98,7 +98,10 @@ mod tests {
         let e: An5dError = TunerError::NoFeasibleCandidate.into();
         assert!(e.to_string().contains("tuning error"));
 
-        let e: An5dError = InfeasibleConfig { reason: "too big".into() }.into();
+        let e: An5dError = InfeasibleConfig {
+            reason: "too big".into(),
+        }
+        .into();
         assert!(e.to_string().contains("infeasible"));
     }
 

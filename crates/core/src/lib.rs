@@ -73,8 +73,15 @@ pub use an5d_plan::{
 };
 
 pub use an5d_gpusim::{
-    execute_plan, execute_plan_on, simulate, BlockedRun, Bottleneck, GpuDevice, InfeasibleConfig,
-    Occupancy, SimulatedTime, TrafficCounters, WorkloadProfile,
+    execute_plan, execute_plan_on, simulate, temporal_chunks, BlockedRun, Bottleneck, GpuDevice,
+    InfeasibleConfig, Occupancy, SimulatedTime, TileContext, TileRun, TileSpec, TrafficCounters,
+    WorkloadProfile,
+};
+
+pub use an5d_backend::{
+    available_backends, backend_from_env, create_backend, BackendElement, BatchDriver, BatchError,
+    BatchFailure, BatchJob, BatchOutcome, CacheStats, ExecutionBackend, ParallelCpuBackend,
+    PlanCache, SerialBackend, BACKEND_ENV,
 };
 
 pub use an5d_model::{

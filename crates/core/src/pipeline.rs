@@ -1,14 +1,16 @@
 //! The end-to-end AN5D pipeline.
 
 use crate::An5dError;
+use an5d_backend::{backend_from_env, ExecutionBackend};
 use an5d_codegen::CudaCode;
 use an5d_frontend::{emit_c_source, parse_stencil};
-use an5d_gpusim::{execute_plan_on, GpuDevice, TrafficCounters};
+use an5d_gpusim::{GpuDevice, TrafficCounters};
 use an5d_grid::{default_tolerance, Grid, GridDiff, GridInit, Precision};
 use an5d_model::{measure_best_cap, predict, Measurement, ModelPrediction};
 use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan};
 use an5d_stencil::{exec::run_reference, suite, StencilDef, StencilProblem};
 use an5d_tuner::{SearchSpace, Tuner, TuningResult};
+use std::sync::Arc;
 
 /// Result of verifying a blocked execution against the naive reference.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,10 +28,34 @@ pub struct VerificationReport {
 
 /// The AN5D pipeline for one stencil: detection/definition, planning,
 /// verification, prediction, measurement, tuning and code generation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Functional (blocked) execution goes through a pluggable
+/// [`ExecutionBackend`]; the default is selected by the `AN5D_BACKEND`
+/// environment variable (see [`an5d_backend::backend_from_env`]) and can
+/// be overridden per pipeline with [`An5d::with_backend`].
+#[derive(Clone)]
 pub struct An5d {
     def: StencilDef,
     scheme: FrameworkScheme,
+    backend: Arc<dyn ExecutionBackend>,
+}
+
+impl std::fmt::Debug for An5d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("An5d")
+            .field("def", &self.def)
+            .field("scheme", &self.scheme)
+            .field("backend", &self.backend.describe())
+            .finish()
+    }
+}
+
+impl PartialEq for An5d {
+    fn eq(&self, other: &Self) -> bool {
+        // Backends are semantically transparent (they never change the
+        // computed values), so pipeline equality ignores them.
+        self.def == other.def && self.scheme == other.scheme
+    }
 }
 
 impl An5d {
@@ -51,6 +77,7 @@ impl An5d {
         Self {
             def,
             scheme: FrameworkScheme::an5d(),
+            backend: backend_from_env(),
         }
     }
 
@@ -76,6 +103,20 @@ impl An5d {
         self
     }
 
+    /// Use an explicit execution backend for blocked (functional)
+    /// execution instead of the `AN5D_BACKEND` process default.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Arc<dyn ExecutionBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The execution backend blocked runs go through.
+    #[must_use]
+    pub fn backend(&self) -> &Arc<dyn ExecutionBackend> {
+        &self.backend
+    }
+
     /// The stencil definition this pipeline operates on.
     #[must_use]
     pub fn def(&self) -> &StencilDef {
@@ -94,7 +135,11 @@ impl An5d {
     ///
     /// Returns [`An5dError::Stencil`] if the extents do not match the
     /// stencil rank.
-    pub fn problem(&self, interior: &[usize], time_steps: usize) -> Result<StencilProblem, An5dError> {
+    pub fn problem(
+        &self,
+        interior: &[usize],
+        time_steps: usize,
+    ) -> Result<StencilProblem, An5dError> {
         Ok(StencilProblem::new(self.def.clone(), interior, time_steps)?)
     }
 
@@ -135,7 +180,7 @@ impl An5d {
             Precision::Double => {
                 let reference = run_reference::<f64>(problem, init);
                 let initial = Grid::<f64>::from_init(&problem.grid_shape(), init);
-                let blocked = execute_plan_on(&plan, problem, initial);
+                let blocked = self.backend.execute_f64(&plan, problem, initial);
                 let diff = GridDiff::compute(&reference, &blocked.grid)
                     .expect("reference and blocked grids share a shape");
                 let tolerance = default_tolerance(Precision::Double, problem.time_steps());
@@ -149,7 +194,7 @@ impl An5d {
             Precision::Single => {
                 let reference = run_reference::<f32>(problem, init);
                 let initial = Grid::<f32>::from_init(&problem.grid_shape(), init);
-                let blocked = execute_plan_on(&plan, problem, initial);
+                let blocked = self.backend.execute_f32(&plan, problem, initial);
                 let diff = GridDiff::compute(&reference, &blocked.grid)
                     .expect("reference and blocked grids share a shape");
                 let tolerance = default_tolerance(Precision::Single, problem.time_steps());
@@ -290,7 +335,9 @@ mod tests {
         let an5d = An5d::benchmark("j2d5pt").unwrap();
         let problem = an5d.problem(&[2048, 2048], 64).unwrap();
         let space = SearchSpace::quick(2, Precision::Single);
-        let result = an5d.tune(&problem, &GpuDevice::tesla_v100(), &space).unwrap();
+        let result = an5d
+            .tune(&problem, &GpuDevice::tesla_v100(), &space)
+            .unwrap();
         assert!(result.best.measured_gflops > 0.0);
     }
 

@@ -103,7 +103,10 @@ impl Poly {
     fn cell(offset: Offset) -> Self {
         let mut terms = BTreeMap::new();
         terms.insert(offset, 1.0);
-        Poly { terms, constant: 0.0 }
+        Poly {
+            terms,
+            constant: 0.0,
+        }
     }
 
     fn is_constant(&self) -> bool {
@@ -247,7 +250,8 @@ mod tests {
     #[test]
     fn gradient_like_update_is_not_associative() {
         let diff = Expr::cell(&[0, 0]) - Expr::cell(&[1, 0]);
-        let e = Expr::cell(&[0, 0]) + Expr::constant(1.0) / Expr::sqrt(diff.clone() * diff + Expr::constant(0.1));
+        let e = Expr::cell(&[0, 0])
+            + Expr::constant(1.0) / Expr::sqrt(diff.clone() * diff + Expr::constant(0.1));
         assert!(e.as_linear().is_none());
         assert!(!e.is_associative());
     }
@@ -266,7 +270,8 @@ mod tests {
 
     #[test]
     fn repeated_offsets_are_merged() {
-        let e = Expr::constant(2.0) * Expr::cell(&[0, 1]) + Expr::constant(3.0) * Expr::cell(&[0, 1]);
+        let e =
+            Expr::constant(2.0) * Expr::cell(&[0, 1]) + Expr::constant(3.0) * Expr::cell(&[0, 1]);
         let form = e.as_linear().unwrap();
         assert_eq!(form.terms().len(), 1);
         assert_eq!(form.terms()[0].coeff, 5.0);

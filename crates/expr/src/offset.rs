@@ -8,7 +8,9 @@ use std::fmt;
 /// Components are ordered outermost dimension first, matching
 /// `an5d_grid::Grid` axis order: for N.5D blocking the first component is
 /// the *streaming* dimension `S_N`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Offset {
     comps: [i32; 3],
     ndim: u8,
@@ -76,7 +78,11 @@ impl Offset {
     /// stencil accesses offsets with radius up to `rad`.
     #[must_use]
     pub fn radius(&self) -> u32 {
-        self.components().iter().map(|c| c.unsigned_abs()).max().unwrap_or(0)
+        self.components()
+            .iter()
+            .map(|c| c.unsigned_abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` for the centre cell.

@@ -87,7 +87,11 @@ impl ShapeInfo {
     /// offset) touched by the stencil: `1 + 2·rad` for all paper benchmarks.
     #[must_use]
     pub fn planes_touched(&self) -> usize {
-        let set: BTreeSet<i32> = self.offsets.iter().map(Offset::streaming_component).collect();
+        let set: BTreeSet<i32> = self
+            .offsets
+            .iter()
+            .map(Offset::streaming_component)
+            .collect();
         set.len()
     }
 }
@@ -112,7 +116,11 @@ impl Expr {
             });
         }
         let ndim = *ranks.iter().next().expect("non-empty rank set");
-        let radius = offsets.iter().map(|o| o.radius() as usize).max().unwrap_or(0);
+        let radius = offsets
+            .iter()
+            .map(|o| o.radius() as usize)
+            .max()
+            .unwrap_or(0);
         let diagonal_access_free = offsets.iter().all(Offset::is_axial);
 
         let class = if diagonal_access_free {
@@ -140,9 +148,11 @@ fn is_full_box(offsets: &[Offset], ndim: usize, radius: usize) -> bool {
     }
     // All offsets must be within the cube; since they are distinct and the
     // count matches, the set is exactly the cube.
-    offsets
-        .iter()
-        .all(|o| o.components().iter().all(|&c| c.unsigned_abs() as usize <= radius))
+    offsets.iter().all(|o| {
+        o.components()
+            .iter()
+            .all(|&c| c.unsigned_abs() as usize <= radius)
+    })
 }
 
 #[cfg(test)]

@@ -186,7 +186,10 @@ mod tests {
         let t_mod_2 = CExpr::Mod(Box::new(CExpr::Ident("t".into())), Box::new(CExpr::Int(2)));
         assert_eq!(t_mod_2.as_parity_of(t), Some(0));
         let t1_mod_2 = CExpr::Mod(
-            Box::new(CExpr::Add(Box::new(CExpr::Ident("t".into())), Box::new(CExpr::Int(1)))),
+            Box::new(CExpr::Add(
+                Box::new(CExpr::Ident("t".into())),
+                Box::new(CExpr::Int(1)),
+            )),
             Box::new(CExpr::Int(2)),
         );
         assert_eq!(t1_mod_2.as_parity_of(t), Some(1));

@@ -63,7 +63,9 @@ fn extent_of(expr: &CExpr) -> Result<ExtentExpr, FrontendError> {
 /// offsets, reads of a different array, unsupported operations, …).
 pub fn detect(program: &CProgram, name: &str) -> Result<DetectedStencil, FrontendError> {
     let Some((loops, assignment)) = program.loop_nest() else {
-        return Err(FrontendError::unsupported("the loop nest is not perfectly nested"));
+        return Err(FrontendError::unsupported(
+            "the loop nest is not perfectly nested",
+        ));
     };
     if loops.len() < 3 || loops.len() > 4 {
         return Err(FrontendError::unsupported(format!(
@@ -77,18 +79,15 @@ pub fn detect(program: &CProgram, name: &str) -> Result<DetectedStencil, Fronten
     let time_var = loops[0].var.clone();
     let space_vars: Vec<String> = loops[1..].iter().map(|l| l.var.clone()).collect();
     if space_vars.contains(&time_var) {
-        return Err(FrontendError::unsupported("loop variables must be distinct"));
+        return Err(FrontendError::unsupported(
+            "loop variables must be distinct",
+        ));
     }
 
     let ndim = space_vars.len();
     check_store(assignment, &time_var, &space_vars)?;
 
-    let expr = convert_expr(
-        &assignment.value,
-        &assignment.array,
-        &time_var,
-        &space_vars,
-    )?;
+    let expr = convert_expr(&assignment.value, &assignment.array, &time_var, &space_vars)?;
     let def = StencilDef::new(name, expr)?;
     if def.ndim() != ndim {
         return Err(FrontendError::unsupported(format!(
@@ -234,7 +233,10 @@ mod tests {
         assert_eq!(d.time_extent, ExtentExpr::Symbol("I_T".into()));
         assert_eq!(
             d.space_extents,
-            vec![ExtentExpr::Symbol("I_S2".into()), ExtentExpr::Symbol("I_S1".into())]
+            vec![
+                ExtentExpr::Symbol("I_S2".into()),
+                ExtentExpr::Symbol("I_S1".into())
+            ]
         );
     }
 

@@ -24,10 +24,9 @@ pub fn emit_c_source(def: &StencilDef, array: &str) -> String {
     let mut out = String::new();
     let mut indent = String::new();
 
-    out.push_str(&format!("for (t = 0; t < I_T; t++)\n"));
-    for d in 0..ndim {
+    out.push_str("for (t = 0; t < I_T; t++)\n");
+    for (d, &var) in SPACE_VARS.iter().enumerate().take(ndim) {
         indent.push_str("  ");
-        let var = SPACE_VARS[d];
         let extent = format!("I_S{}", ndim - d);
         out.push_str(&format!(
             "{indent}for ({var} = {rad}; {var} <= {extent}; {var}++)\n"
@@ -164,7 +163,12 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}\n{src}", def.name()));
             assert_eq!(detected.def.ndim(), def.ndim(), "{}", def.name());
             assert_eq!(detected.def.radius(), def.radius(), "{}", def.name());
-            assert_eq!(detected.def.shape_class(), def.shape_class(), "{}", def.name());
+            assert_eq!(
+                detected.def.shape_class(),
+                def.shape_class(),
+                "{}",
+                def.name()
+            );
             assert_eq!(
                 detected.def.flops_per_cell(),
                 def.flops_per_cell(),

@@ -38,7 +38,12 @@ pub enum FrontendError {
 impl FrontendError {
     /// Helper used by the parser to build a [`FrontendError::Parse`].
     #[must_use]
-    pub fn parse(line: usize, column: usize, expected: impl Into<String>, found: impl Into<String>) -> Self {
+    pub fn parse(
+        line: usize,
+        column: usize,
+        expected: impl Into<String>,
+        found: impl Into<String>,
+    ) -> Self {
         FrontendError::Parse {
             line,
             column,
@@ -59,8 +64,15 @@ impl FrontendError {
 impl fmt::Display for FrontendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FrontendError::Lex { line, column, found } => {
-                write!(f, "unexpected character '{found}' at line {line}, column {column}")
+            FrontendError::Lex {
+                line,
+                column,
+                found,
+            } => {
+                write!(
+                    f,
+                    "unexpected character '{found}' at line {line}, column {column}"
+                )
             }
             FrontendError::Parse {
                 line,
@@ -86,7 +98,11 @@ mod tests {
 
     #[test]
     fn display_messages_carry_positions() {
-        let e = FrontendError::Lex { line: 3, column: 7, found: '@' };
+        let e = FrontendError::Lex {
+            line: 3,
+            column: 7,
+            found: '@',
+        };
         assert!(e.to_string().contains("line 3"));
         assert!(e.to_string().contains("'@'"));
         let e = FrontendError::parse(1, 2, "';'", "identifier 'x'");

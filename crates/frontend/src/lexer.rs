@@ -79,11 +79,15 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
             continue;
         }
 
-        if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) {
+        if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
             let mut text = String::new();
             let mut is_float = false;
             while i < chars.len()
-                && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E'
+                && (chars[i].is_ascii_digit()
+                    || chars[i] == '.'
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
                     || ((chars[i] == '+' || chars[i] == '-')
                         && matches!(text.chars().last(), Some('e' | 'E'))))
             {
@@ -113,7 +117,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
                     found: c,
                 })?)
             };
-            tokens.push(Token { kind, line: tok_line, column: tok_column });
+            tokens.push(Token {
+                kind,
+                line: tok_line,
+                column: tok_column,
+            });
             continue;
         }
 
@@ -155,7 +163,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
             let ch = chars[i];
             advance(&mut i, &mut line, &mut column, ch);
         }
-        tokens.push(Token { kind, line: tok_line, column: tok_column });
+        tokens.push(Token {
+            kind,
+            line: tok_line,
+            column: tok_column,
+        });
     }
 
     Ok(tokens)
@@ -166,7 +178,11 @@ mod tests {
     use super::*;
 
     fn kinds(source: &str) -> Vec<TokenKind> {
-        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

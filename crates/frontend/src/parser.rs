@@ -50,7 +50,10 @@ impl<'a> Parser<'a> {
 
     fn expect_ident(&mut self, what: &str) -> Result<String, FrontendError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Ident(s), .. }) => {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => {
                 let s = s.clone();
                 self.pos += 1;
                 Ok(s)
@@ -60,7 +63,11 @@ impl<'a> Parser<'a> {
     }
 
     fn eat_keyword(&mut self, keyword: &str) -> bool {
-        if let Some(Token { kind: TokenKind::Ident(s), .. }) = self.peek() {
+        if let Some(Token {
+            kind: TokenKind::Ident(s),
+            ..
+        }) = self.peek()
+        {
             if s == keyword {
                 self.pos += 1;
                 return true;
@@ -146,7 +153,11 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_statement(&mut self) -> Result<CStatement, FrontendError> {
-        if let Some(Token { kind: TokenKind::LBrace, .. }) = self.peek() {
+        if let Some(Token {
+            kind: TokenKind::LBrace,
+            ..
+        }) = self.peek()
+        {
             self.pos += 1;
             let inner = self.parse_statement()?;
             self.expect(&TokenKind::RBrace, "'}' after block")?;
@@ -218,7 +229,11 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_unary(&mut self) -> Result<CExpr, FrontendError> {
-        if let Some(Token { kind: TokenKind::Minus, .. }) = self.peek() {
+        if let Some(Token {
+            kind: TokenKind::Minus,
+            ..
+        }) = self.peek()
+        {
             self.pos += 1;
             let inner = self.parse_unary()?;
             return Ok(CExpr::Neg(Box::new(inner)));
@@ -230,9 +245,21 @@ impl<'a> Parser<'a> {
         let primary = self.parse_primary()?;
         // Array subscripts.
         if let CExpr::Ident(name) = &primary {
-            if matches!(self.peek(), Some(Token { kind: TokenKind::LBracket, .. })) {
+            if matches!(
+                self.peek(),
+                Some(Token {
+                    kind: TokenKind::LBracket,
+                    ..
+                })
+            ) {
                 let mut indices = Vec::new();
-                while matches!(self.peek(), Some(Token { kind: TokenKind::LBracket, .. })) {
+                while matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: TokenKind::LBracket,
+                        ..
+                    })
+                ) {
                     self.pos += 1;
                     indices.push(self.parse_expr()?);
                     self.expect(&TokenKind::RBracket, "']' after subscript")?;
@@ -265,10 +292,22 @@ impl<'a> Parser<'a> {
             Some(TokenKind::Ident(name)) => {
                 self.pos += 1;
                 // Function call?
-                if matches!(self.peek(), Some(Token { kind: TokenKind::LParen, .. })) {
+                if matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: TokenKind::LParen,
+                        ..
+                    })
+                ) {
                     self.pos += 1;
                     let mut args = vec![self.parse_expr()?];
-                    while matches!(self.peek(), Some(Token { kind: TokenKind::Comma, .. })) {
+                    while matches!(
+                        self.peek(),
+                        Some(Token {
+                            kind: TokenKind::Comma,
+                            ..
+                        })
+                    ) {
                         self.pos += 1;
                         args.push(self.parse_expr()?);
                     }

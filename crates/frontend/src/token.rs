@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn token_kinds_display() {
-        assert_eq!(TokenKind::Ident("for".into()).to_string(), "identifier 'for'");
+        assert_eq!(
+            TokenKind::Ident("for".into()).to_string(),
+            "identifier 'for'"
+        );
         assert_eq!(TokenKind::Int(42).to_string(), "integer 42");
         assert_eq!(TokenKind::LessEqual.to_string(), "'<='");
         assert_eq!(TokenKind::Increment.to_string(), "'++'");

@@ -34,7 +34,9 @@ pub mod timing;
 
 pub use counters::TrafficCounters;
 pub use device::GpuDevice;
-pub use exec::{execute_plan, execute_plan_on, BlockedRun};
+pub use exec::{
+    execute_plan, execute_plan_on, temporal_chunks, BlockedRun, TileContext, TileRun, TileSpec,
+};
 pub use occupancy::{Occupancy, OccupancyLimit};
 pub use profile::WorkloadProfile;
 pub use timing::{simulate, Bottleneck, InfeasibleConfig, SimulatedTime};

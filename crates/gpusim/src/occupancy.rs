@@ -53,22 +53,16 @@ impl Occupancy {
         shared_bytes_per_block: usize,
         registers_per_thread: usize,
     ) -> Self {
-        let by_threads = if nthr == 0 {
-            0
-        } else {
-            device.max_threads_per_sm / nthr
-        };
-        let by_shared = if shared_bytes_per_block == 0 {
-            usize::MAX
-        } else {
-            device.shared_mem_per_sm / shared_bytes_per_block
-        };
+        let by_threads = device.max_threads_per_sm.checked_div(nthr).unwrap_or(0);
+        let by_shared = device
+            .shared_mem_per_sm
+            .checked_div(shared_bytes_per_block)
+            .unwrap_or(usize::MAX);
         let regs_per_block = registers_per_thread.max(1) * nthr;
-        let by_registers = if regs_per_block == 0 {
-            usize::MAX
-        } else {
-            device.registers_per_sm / regs_per_block
-        };
+        let by_registers = device
+            .registers_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(usize::MAX);
 
         let blocks_per_sm = by_threads.min(by_shared).min(by_registers);
         let limited_by = if blocks_per_sm == by_threads {

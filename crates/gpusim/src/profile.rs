@@ -47,11 +47,7 @@ pub struct WorkloadProfile {
 impl WorkloadProfile {
     /// Build a profile from the exact counters of a functional run.
     #[must_use]
-    pub fn from_counters(
-        plan: &KernelPlan,
-        counters: &TrafficCounters,
-        cap: RegisterCap,
-    ) -> Self {
+    pub fn from_counters(plan: &KernelPlan, counters: &TrafficCounters, cap: RegisterCap) -> Self {
         let precision = plan.config().precision();
         let element_bytes = precision.bytes();
         let def = plan.def();
@@ -126,7 +122,8 @@ mod tests {
     #[test]
     fn from_counters_converts_elements_to_bytes() {
         let plan = sample_plan(Precision::Single);
-        let profile = WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Unlimited);
+        let profile =
+            WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Unlimited);
         assert_eq!(profile.gm_bytes, 1500 * 4);
         assert_eq!(profile.sm_bytes, 6000 * 4);
         assert_eq!(profile.flops, 15_000);
@@ -139,7 +136,8 @@ mod tests {
     #[test]
     fn double_precision_division_flag_and_bytes() {
         let plan = sample_plan(Precision::Double);
-        let profile = WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Unlimited);
+        let profile =
+            WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Unlimited);
         assert_eq!(profile.gm_bytes, 1500 * 8);
         assert!(profile.fp64_division, "j2d5pt contains a division");
     }
@@ -147,17 +145,20 @@ mod tests {
     #[test]
     fn spill_bytes_appear_under_tight_caps() {
         let plan = sample_plan(Precision::Double);
-        let tight = WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Limit(16));
+        let tight =
+            WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Limit(16));
         assert!(tight.spill_bytes > 0);
         assert!(tight.registers_per_thread <= 16);
-        let loose = WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Unlimited);
+        let loose =
+            WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Unlimited);
         assert_eq!(loose.spill_bytes, 0);
     }
 
     #[test]
     fn intensities() {
         let plan = sample_plan(Precision::Single);
-        let profile = WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Unlimited);
+        let profile =
+            WorkloadProfile::from_counters(&plan, &sample_counters(), RegisterCap::Unlimited);
         assert!((profile.gm_intensity() - 15_000.0 / 6000.0).abs() < 1e-12);
         assert!(profile.sm_intensity() < profile.gm_intensity());
         let empty = WorkloadProfile {

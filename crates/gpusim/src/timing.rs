@@ -45,7 +45,11 @@ pub struct InfeasibleConfig {
 
 impl fmt::Display for InfeasibleConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "configuration cannot execute on the device: {}", self.reason)
+        write!(
+            f,
+            "configuration cannot execute on the device: {}",
+            self.reason
+        )
     }
 }
 
@@ -89,7 +93,10 @@ impl SimulatedTime {
 /// Returns [`InfeasibleConfig`] when not even a single thread block of the
 /// configuration fits on an SM (shared-memory or register demand too high),
 /// or when the block has more threads than an SM supports.
-pub fn simulate(profile: &WorkloadProfile, device: &GpuDevice) -> Result<SimulatedTime, InfeasibleConfig> {
+pub fn simulate(
+    profile: &WorkloadProfile,
+    device: &GpuDevice,
+) -> Result<SimulatedTime, InfeasibleConfig> {
     if profile.nthr == 0 || profile.nthr > device.max_threads_per_sm {
         return Err(InfeasibleConfig {
             reason: format!(
@@ -127,8 +134,7 @@ pub fn simulate(profile: &WorkloadProfile, device: &GpuDevice) -> Result<Simulat
 
     // Shared memory: measured bandwidth times the per-device efficiency the
     // paper reports for N.5D-blocked kernels.
-    let sm_bw =
-        device.measured_shared_bw(profile.precision) * device.shared_mem_efficiency * 1e9;
+    let sm_bw = device.measured_shared_bw(profile.precision) * device.shared_mem_efficiency * 1e9;
     let time_shared = profile.sm_bytes as f64 / sm_bw;
 
     let (bottleneck, raw) = if time_shared >= time_global && time_shared >= time_compute {
@@ -258,7 +264,10 @@ mod tests {
         };
         let without = simulate(&base, &device).unwrap();
         let with = simulate(
-            &WorkloadProfile { fp64_division: true, ..base },
+            &WorkloadProfile {
+                fp64_division: true,
+                ..base
+            },
             &device,
         )
         .unwrap();
@@ -274,7 +283,14 @@ mod tests {
             ..base_profile()
         };
         let spilled = simulate(&profile, &device).unwrap();
-        let clean = simulate(&WorkloadProfile { spill_bytes: 0, ..profile }, &device).unwrap();
+        let clean = simulate(
+            &WorkloadProfile {
+                spill_bytes: 0,
+                ..profile
+            },
+            &device,
+        )
+        .unwrap();
         assert!(spilled.seconds > clean.seconds * 3.0);
     }
 

@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn split_mut_gives_disjoint_source_and_destination() {
-        let mut buf = DoubleBuffer::new(Grid::<f64>::from_init(
-            &[4, 4],
-            GridInit::Constant(1.0),
-        ));
+        let mut buf = DoubleBuffer::new(Grid::<f64>::from_init(&[4, 4], GridInit::Constant(1.0)));
         {
             let (src, dst) = buf.split_mut();
             assert_eq!(src.get(&[1, 1]), 1.0);
@@ -192,7 +189,10 @@ mod tests {
     fn scratch_starts_as_copy_so_boundaries_are_preserved() {
         let buf = DoubleBuffer::new(Grid::<f64>::from_init(
             &[4, 4],
-            GridInit::Linear { scale: 1.0, offset: 0.0 },
+            GridInit::Linear {
+                scale: 1.0,
+                offset: 0.0,
+            },
         ));
         assert_eq!(buf.next().get(&[0, 3]), 3.0);
         assert_eq!(buf.current().get(&[0, 3]), 3.0);

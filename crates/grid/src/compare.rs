@@ -157,6 +157,8 @@ mod tests {
     fn default_tolerances_by_precision() {
         assert_eq!(default_tolerance(Precision::Double, 100), 0.0);
         assert!(default_tolerance(Precision::Single, 100) > 0.0);
-        assert!(default_tolerance(Precision::Single, 400) > default_tolerance(Precision::Single, 100));
+        assert!(
+            default_tolerance(Precision::Single, 400) > default_tolerance(Precision::Single, 100)
+        );
     }
 }

@@ -10,7 +10,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 /// double-precision cell values; the precision affects the shared-memory
 /// footprint (`nword`), register pressure and the memory-bandwidth roofs of
 /// the performance model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Precision {
     /// 32-bit IEEE-754 (`float` in the generated CUDA code).
     Single,

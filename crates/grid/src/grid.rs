@@ -231,7 +231,11 @@ impl<T: Element> Grid<T> {
     pub fn interior_indices(&self, radius: usize) -> Vec<Vec<usize>> {
         let mut out = Vec::new();
         let lo: Vec<usize> = self.shape.iter().map(|_| radius).collect();
-        let hi: Vec<usize> = self.shape.iter().map(|&e| e.saturating_sub(radius)).collect();
+        let hi: Vec<usize> = self
+            .shape
+            .iter()
+            .map(|&e| e.saturating_sub(radius))
+            .collect();
         if lo.iter().zip(&hi).any(|(l, h)| l >= h) {
             return out;
         }

@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn linear_ramps_with_index_sum() {
-        let init = GridInit::Linear { scale: 2.0, offset: 1.0 };
+        let init = GridInit::Linear {
+            scale: 2.0,
+            offset: 1.0,
+        };
         assert_eq!(init.value_at(&[0, 0], &[4, 4]), 1.0);
         assert_eq!(init.value_at(&[1, 2], &[4, 4]), 7.0);
     }
@@ -138,7 +141,10 @@ mod tests {
 
     #[test]
     fn hotspot_peaks_at_centre() {
-        let init = GridInit::HotSpot { peak: 10.0, width: 0.25 };
+        let init = GridInit::HotSpot {
+            peak: 10.0,
+            width: 0.25,
+        };
         let centre = init.value_at(&[4, 4], &[9, 9]);
         let corner = init.value_at(&[0, 0], &[9, 9]);
         assert!(centre > corner);

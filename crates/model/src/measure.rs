@@ -150,10 +150,16 @@ mod tests {
         let def = suite::box3d(4);
         let problem = StencilProblem::new(def.clone(), &[64, 64, 64], 8).unwrap();
         let config = BlockConfig::new(1, &[64, 32], None, Precision::Double).unwrap();
-        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::stencilgen()).unwrap();
+        let plan =
+            KernelPlan::build(&def, &problem, &config, FrameworkScheme::stencilgen()).unwrap();
         // STENCILGEN's general-class box stencil needs bT×(1+2·rad) planes
         // in shared memory: 1×9×2048×2 words = 147 KiB > 64 KiB.
-        let result = measure(&plan, &problem, &GpuDevice::tesla_p100(), RegisterCap::Unlimited);
+        let result = measure(
+            &plan,
+            &problem,
+            &GpuDevice::tesla_p100(),
+            RegisterCap::Unlimited,
+        );
         assert!(result.is_err());
     }
 

@@ -148,7 +148,10 @@ mod tests {
             }
             last = p.gflops;
         }
-        assert!(improved >= 3, "performance should improve over several bT values");
+        assert!(
+            improved >= 3,
+            "performance should improve over several bT values"
+        );
     }
 
     #[test]

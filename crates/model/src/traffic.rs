@@ -89,7 +89,11 @@ fn per_block_sums(plan: &KernelPlan, problem: &StencilProblem) -> BlockSums {
     let mut dim_tiles: Vec<Vec<DimTile>> = Vec::with_capacity(ndim);
     match plan.config().hsn() {
         Some(h) => dim_tiles.push(tiles_for_dim(interior[0], h, halo)),
-        None => dim_tiles.push(vec![DimTile { origin: 0, len: interior[0], halo: 0 }]),
+        None => dim_tiles.push(vec![DimTile {
+            origin: 0,
+            len: interior[0],
+            halo: 0,
+        }]),
     }
     for (d, &cr) in plan.geometry().compute_region.iter().enumerate() {
         dim_tiles.push(tiles_for_dim(interior[d + 1], cr, halo));
@@ -292,7 +296,10 @@ mod tests {
         let (plan, problem) = plan_and_problem(suite::j2d5pt(), &[128, 128], 8, 4, &[64], None);
         let classes = thread_classes(&plan, &problem);
         assert!(classes.valid > 0);
-        assert!(classes.redundant > 0, "overlapped tiling must recompute halos");
+        assert!(
+            classes.redundant > 0,
+            "overlapped tiling must recompute halos"
+        );
         assert!(classes.boundary > 0);
         assert_eq!(
             classes.total(),

@@ -184,11 +184,7 @@ impl BlockConfig {
         let mut compute_region = Vec::with_capacity(self.bs.len());
         for (dim, &block) in self.bs.iter().enumerate() {
             if block <= halo {
-                return Err(PlanError::EmptyComputeRegion {
-                    dim,
-                    block,
-                    halo,
-                });
+                return Err(PlanError::EmptyComputeRegion { dim, block, halo });
             }
             compute_region.push(block - halo);
         }
@@ -231,11 +227,7 @@ impl BlockConfig {
     /// (ignoring the grid extents)?
     #[must_use]
     pub fn fits_stencil(&self, def: &StencilDef) -> bool {
-        self.bs.len() == def.ndim() - 1
-            && self
-                .bs
-                .iter()
-                .all(|&b| b > 2 * self.bt * def.radius())
+        self.bs.len() == def.ndim() - 1 && self.bs.iter().all(|&b| b > 2 * self.bt * def.radius())
     }
 }
 
@@ -409,7 +401,10 @@ mod tests {
         let config = BlockConfig::new(2, &[32, 32], None, Precision::Single).unwrap();
         assert!(matches!(
             config.geometry(&problem_2d()),
-            Err(PlanError::BlockedRankMismatch { supplied: 2, required: 1 })
+            Err(PlanError::BlockedRankMismatch {
+                supplied: 2,
+                required: 1
+            })
         ));
     }
 
@@ -449,7 +444,11 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let e = PlanError::EmptyComputeRegion { dim: 0, block: 32, halo: 40 };
+        let e = PlanError::EmptyComputeRegion {
+            dim: 0,
+            block: 32,
+            halo: 40,
+        };
         assert!(e.to_string().contains("no compute region"));
         assert!(PlanError::ZeroTemporalDegree.to_string().contains("bT"));
     }

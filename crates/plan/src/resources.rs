@@ -6,7 +6,9 @@ use std::fmt;
 
 /// A `-maxrregcount` register cap (Section 6.3 tunes over
 /// {no limit, 32, 64, 96}).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum RegisterCap {
     /// Capped at the given number of registers per thread.
     Limit(usize),
@@ -367,7 +369,10 @@ mod tests {
             if radius == 1 {
                 assert!(!shifting.spills_under(cap));
             } else {
-                assert!(shifting.spills_under(cap), "shifting did not spill at rad=2");
+                assert!(
+                    shifting.spills_under(cap),
+                    "shifting did not spill at rad=2"
+                );
             }
         }
     }

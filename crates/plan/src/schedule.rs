@@ -200,13 +200,22 @@ impl KernelSchedule {
     pub fn flattened(&self) -> Vec<MacroCall> {
         let mut out = Vec::new();
         for op in &self.head {
-            out.push(MacroCall { phase: Phase::Head, op: op.clone() });
+            out.push(MacroCall {
+                phase: Phase::Head,
+                op: op.clone(),
+            });
         }
         for op in &self.inner {
-            out.push(MacroCall { phase: Phase::Inner, op: op.clone() });
+            out.push(MacroCall {
+                phase: Phase::Inner,
+                op: op.clone(),
+            });
         }
         for op in &self.tail {
-            out.push(MacroCall { phase: Phase::Tail, op: op.clone() });
+            out.push(MacroCall {
+                phase: Phase::Tail,
+                op: op.clone(),
+            });
         }
         out
     }
@@ -244,7 +253,10 @@ fn push_plane_step(
 ) {
     let slot_of = |plane: i64| -> usize { plane.rem_euclid(unroll as i64) as usize };
     out.push(MacroOp::Load {
-        dst: RegSlot { time_step: 0, slot: slot_of(s) },
+        dst: RegSlot {
+            time_step: 0,
+            slot: slot_of(s),
+        },
         plane: s,
     });
     out.push(MacroOp::Sync);
@@ -263,7 +275,10 @@ fn push_plane_step(
             .collect();
         out.push(MacroOp::Calc {
             time_step: t,
-            dst: RegSlot { time_step: t.min(bt - 1), slot: slot_of(dst_plane) },
+            dst: RegSlot {
+                time_step: t.min(bt - 1),
+                slot: slot_of(dst_plane),
+            },
             srcs,
             shared_buffer: (t + 1) % 2,
         });
@@ -272,9 +287,15 @@ fn push_plane_step(
     let store_plane = s - lag;
     if !absolute || store_plane >= 0 {
         let regs: Vec<RegSlot> = (0..unroll)
-            .map(|m| RegSlot { time_step: bt - 1, slot: (slot_of(store_plane) + m) % unroll })
+            .map(|m| RegSlot {
+                time_step: bt - 1,
+                slot: (slot_of(store_plane) + m) % unroll,
+            })
             .collect();
-        out.push(MacroOp::Store { plane: store_plane, regs });
+        out.push(MacroOp::Store {
+            plane: store_plane,
+            regs,
+        });
     }
 }
 
@@ -296,11 +317,17 @@ fn push_drain_step(
         if s < remaining {
             let dst_plane = s - (t * radius) as i64;
             let srcs: Vec<RegSlot> = (-(radius as i64)..=radius as i64)
-                .map(|d| RegSlot { time_step: t - 1, slot: slot_of(dst_plane + d) })
+                .map(|d| RegSlot {
+                    time_step: t - 1,
+                    slot: slot_of(dst_plane + d),
+                })
                 .collect();
             out.push(MacroOp::Calc {
                 time_step: t,
-                dst: RegSlot { time_step: t.min(bt - 1), slot: slot_of(dst_plane) },
+                dst: RegSlot {
+                    time_step: t.min(bt - 1),
+                    slot: slot_of(dst_plane),
+                },
                 srcs,
                 shared_buffer: (t + 1) % 2,
             });
@@ -308,9 +335,15 @@ fn push_drain_step(
         }
     }
     let regs: Vec<RegSlot> = (0..unroll)
-        .map(|m| RegSlot { time_step: bt - 1, slot: (slot_of(s - lag) + m) % unroll })
+        .map(|m| RegSlot {
+            time_step: bt - 1,
+            slot: (slot_of(s - lag) + m) % unroll,
+        })
         .collect();
-    out.push(MacroOp::Store { plane: s - lag, regs });
+    out.push(MacroOp::Store {
+        plane: s - lag,
+        regs,
+    });
 }
 
 #[cfg(test)]
@@ -355,7 +388,10 @@ mod tests {
             .iter()
             .filter(|op| op.is_load())
             .count();
-        assert!(loads_before >= 5, "only {loads_before} loads before the first store");
+        assert!(
+            loads_before >= 5,
+            "only {loads_before} loads before the first store"
+        );
         // The head loads lag + unroll planes in total.
         assert_eq!(s.count_in(Phase::Head, MacroOp::is_load), 4 + 3);
     }
@@ -406,8 +442,14 @@ mod tests {
     fn calc_reads_previous_stream_and_writes_current() {
         let s = schedule(4, 1);
         for call in s.flattened() {
-            if let MacroOp::Calc { time_step, dst, srcs, .. } = call.op {
-                assert!(time_step >= 1 && time_step <= 4);
+            if let MacroOp::Calc {
+                time_step,
+                dst,
+                srcs,
+                ..
+            } = call.op
+            {
+                assert!((1..=4).contains(&time_step));
                 assert!(srcs.iter().all(|r| r.time_step == time_step - 1));
                 assert!(dst.time_step <= 3);
             }
@@ -431,7 +473,14 @@ mod tests {
 
     #[test]
     fn reg_slot_cuda_names() {
-        assert_eq!(RegSlot { time_step: 2, slot: 1 }.cuda_name(), "reg_2_1");
+        assert_eq!(
+            RegSlot {
+                time_step: 2,
+                slot: 1
+            }
+            .cuda_name(),
+            "reg_2_1"
+        );
     }
 
     #[test]

@@ -278,9 +278,14 @@ mod tests {
     #[test]
     fn display_strings() {
         assert!(FrameworkScheme::an5d().to_string().contains("AN5D"));
-        assert!(FrameworkScheme::stencilgen().to_string().contains("shifting"));
+        assert!(FrameworkScheme::stencilgen()
+            .to_string()
+            .contains("shifting"));
         assert_eq!(OptimizationClass::General.to_string(), "general");
         assert_eq!(RegisterScheme::Fixed.to_string(), "fixed");
-        assert_eq!(SharedMemoryScheme::DoubleBuffered.to_string(), "double-buffered");
+        assert_eq!(
+            SharedMemoryScheme::DoubleBuffered.to_string(),
+            "double-buffered"
+        );
     }
 }

@@ -29,7 +29,10 @@ impl fmt::Display for StencilError {
             StencilError::Shape(e) => write!(f, "invalid stencil expression: {e}"),
             StencilError::ZeroRadius => write!(f, "stencil radius is zero"),
             StencilError::UnsupportedRank { ndim } => {
-                write!(f, "stencils of rank {ndim} are not supported (expected 2 or 3)")
+                write!(
+                    f,
+                    "stencils of rank {ndim} are not supported (expected 2 or 3)"
+                )
             }
         }
     }
@@ -221,7 +224,10 @@ mod tests {
     #[test]
     fn rejects_zero_radius() {
         let e = Expr::constant(2.0) * Expr::cell(&[0, 0]);
-        assert_eq!(StencilDef::new("identity", e).unwrap_err(), StencilError::ZeroRadius);
+        assert_eq!(
+            StencilDef::new("identity", e).unwrap_err(),
+            StencilError::ZeroRadius
+        );
     }
 
     #[test]

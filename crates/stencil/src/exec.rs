@@ -55,7 +55,11 @@ where
 /// Panics if the grids are smaller than the stencil footprint or have
 /// mismatched shapes.
 pub fn reference_step<T: Element>(def: &StencilDef, src: &Grid<T>, dst: &mut Grid<T>) {
-    assert_eq!(src.shape(), dst.shape(), "source/destination shape mismatch");
+    assert_eq!(
+        src.shape(),
+        dst.shape(),
+        "source/destination shape mismatch"
+    );
     let rad = def.radius();
     let expr = def.expr();
     for idx in src.interior_indices(rad) {
@@ -135,12 +139,13 @@ mod tests {
         // All cells within distance `rad` of a face are boundary cells.
         let shape = problem.grid_shape();
         for idx in Grid::<f64>::zeros(&shape).interior_indices(0) {
-            let is_interior = idx
-                .iter()
-                .zip(&shape)
-                .all(|(&i, &e)| i >= 2 && i < e - 2);
+            let is_interior = idx.iter().zip(&shape).all(|(&i, &e)| i >= 2 && i < e - 2);
             if !is_interior {
-                assert_eq!(result.get(&idx), original.get(&idx), "boundary moved at {idx:?}");
+                assert_eq!(
+                    result.get(&idx),
+                    original.get(&idx),
+                    "boundary moved at {idx:?}"
+                );
             }
         }
     }
@@ -148,7 +153,10 @@ mod tests {
     #[test]
     fn zero_steps_is_identity() {
         let problem = StencilProblem::new(suite::box2d(1), &[6, 6], 0).unwrap();
-        let init = GridInit::Linear { scale: 0.25, offset: 1.0 };
+        let init = GridInit::Linear {
+            scale: 0.25,
+            offset: 1.0,
+        };
         let result = run_reference::<f64>(&problem, init);
         let original = Grid::<f64>::from_init(&problem.grid_shape(), init);
         assert!(GridDiff::compute(&result, &original).unwrap().is_exact());
@@ -206,7 +214,8 @@ mod tests {
     #[test]
     fn eval_expr_matches_f64_expression_eval() {
         let def = suite::j2d9pt();
-        let resolve64 = |o: Offset| 0.1 * f64::from(o.component(0)) + 0.01 * f64::from(o.component(1)) + 1.0;
+        let resolve64 =
+            |o: Offset| 0.1 * f64::from(o.component(0)) + 0.01 * f64::from(o.component(1)) + 1.0;
         let via_expr = def.expr().eval(&resolve64);
         let via_generic: f64 = eval_expr(def.expr(), &resolve64);
         assert_eq!(via_expr, via_generic);

@@ -117,7 +117,11 @@ impl StencilProblem {
     /// lower bound of global-memory traffic).
     #[must_use]
     pub fn grid_bytes(&self, precision: Precision) -> u128 {
-        self.grid_shape().iter().map(|&e| e as u128).product::<u128>() * precision.bytes() as u128
+        self.grid_shape()
+            .iter()
+            .map(|&e| e as u128)
+            .product::<u128>()
+            * precision.bytes() as u128
     }
 
     /// Throughput in GFLOP/s given a run time in seconds.

@@ -171,9 +171,7 @@ pub fn j2d9pt_gol() -> StencilDef {
 #[must_use]
 pub fn gradient2d() -> StencilDef {
     let centre = || Expr::cell(&[0, 0]);
-    let diff_sq = |off: [i32; 2]| {
-        (centre() - Expr::cell(&off)) * (centre() - Expr::cell(&off))
-    };
+    let diff_sq = |off: [i32; 2]| (centre() - Expr::cell(&off)) * (centre() - Expr::cell(&off));
     let sum = Expr::constant(1.0)
         + diff_sq([1, 0])
         + diff_sq([-1, 0])

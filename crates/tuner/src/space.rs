@@ -144,7 +144,9 @@ mod tests {
     fn candidates_carry_precision_and_parameters() {
         let s = SearchSpace::paper(3, Precision::Double);
         let candidates = s.candidates();
-        assert!(candidates.iter().all(|c| c.precision() == Precision::Double));
+        assert!(candidates
+            .iter()
+            .all(|c| c.precision() == Precision::Double));
         assert!(candidates.iter().any(|c| c.bs() == [64, 16]));
         assert!(candidates.iter().any(|c| c.hsn() == Some(256)));
         assert_eq!(s.precision(), Precision::Double);

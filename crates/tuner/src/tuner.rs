@@ -1,13 +1,16 @@
 //! The model-guided tuning flow of Section 6.3.
 
-use crate::SearchSpace;
+use an5d_backend::PlanCache;
 use an5d_gpusim::GpuDevice;
 use an5d_grid::Precision;
 use an5d_model::{measure, predict};
-use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, RegisterCap};
+use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, PlanError, RegisterCap};
 use an5d_stencil::{StencilDef, StencilProblem};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+
+use crate::SearchSpace;
 
 /// How many model-ranked candidates are actually "run" (simulated); the
 /// paper uses the top 5.
@@ -26,7 +29,10 @@ impl fmt::Display for TunerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TunerError::NoFeasibleCandidate => {
-                write!(f, "no feasible blocking configuration found in the search space")
+                write!(
+                    f,
+                    "no feasible blocking configuration found in the search space"
+                )
             }
         }
     }
@@ -86,6 +92,7 @@ pub struct Tuner {
     precision: Precision,
     scheme: FrameworkScheme,
     top_k: usize,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl Tuner {
@@ -97,7 +104,17 @@ impl Tuner {
             precision,
             scheme: FrameworkScheme::an5d(),
             top_k: DEFAULT_TOP_K,
+            cache: None,
         }
+    }
+
+    /// Plan through a shared [`PlanCache`] so repeated tuning queries
+    /// (same stencil/problem/space, e.g. across devices or register caps)
+    /// skip re-planning.
+    #[must_use]
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Use a different framework scheme (e.g. STENCILGEN for comparisons).
@@ -118,6 +135,19 @@ impl Tuner {
     #[must_use]
     pub fn device(&self) -> &GpuDevice {
         &self.device
+    }
+
+    /// Build (or fetch from the shared cache) the plan for one candidate.
+    fn plan_for(
+        &self,
+        def: &StencilDef,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+    ) -> Result<Arc<KernelPlan>, PlanError> {
+        match &self.cache {
+            Some(cache) => cache.get_or_build(def, problem, config, self.scheme),
+            None => KernelPlan::build(def, problem, config, self.scheme).map(Arc::new),
+        }
     }
 
     /// Prune a candidate by the Section 6.3 register heuristic: the expected
@@ -150,18 +180,16 @@ impl Tuner {
         // the Section 5 model. Candidate evaluation is independent, so the
         // ranking is computed in parallel.
         let candidates = space.candidates();
-        let mut ranked: Vec<(BlockConfig, KernelPlan, f64)> = Vec::new();
+        let mut ranked: Vec<(BlockConfig, Arc<KernelPlan>, f64)> = Vec::new();
         let chunk_size = candidates.len().div_ceil(num_workers()).max(1);
-        let chunks: Vec<&[BlockConfig]> = candidates.chunks(chunk_size).collect();
-        let results: Vec<Vec<(BlockConfig, KernelPlan, f64)>> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
+        let results: Vec<Vec<(BlockConfig, Arc<KernelPlan>, f64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk_size)
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         for config in chunk {
-                            let Ok(plan) = KernelPlan::build(def, problem, config, self.scheme)
-                            else {
+                            let Ok(plan) = self.plan_for(def, problem, config) else {
                                 continue;
                             };
                             if !self.survives_register_pruning(&plan) {
@@ -174,9 +202,11 @@ impl Tuner {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("tuner worker panicked")).collect()
-        })
-        .expect("tuner thread pool failed");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tuner worker panicked"))
+                .collect()
+        });
         for chunk in results {
             ranked.extend(chunk);
         }
@@ -282,6 +312,33 @@ mod tests {
     }
 
     #[test]
+    fn repeated_tuning_through_a_shared_cache_skips_replanning() {
+        let def = suite::star2d(1);
+        let problem = small_problem(&def);
+        let space = SearchSpace::quick(2, Precision::Single);
+        let cache = Arc::new(PlanCache::new(1024));
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single)
+            .with_plan_cache(Arc::clone(&cache));
+
+        let first = tuner.tune(&def, &problem, &space).unwrap();
+        let after_first = cache.stats();
+        assert!(after_first.misses > 0, "first run populates the cache");
+
+        // The second identical query re-requests the same plans: only hits.
+        let second = tuner.tune(&def, &problem, &space).unwrap();
+        let after_second = cache.stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "second run must not re-plan"
+        );
+        assert!(after_second.hits > after_first.hits);
+        assert_eq!(
+            first.best, second.best,
+            "caching must not change the result"
+        );
+    }
+
+    #[test]
     fn tuned_beats_bt1_baseline_for_first_order_2d() {
         // The central claim: temporal blocking pays off, so the tuned bT
         // should exceed 1 and beat the bT = 1 configuration.
@@ -291,11 +348,16 @@ mod tests {
         let result = tuner
             .tune(&def, &problem, &SearchSpace::paper(2, Precision::Single))
             .unwrap();
-        assert!(result.best.config.bt() > 1, "tuned bT = {}", result.best.config.bt());
+        assert!(
+            result.best.config.bt() > 1,
+            "tuned bT = {}",
+            result.best.config.bt()
+        );
 
         let bt1 = BlockConfig::new(1, &[256], Some(256), Precision::Single).unwrap();
         let plan = KernelPlan::build(&def, &problem, &bt1, FrameworkScheme::an5d()).unwrap();
-        let bt1_measured = measure(&plan, &problem, tuner.device(), RegisterCap::Unlimited).unwrap();
+        let bt1_measured =
+            measure(&plan, &problem, tuner.device(), RegisterCap::Unlimited).unwrap();
         assert!(result.best.measured_gflops > bt1_measured.gflops);
     }
 
@@ -340,12 +402,7 @@ mod tests {
         let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
         // Blocks far too small for the requested bT: every candidate fails
         // plan validation.
-        let space = SearchSpace::new(
-            vec![16],
-            vec![vec![32]],
-            vec![None],
-            Precision::Single,
-        );
+        let space = SearchSpace::new(vec![16], vec![vec![32]], vec![None], Precision::Single);
         let err = tuner.tune(&def, &small_problem(&def), &space).unwrap_err();
         assert_eq!(err, TunerError::NoFeasibleCandidate);
         assert!(err.to_string().contains("no feasible"));

@@ -11,7 +11,9 @@ use an5d::{
 };
 
 fn main() -> Result<(), An5dError> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "j2d5pt".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "j2d5pt".to_string());
     let def = suite::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark '{name}', falling back to j2d5pt");
         suite::j2d5pt()
@@ -34,15 +36,21 @@ fn main() -> Result<(), An5dError> {
 
         report(
             "Loop tiling",
-            loop_tiling_measurement(&problem, &device, precision).ok().map(|r| r.gflops),
+            loop_tiling_measurement(&problem, &device, precision)
+                .ok()
+                .map(|r| r.gflops),
         );
         report(
             "Hybrid tiling",
-            hybrid_measurement(&problem, &device, precision).ok().map(|r| r.gflops),
+            hybrid_measurement(&problem, &device, precision)
+                .ok()
+                .map(|r| r.gflops),
         );
         report(
             "STENCILGEN",
-            stencilgen_measurement(&problem, &device, precision).ok().map(|r| r.gflops),
+            stencilgen_measurement(&problem, &device, precision)
+                .ok()
+                .map(|r| r.gflops),
         );
 
         // AN5D with STENCILGEN's configuration (Sconf).
@@ -63,7 +71,10 @@ fn main() -> Result<(), An5dError> {
         let tuned = tuner
             .tune(&def, &problem, &SearchSpace::paper(def.ndim(), precision))
             .ok();
-        report("AN5D (Tuned)", tuned.as_ref().map(|t| t.best.measured_gflops));
+        report(
+            "AN5D (Tuned)",
+            tuned.as_ref().map(|t| t.best.measured_gflops),
+        );
         if let Some(t) = &tuned {
             println!(
                 "  tuned configuration:   {} (register cap {})",

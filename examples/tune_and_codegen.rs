@@ -42,14 +42,23 @@ fn main() -> Result<(), An5dError> {
 
     let cuda = an5d.generate_cuda(&problem, &result.best.config)?;
     println!("\nGenerated CUDA for the winner ({}):", cuda.kernel_name);
-    println!("  kernel source: {} lines", cuda.kernel_source.lines().count());
-    println!("  host source:   {} lines", cuda.host_source.lines().count());
+    println!(
+        "  kernel source: {} lines",
+        cuda.kernel_source.lines().count()
+    );
+    println!(
+        "  host source:   {} lines",
+        cuda.host_source.lines().count()
+    );
 
     let macro_lines: Vec<&str> = cuda
         .kernel_source
         .lines()
         .filter(|l| l.starts_with("#define CALC"))
         .collect();
-    println!("  CALC macros (one per combined time-step): {}", macro_lines.len());
+    println!(
+        "  CALC macros (one per combined time-step): {}",
+        macro_lines.len()
+    );
     Ok(())
 }

@@ -34,7 +34,10 @@ fn check(def: &StencilDef, interior: &[usize], steps: usize, config: &BlockConfi
 
 #[test]
 fn every_2d_benchmark_matches_the_reference_under_deep_temporal_blocking() {
-    for def in suite::all_benchmarks().into_iter().filter(|d| d.ndim() == 2) {
+    for def in suite::all_benchmarks()
+        .into_iter()
+        .filter(|d| d.ndim() == 2)
+    {
         let bt = if def.radius() >= 3 { 2 } else { 4 };
         let bs = 16 + 2 * bt * def.radius();
         let config = BlockConfig::new(bt, &[bs], Some(16), Precision::Double).unwrap();
@@ -44,7 +47,10 @@ fn every_2d_benchmark_matches_the_reference_under_deep_temporal_blocking() {
 
 #[test]
 fn every_3d_benchmark_matches_the_reference() {
-    for def in suite::all_benchmarks().into_iter().filter(|d| d.ndim() == 3) {
+    for def in suite::all_benchmarks()
+        .into_iter()
+        .filter(|d| d.ndim() == 3)
+    {
         let bt = if def.radius() >= 2 { 1 } else { 2 };
         let bs = 6 + 2 * bt * def.radius();
         let config = BlockConfig::new(bt, &[bs, bs], None, Precision::Double).unwrap();

@@ -10,25 +10,43 @@ use an5d::{
 fn c_round_trip_and_verification_for_representative_benchmarks() {
     // One representative of every stencil family keeps this test quick
     // while exercising the whole pipeline for each shape class.
-    for name in ["star2d2r", "box2d1r", "j2d9pt", "gradient2d", "star3d1r", "j3d27pt"] {
+    for name in [
+        "star2d2r",
+        "box2d1r",
+        "j2d9pt",
+        "gradient2d",
+        "star3d1r",
+        "j3d27pt",
+    ] {
         let def = suite::by_name(name).expect("known benchmark");
         // Emit canonical C and re-detect it.
         let source = emit_c_source(&def, "A");
         let detected = parse_stencil(&source, name).expect("re-detection succeeds");
         assert_eq!(detected.def.radius(), def.radius(), "{name}");
-        assert_eq!(detected.def.flops_per_cell(), def.flops_per_cell(), "{name}");
+        assert_eq!(
+            detected.def.flops_per_cell(),
+            def.flops_per_cell(),
+            "{name}"
+        );
 
         // Verify the blocked schedule of the re-detected stencil.
         let an5d = An5d::from_def(detected.def);
         let (interior, bs): (Vec<usize>, Vec<usize>) = if def.ndim() == 2 {
             (vec![26, 24], vec![8 + 4 * def.radius()])
         } else {
-            (vec![10, 9, 8], vec![6 + 2 * def.radius(), 6 + 2 * def.radius()])
+            (
+                vec![10, 9, 8],
+                vec![6 + 2 * def.radius(), 6 + 2 * def.radius()],
+            )
         };
         let problem = an5d.problem(&interior, 4).unwrap();
         let config = BlockConfig::new(1, &bs, None, Precision::Double).unwrap();
         let report = an5d.verify(&problem, &config).unwrap();
-        assert!(report.matches_reference, "{name}: {:?}", report.max_abs_diff);
+        assert!(
+            report.matches_reference,
+            "{name}: {:?}",
+            report.max_abs_diff
+        );
     }
 }
 
@@ -42,7 +60,9 @@ fn generated_cuda_reflects_the_tuned_configuration() {
     let cuda = an5d.generate_cuda(&problem, &tuned.best.config).unwrap();
 
     let bt = tuned.best.config.bt();
-    assert!(cuda.kernel_source.contains(&format!("#define AN5D_BT {bt}")));
+    assert!(cuda
+        .kernel_source
+        .contains(&format!("#define AN5D_BT {bt}")));
     assert_eq!(
         cuda.kernel_source.matches("#define CALC").count(),
         bt,
@@ -79,7 +99,10 @@ fn paper_headline_claim_holds_on_v100() {
     );
     assert!(an5d_model.gflops > an5d_measured.gflops);
     let accuracy = an5d_measured.gflops / an5d_model.gflops;
-    assert!(accuracy > 0.25 && accuracy < 0.95, "model accuracy {accuracy}");
+    assert!(
+        accuracy > 0.25 && accuracy < 0.95,
+        "model accuracy {accuracy}"
+    );
 }
 
 #[test]

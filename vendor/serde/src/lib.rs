@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the minimal surface the workspace relies on: the `Serialize`
+//! and `Deserialize` marker traits (blanket-implemented for every type)
+//! and the derive macros re-exported from the sibling `serde_derive`
+//! stand-in (which emit nothing, because the blanket impls already cover
+//! every type). No code in the workspace currently serialises values —
+//! the derives only declare intent — so this is behaviour-preserving.
+//! Pointing the path dependencies at the real `serde` restores full
+//! serialisation support without any source change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
