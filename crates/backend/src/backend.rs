@@ -134,6 +134,11 @@ pub struct ParallelCpuBackend {
 
 impl ParallelCpuBackend {
     /// A backend with an explicit worker-thread count (clamped to ≥ 1).
+    ///
+    /// The clamp is a convenience for programmatic construction only; the
+    /// string registry treats `"parallel:0"` as an invalid spec and
+    /// rejects it (see [`crate::create_backend`]) instead of masking the
+    /// zero.
     #[must_use]
     pub fn new(threads: usize) -> Self {
         Self {

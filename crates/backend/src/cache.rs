@@ -3,17 +3,30 @@
 //!
 //! Planning is pure — the same `(StencilDef, StencilProblem, BlockConfig,
 //! FrameworkScheme)` inputs always derive the same [`KernelPlan`] — so
-//! repeated tuner sweeps and benchmark harness queries can reuse plans
-//! instead of re-deriving geometry, resources and schedules. The cache is
-//! `Mutex`-protected and shared via `Arc`, so the batch driver's worker
-//! pool and the tuner's ranking threads all hit one instance.
+//! repeated tuner sweeps, benchmark harness queries and `an5d-serve`
+//! request handlers can reuse plans instead of re-deriving geometry,
+//! resources and schedules. The cache is `Mutex`-protected and shared via
+//! `Arc`, so the batch driver's worker pool, the tuner's ranking threads
+//! and the service's connection workers all hit one instance.
+//!
+//! Two properties matter under concurrent load:
+//!
+//! * **Miss coalescing** — when N threads miss on the same key at once,
+//!   exactly one of them builds the plan; the others block on a per-key
+//!   in-flight slot and receive the finished `Arc` (or the build error).
+//!   Without this, a thundering herd of identical requests did N
+//!   identical builds.
+//! * **Ordered eviction** — recency is tracked in a tick-ordered
+//!   `BTreeMap` index, so an insert evicts the least-recently-used entry
+//!   in `O(log n)` instead of re-scanning the whole map (`O(n)` per
+//!   insert, `O(n²)` under churn).
 
 use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, PlanError};
 use an5d_stencil::{StencilDef, StencilProblem};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Default number of cached plans.
 const DEFAULT_CAPACITY: usize = 256;
@@ -67,20 +80,91 @@ struct Entry {
     last_used: u64,
 }
 
+/// State of an in-flight build slot.
+enum SlotState {
+    /// The builder is still running.
+    Pending,
+    /// The builder finished (successfully or with a plan error).
+    Done(Result<Arc<KernelPlan>, PlanError>),
+    /// The builder panicked and unwound without a result; waiters must
+    /// fall back to building for themselves.
+    Abandoned,
+}
+
+/// A per-key slot shared by the thread building a plan and every thread
+/// waiting for that build.
+struct InFlight {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<Arc<KernelPlan>, PlanError>) {
+        *self.state.lock().expect("in-flight slot poisoned") = SlotState::Done(result);
+        self.done.notify_all();
+    }
+
+    fn abandon(&self) {
+        *self.state.lock().expect("in-flight slot poisoned") = SlotState::Abandoned;
+        self.done.notify_all();
+    }
+
+    /// Block until the builder publishes; `None` means it unwound and
+    /// the waiter must build for itself.
+    fn wait(&self) -> Option<Result<Arc<KernelPlan>, PlanError>> {
+        let mut state = self.state.lock().expect("in-flight slot poisoned");
+        loop {
+            match &*state {
+                SlotState::Pending => {
+                    state = self.done.wait(state).expect("in-flight slot poisoned");
+                }
+                SlotState::Done(result) => return Some(result.clone()),
+                SlotState::Abandoned => return None,
+            }
+        }
+    }
+}
+
 struct Inner {
     map: HashMap<PlanKey, Entry>,
+    /// Recency index: `last_used` tick → key. Ticks are unique (every
+    /// lookup takes a fresh one under the lock), so this is an exact
+    /// mirror of `map` ordered oldest-first.
+    lru: BTreeMap<u64, PlanKey>,
+    /// Builds currently running outside the lock, keyed so racing misses
+    /// can coalesce onto them.
+    in_flight: HashMap<PlanKey, Arc<InFlight>>,
     tick: u64,
     hits: u64,
     misses: u64,
+    coalesced: u64,
+}
+
+impl Inner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 /// Point-in-time cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered without building: true cache hits plus coalesced
+    /// waits on another thread's in-flight build.
     pub hits: u64,
     /// Lookups that had to build a plan.
     pub misses: u64,
+    /// Lookups (already counted in `hits`) that were answered by waiting
+    /// on a concurrent in-flight build of the same key.
+    pub coalesced: u64,
     /// Plans currently cached.
     pub entries: usize,
     /// Maximum number of cached plans.
@@ -96,6 +180,29 @@ impl CacheStats {
             return 0.0;
         }
         self.hits as f64 / total as f64
+    }
+}
+
+/// Cleanup for a builder that unwinds: removes the in-flight slot and
+/// marks it abandoned so coalesced waiters wake up and build for
+/// themselves instead of blocking forever. Disarmed with `mem::forget`
+/// once the build returns normally.
+struct AbandonGuard<'a> {
+    cache: &'a PlanCache,
+    key: &'a PlanKey,
+}
+
+impl Drop for AbandonGuard<'_> {
+    fn drop(&mut self) {
+        // The build runs without the cache lock held, so the unwinding
+        // panic cannot have poisoned it; if it somehow is, waiters are
+        // already panicking on the same lock.
+        if let Ok(mut inner) = self.cache.inner.lock() {
+            if let Some(slot) = inner.in_flight.remove(self.key) {
+                drop(inner);
+                slot.abandon();
+            }
+        }
     }
 }
 
@@ -131,9 +238,12 @@ impl PlanCache {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                lru: BTreeMap::new(),
+                in_flight: HashMap::new(),
                 tick: 0,
                 hits: 0,
                 misses: 0,
+                coalesced: 0,
             }),
         }
     }
@@ -161,12 +271,18 @@ impl PlanCache {
     }
 
     /// Like [`PlanCache::get_or_build`], additionally reporting whether
-    /// this particular lookup was answered from the cache.
+    /// this particular lookup was answered from the cache (a coalesced
+    /// wait on another thread's build counts as a cache answer).
+    ///
+    /// Concurrent misses on the same key coalesce: the first miss builds
+    /// outside the lock while later misses block on the in-flight slot,
+    /// so each key is built exactly once no matter how many threads race.
     ///
     /// # Errors
     ///
     /// Propagates [`PlanError`] from [`KernelPlan::build`]; failed builds
-    /// are not cached.
+    /// are not cached (waiters coalesced onto a failed build receive a
+    /// clone of the same error).
     ///
     /// # Panics
     ///
@@ -179,52 +295,110 @@ impl PlanCache {
         scheme: FrameworkScheme,
     ) -> Result<(Arc<KernelPlan>, bool), PlanError> {
         let key = PlanKey::new(def, problem, config, scheme);
-        {
+        let in_flight = {
             let mut inner = self.inner.lock().expect("plan cache poisoned");
-            inner.tick += 1;
-            let tick = inner.tick;
-            let cached = inner.map.get_mut(&key).and_then(|entry| {
+            let tick = inner.next_tick();
+            let cached = match inner.map.get(&key) {
                 // The key carries only a fingerprint of the stencil, so a
                 // hit must still compare the full definition: a colliding
                 // fingerprint (same name/config, different expression) is
                 // rejected here and rebuilt.
-                if entry.plan.def() == def {
-                    entry.last_used = tick;
-                    Some(Arc::clone(&entry.plan))
-                } else {
-                    None
+                Some(entry) if entry.plan.def() == def => {
+                    Some((Arc::clone(&entry.plan), entry.last_used))
                 }
-            });
-            if let Some(plan) = cached {
+                _ => None,
+            };
+            if let Some((plan, last_used)) = cached {
+                inner.lru.remove(&last_used);
+                inner.lru.insert(tick, key.clone());
+                inner
+                    .map
+                    .get_mut(&key)
+                    .expect("entry checked above")
+                    .last_used = tick;
                 inner.hits += 1;
                 return Ok((plan, true));
             }
-            inner.misses += 1;
+            if let Some(slot) = inner.in_flight.get(&key).map(Arc::clone) {
+                // Another thread is already building this key: wait for
+                // its result instead of duplicating the build.
+                inner.hits += 1;
+                inner.coalesced += 1;
+                Some(slot)
+            } else {
+                inner.misses += 1;
+                inner
+                    .in_flight
+                    .insert(key.clone(), Arc::new(InFlight::new()));
+                None
+            }
+        };
+
+        if let Some(slot) = in_flight {
+            return match slot.wait() {
+                Some(Ok(plan)) if plan.def() == def => Ok((plan, true)),
+                // Fingerprint collision raced in flight: the finished
+                // build is for a different definition with the same key.
+                // Build directly (uncached) rather than poison the entry.
+                Some(Ok(_)) => Ok((
+                    Arc::new(KernelPlan::build(def, problem, config, scheme)?),
+                    false,
+                )),
+                Some(Err(e)) => Err(e),
+                // The builder panicked and unwound: fall back to building
+                // for ourselves (uncached) instead of hanging forever.
+                None => Ok((
+                    Arc::new(KernelPlan::build(def, problem, config, scheme)?),
+                    false,
+                )),
+            };
         }
 
-        // Build outside the lock: planning is pure, so a racing duplicate
-        // build is wasted work, never an inconsistency.
-        let plan = Arc::new(KernelPlan::build(def, problem, config, scheme)?);
+        // Build outside the lock: planning is pure, so holding the lock
+        // would only serialise unrelated keys. Racing misses on this key
+        // are parked on the in-flight slot registered above. The guard
+        // covers a panicking `KernelPlan::build`: without it an unwind
+        // would strand the slot in `Pending`, wedging every current and
+        // future lookup of this key on a condvar that never fires.
+        let guard = AbandonGuard {
+            cache: self,
+            key: &key,
+        };
+        let built = KernelPlan::build(def, problem, config, scheme).map(Arc::new);
+        std::mem::forget(guard);
         let mut inner = self.inner.lock().expect("plan cache poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(
-            key,
-            Entry {
-                plan: Arc::clone(&plan),
-                last_used: tick,
-            },
-        );
-        while inner.map.len() > self.capacity {
-            let oldest = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty map has a minimum");
-            inner.map.remove(&oldest);
+        let slot = inner
+            .in_flight
+            .remove(&key)
+            .expect("builder owns the in-flight slot");
+        if let Ok(plan) = &built {
+            let tick = inner.next_tick();
+            if let Some(old) = inner.map.insert(
+                key.clone(),
+                Entry {
+                    plan: Arc::clone(plan),
+                    last_used: tick,
+                },
+            ) {
+                inner.lru.remove(&old.last_used);
+            }
+            inner.lru.insert(tick, key);
+            while inner.map.len() > self.capacity {
+                let (&oldest_tick, _) = inner
+                    .lru
+                    .iter()
+                    .next()
+                    .expect("lru mirrors the non-empty map");
+                let oldest_key = inner
+                    .lru
+                    .remove(&oldest_tick)
+                    .expect("tick fetched from the index");
+                inner.map.remove(&oldest_key);
+            }
         }
-        Ok((plan, false))
+        drop(inner);
+        slot.publish(built.clone());
+        built.map(|plan| (plan, false))
     }
 
     /// Current hit/miss/occupancy statistics.
@@ -238,18 +412,22 @@ impl PlanCache {
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
+            coalesced: inner.coalesced,
             entries: inner.map.len(),
             capacity: self.capacity,
         }
     }
 
-    /// Drop every cached plan (statistics are kept).
+    /// Drop every cached plan (statistics are kept; in-flight builds are
+    /// unaffected and will insert when they finish).
     ///
     /// # Panics
     ///
     /// Panics if the cache mutex was poisoned by a panicking thread.
     pub fn clear(&self) {
-        self.inner.lock().expect("plan cache poisoned").map.clear();
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.map.clear();
+        inner.lru.clear();
     }
 }
 
@@ -378,6 +556,160 @@ mod tests {
         assert_eq!(
             stencil_fingerprint(&a),
             stencil_fingerprint(&suite::star2d(1))
+        );
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_coalesce_into_a_single_build() {
+        let cache = PlanCache::new(8);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let config = BlockConfig::new(2, &[16], None, Precision::Double).unwrap();
+
+        const THREADS: usize = 8;
+        let barrier = std::sync::Barrier::new(THREADS);
+        let plans: Vec<Arc<KernelPlan>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        cache
+                            .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lookup thread panicked"))
+                .collect()
+        });
+
+        // Exactly one thread built; everyone else hit the cache or waited
+        // on the in-flight build — and all received the same Arc, which
+        // proves a single build produced every answer.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one coalesced build per key");
+        assert_eq!(stats.hits, (THREADS - 1) as u64);
+        assert_eq!(stats.hits + stats.misses, THREADS as u64);
+        for plan in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], plan));
+        }
+    }
+
+    #[test]
+    fn coalesced_waiters_receive_the_builders_error() {
+        let cache = PlanCache::new(8);
+        let def = suite::j2d9pt();
+        let problem = problem(&def);
+        // Block far too small for bT = 16: every build fails validation.
+        let config = BlockConfig::new(16, &[32], None, Precision::Double).unwrap();
+
+        const THREADS: usize = 4;
+        let barrier = std::sync::Barrier::new(THREADS);
+        let errors: Vec<PlanError> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        cache
+                            .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+                            .unwrap_err()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lookup thread panicked"))
+                .collect()
+        });
+        assert_eq!(errors.len(), THREADS);
+        for e in &errors[1..] {
+            assert_eq!(errors[0], *e, "waiters see a clone of the same error");
+        }
+        assert_eq!(cache.stats().entries, 0, "failed builds are not cached");
+    }
+
+    #[test]
+    fn abandoned_builds_unblock_waiters_instead_of_hanging() {
+        // Simulate a builder that panicked mid-build: its in-flight slot
+        // is registered but the result never arrives. Waiters must fall
+        // back to building for themselves once the guard abandons the
+        // slot — not block forever on the condvar.
+        let cache = PlanCache::new(8);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let config = BlockConfig::new(2, &[16], None, Precision::Double).unwrap();
+        let key = PlanKey::new(&def, &problem, &config, FrameworkScheme::an5d());
+
+        cache
+            .inner
+            .lock()
+            .unwrap()
+            .in_flight
+            .insert(key.clone(), Arc::new(InFlight::new()));
+
+        let plan = std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                // Coalesces onto the dead slot and parks.
+                cache
+                    .get_or_build(&def, &problem, &config, FrameworkScheme::an5d())
+                    .unwrap()
+            });
+            // Let the waiter reach the condvar, then run the unwind-path
+            // cleanup the builder's guard would have performed.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(AbandonGuard {
+                cache: &cache,
+                key: &key,
+            });
+            waiter.join().expect("waiter must not hang or panic")
+        });
+        assert_eq!(plan.def(), &def);
+        assert!(
+            cache.inner.lock().unwrap().in_flight.is_empty(),
+            "abandoned slot must be cleaned up"
+        );
+    }
+
+    #[test]
+    fn eviction_order_tracks_recency_touches() {
+        let cache = PlanCache::new(2);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let config = |bt: usize| BlockConfig::new(bt, &[16], None, Precision::Double).unwrap();
+
+        cache
+            .get_or_build(&def, &problem, &config(1), FrameworkScheme::an5d())
+            .unwrap();
+        cache
+            .get_or_build(&def, &problem, &config(2), FrameworkScheme::an5d())
+            .unwrap();
+        // Touch bt=1 so bt=2 becomes the LRU entry...
+        cache
+            .get_or_build(&def, &problem, &config(1), FrameworkScheme::an5d())
+            .unwrap();
+        // ...then insert a third plan, which must evict bt=2, not bt=1.
+        cache
+            .get_or_build(&def, &problem, &config(3), FrameworkScheme::an5d())
+            .unwrap();
+
+        let misses_before = cache.stats().misses;
+        cache
+            .get_or_build(&def, &problem, &config(1), FrameworkScheme::an5d())
+            .unwrap();
+        assert_eq!(
+            cache.stats().misses,
+            misses_before,
+            "recently-touched bt=1 must have survived eviction"
+        );
+        cache
+            .get_or_build(&def, &problem, &config(2), FrameworkScheme::an5d())
+            .unwrap();
+        assert_eq!(
+            cache.stats().misses,
+            misses_before + 1,
+            "least-recently-used bt=2 must have been evicted"
         );
     }
 

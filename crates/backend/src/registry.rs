@@ -18,15 +18,21 @@ pub fn available_backends() -> &'static [&'static str] {
 /// Instantiate a backend from its registry spec.
 ///
 /// Accepted specs: `"serial"`, `"parallel"` (one worker per CPU) and
-/// `"parallel:<threads>"`. Returns `None` for anything else.
+/// `"parallel:<threads>"` with `threads ≥ 1`. Returns `None` for anything
+/// else — including `"parallel:0"`: a zero worker count is an invalid
+/// spec and is rejected (with the stderr fallback note in
+/// [`backend_from_env`]) rather than silently clamped to one thread.
 #[must_use]
 pub fn create_backend(spec: &str) -> Option<Arc<dyn ExecutionBackend>> {
     match spec.trim() {
         "serial" => Some(Arc::new(SerialBackend)),
         "parallel" => Some(Arc::new(ParallelCpuBackend::with_available_parallelism())),
         other => {
-            let threads = other.strip_prefix("parallel:")?.parse::<usize>().ok()?;
-            Some(Arc::new(ParallelCpuBackend::new(threads)))
+            let threads = other
+                .strip_prefix("parallel:")?
+                .parse::<std::num::NonZeroUsize>()
+                .ok()?;
+            Some(Arc::new(ParallelCpuBackend::new(threads.get())))
         }
     }
 }
@@ -76,6 +82,10 @@ mod tests {
         assert!(create_backend("parallel:").is_none());
         assert!(create_backend("parallel:x").is_none());
         assert!(create_backend("").is_none());
+        // A zero worker count is invalid, not "one thread": it must take
+        // the rejected-spec path instead of being silently clamped.
+        assert!(create_backend("parallel:0").is_none());
+        assert!(create_backend(" parallel:0 ").is_none());
     }
 
     #[test]

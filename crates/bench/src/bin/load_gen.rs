@@ -1,0 +1,280 @@
+//! `load_gen`: hammer an in-process `an5d-serve` with mixed
+//! tune/plan/predict/codegen/execute traffic from concurrent clients and
+//! assert every response is **bit-identical** to a direct `An5d` facade
+//! call.
+//!
+//! ```text
+//! load_gen [--requests N] [--clients N] [--server-workers N]
+//! ```
+//!
+//! Defaults (120 requests across 4 clients) satisfy the acceptance bar
+//! of ≥ 100 mixed requests over ≥ 4 concurrent clients. Exits non-zero
+//! (panics) on any status or byte mismatch.
+
+use an5d::{
+    generate_cuda_for_plan, predict, An5d, BatchDriver, BatchJob, BlockConfig, GpuDevice, GridInit,
+    Precision, SearchSpace, SerialBackend,
+};
+use an5d_service::{api, client, parse_json, Server, ServerConfig};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One kind of request plus the exact bytes the server must answer.
+struct Template {
+    path: &'static str,
+    body: String,
+    expected: String,
+}
+
+/// The mixed workload: every endpoint, several stencils and configs.
+/// Expected bodies come from direct facade calls with fresh (uncached)
+/// state — the server must reproduce them byte-for-byte through its
+/// shared cache and worker pool.
+fn templates() -> Vec<Template> {
+    let mut out = Vec::new();
+
+    // /tune — the expensive, cache-friendly query the service exists for.
+    {
+        let pipeline = An5d::benchmark("j2d5pt").unwrap();
+        let problem = pipeline.problem(&[512, 512], 50).unwrap();
+        let space = SearchSpace::quick(2, Precision::Single);
+        let result = pipeline
+            .tune(&problem, &GpuDevice::tesla_v100(), &space)
+            .unwrap();
+        out.push(Template {
+            path: "/tune",
+            body: r#"{"benchmark":"j2d5pt","interior":[512,512],"steps":50,
+                      "device":"v100","precision":"single","space":"quick"}"#
+                .to_string(),
+            expected: api::tune_response(&result).render(),
+        });
+    }
+
+    // /plan + /predict + /codegen for one 2D configuration…
+    {
+        let pipeline = An5d::benchmark("star2d1r").unwrap();
+        let problem = pipeline.problem(&[256, 256], 32).unwrap();
+        let config = BlockConfig::new(4, &[64], Some(64), Precision::Single).unwrap();
+        let plan = pipeline.plan(&problem, &config).unwrap();
+        let request = r#"{"benchmark":"star2d1r","interior":[256,256],"steps":32,
+                          "config":{"bt":4,"bs":[64],"hsn":64,"precision":"single"}}"#;
+        out.push(Template {
+            path: "/plan",
+            body: request.to_string(),
+            expected: api::plan_response(&plan).render(),
+        });
+        out.push(Template {
+            path: "/predict",
+            body: request.to_string(),
+            expected: api::predict_response(&predict(&plan, &problem, &GpuDevice::tesla_v100()))
+                .render(),
+        });
+        out.push(Template {
+            path: "/codegen",
+            body: request.to_string(),
+            expected: api::codegen_response(&generate_cuda_for_plan(&plan)).render(),
+        });
+    }
+
+    // …and /plan + /predict for a 3D stencil on the other device.
+    {
+        let pipeline = An5d::benchmark("star3d1r").unwrap();
+        let problem = pipeline.problem(&[64, 64, 64], 8).unwrap();
+        let config = BlockConfig::new(2, &[16, 16], None, Precision::Double).unwrap();
+        let plan = pipeline.plan(&problem, &config).unwrap();
+        let request = r#"{"benchmark":"star3d1r","interior":[64,64,64],"steps":8,"device":"p100",
+                          "config":{"bt":2,"bs":[16,16],"precision":"double"}}"#;
+        out.push(Template {
+            path: "/plan",
+            body: request.to_string(),
+            expected: api::plan_response(&plan).render(),
+        });
+        out.push(Template {
+            path: "/predict",
+            body: request.to_string(),
+            expected: api::predict_response(&predict(&plan, &problem, &GpuDevice::tesla_p100()))
+                .render(),
+        });
+    }
+
+    // /execute — functional runs with real grids (kept small).
+    for (benchmark, interior, steps, bt, bs) in [
+        ("j2d5pt", vec![24, 24], 5, 2, vec![12]),
+        ("box2d1r", vec![20, 20], 4, 1, vec![10]),
+    ] {
+        let def = an5d::suite::by_name(benchmark).unwrap();
+        let config = BlockConfig::new(bt, &bs, None, Precision::Double).unwrap();
+        let job =
+            BatchJob::new(def, &interior, steps, config).with_init(GridInit::Hash { seed: 0x5EED });
+        let driver = BatchDriver::new(Arc::new(SerialBackend));
+        let outcome = driver.run(&[job]).pop().unwrap().unwrap();
+        let interior_json = format!(
+            "[{}]",
+            interior
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let bs_json = format!(
+            "[{}]",
+            bs.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        out.push(Template {
+            path: "/execute",
+            body: format!(
+                r#"{{"benchmark":"{benchmark}","interior":{interior_json},"steps":{steps},
+                    "config":{{"bt":{bt},"bs":{bs_json},"precision":"double"}}}}"#
+            ),
+            expected: api::execute_response(&outcome).render(),
+        });
+    }
+
+    out
+}
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    server_workers: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 120,
+        clients: 4,
+        server_workers: 4,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let value = iter
+            .next()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("usage: load_gen [--requests N] [--clients N] [--server-workers N]");
+                std::process::exit(2);
+            });
+        match flag.as_str() {
+            "--requests" => args.requests = value.max(1),
+            "--clients" => args.clients = value.max(1),
+            "--server-workers" => args.server_workers = value.max(1),
+            _ => {
+                eprintln!("load_gen: unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "load_gen: {} mixed requests across {} clients ({} server workers)",
+        args.requests, args.clients, args.server_workers
+    );
+
+    println!("load_gen: computing expected responses via direct facade calls…");
+    let templates = Arc::new(templates());
+
+    let server = Server::start_with_backend(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: args.server_workers,
+            queue_depth: 256,
+            cache_capacity: 256,
+        },
+        Arc::new(SerialBackend),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    println!("load_gen: an5d-serve listening on http://{addr}");
+
+    let latencies: Mutex<Vec<(usize, Duration)>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_id in 0..args.clients {
+            let templates = Arc::clone(&templates);
+            let latencies = &latencies;
+            scope.spawn(move || {
+                // Client k takes requests k, k+C, k+2C, … — deterministic
+                // coverage of the template mix with no coordination.
+                for index in (client_id..args.requests).step_by(args.clients) {
+                    let template = &templates[index % templates.len()];
+                    let sent = Instant::now();
+                    let (status, body) = client::post(addr, template.path, &template.body)
+                        .unwrap_or_else(|e| {
+                            panic!("client {client_id} request {index} {}: {e}", template.path)
+                        });
+                    let elapsed = sent.elapsed();
+                    assert_eq!(
+                        status, 200,
+                        "client {client_id} request {index} {}: {body}",
+                        template.path
+                    );
+                    assert_eq!(
+                        body, template.expected,
+                        "client {client_id} request {index} {}: response differs from the \
+                         direct facade call",
+                        template.path
+                    );
+                    latencies
+                        .lock()
+                        .unwrap()
+                        .push((index % templates.len(), elapsed));
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    let latencies = latencies.into_inner().unwrap();
+    assert_eq!(latencies.len(), args.requests);
+    println!(
+        "load_gen: {} requests in {:.3}s ({:.0} req/s), all bit-identical to the facade",
+        args.requests,
+        wall.as_secs_f64(),
+        args.requests as f64 / wall.as_secs_f64()
+    );
+    for (template_index, template) in templates.iter().enumerate() {
+        let series: Vec<Duration> = latencies
+            .iter()
+            .filter(|(t, _)| *t == template_index)
+            .map(|&(_, d)| d)
+            .collect();
+        if series.is_empty() {
+            continue;
+        }
+        let total: Duration = series.iter().sum();
+        let max = series.iter().max().unwrap();
+        println!(
+            "  {:>9} n={:<4} mean={:>8.1?} max={:>8.1?}",
+            template.path,
+            series.len(),
+            total / u32::try_from(series.len()).unwrap(),
+            max
+        );
+    }
+
+    let (status, stats_body) = client::get(addr, "/stats").expect("stats reachable");
+    assert_eq!(status, 200);
+    let stats = parse_json(&stats_body).expect("stats is valid JSON");
+    let hit_rate = stats
+        .get("cache")
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(an5d_service::Json::as_f64)
+        .expect("cache hit rate present");
+    println!("load_gen: plan-cache hit rate {hit_rate:.3}");
+    assert!(
+        hit_rate > 0.5,
+        "repeated mixed traffic should mostly hit the shared plan cache"
+    );
+
+    let (status, _) = client::post(addr, "/shutdown", "").expect("shutdown reachable");
+    assert_eq!(status, 200);
+    server.wait();
+    println!("load_gen: clean shutdown");
+}

@@ -131,10 +131,12 @@ mod tests {
     use super::*;
 
     fn peak_bt(points: &[Fig8Point], pick: impl Fn(&Fig8Point) -> Option<f64>) -> usize {
+        // NaN-safe: drop poisoned values before the total_cmp max (a bare
+        // total_cmp would rank NaN above +inf and let it win silently).
         points
             .iter()
-            .filter_map(|p| pick(p).map(|v| (p.bt, v)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .filter_map(|p| pick(p).filter(|v| !v.is_nan()).map(|v| (p.bt, v)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(bt, _)| bt)
             .unwrap_or(0)
     }

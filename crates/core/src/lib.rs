@@ -91,7 +91,7 @@ pub use an5d_model::{
 
 pub use an5d_tuner::{SearchSpace, TunedCandidate, Tuner, TunerError, TuningResult};
 
-pub use an5d_codegen::{generate as generate_cuda_for_plan, CudaCode};
+pub use an5d_codegen::{generate as generate_cuda_for_plan, kernel_name_for, CudaCode};
 
 pub use an5d_baselines::{
     hybrid_measurement, loop_tiling_measurement, stencilgen_measurement,

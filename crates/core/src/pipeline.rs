@@ -1,7 +1,7 @@
 //! The end-to-end AN5D pipeline.
 
 use crate::An5dError;
-use an5d_backend::{backend_from_env, ExecutionBackend};
+use an5d_backend::{backend_from_env, ExecutionBackend, PlanCache};
 use an5d_codegen::CudaCode;
 use an5d_frontend::{emit_c_source, parse_stencil};
 use an5d_gpusim::{GpuDevice, TrafficCounters};
@@ -251,6 +251,26 @@ impl An5d {
         space: &SearchSpace,
     ) -> Result<TuningResult, An5dError> {
         let tuner = Tuner::new(device.clone(), space.precision()).with_scheme(self.scheme);
+        Ok(tuner.tune(&self.def, problem, space)?)
+    }
+
+    /// Like [`An5d::tune`], but planning through a shared [`PlanCache`] so
+    /// repeated tuning queries (e.g. the `an5d-serve` request handlers)
+    /// skip re-planning. Caching never changes the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Tuner`] when no feasible candidate exists.
+    pub fn tune_with_cache(
+        &self,
+        problem: &StencilProblem,
+        device: &GpuDevice,
+        space: &SearchSpace,
+        cache: Arc<PlanCache>,
+    ) -> Result<TuningResult, An5dError> {
+        let tuner = Tuner::new(device.clone(), space.precision())
+            .with_scheme(self.scheme)
+            .with_plan_cache(cache);
         Ok(tuner.tune(&self.def, problem, space)?)
     }
 

@@ -1,0 +1,506 @@
+//! Typed extraction of request parameters from JSON and deterministic
+//! rendering of pipeline results back to JSON.
+//!
+//! Every `*_response` function here is **pure and deterministic**: the
+//! same pipeline value always renders to the same bytes, and no
+//! per-call operational metadata (cache hits, latency) leaks into the
+//! body — that lives in `/stats`. The integration tests and the
+//! `load_gen` harness exploit this to assert that server responses are
+//! bit-identical to direct [`An5d`] facade calls.
+
+use crate::json::Json;
+use an5d::{
+    suite, An5d, BatchOutcome, BlockConfig, CacheStats, CudaCode, DetectedStencil, FrameworkScheme,
+    GpuDevice, KernelPlan, ModelPrediction, Precision, RegisterCap, SearchSpace, StencilProblem,
+    TrafficCounters, TunedCandidate, TuningResult,
+};
+
+/// A request-level problem: maps to a 400 with `{"error": …}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError(pub String);
+
+impl ApiError {
+    fn new(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+fn int(value: usize) -> Json {
+    Json::Int(value as i128)
+}
+
+fn big(value: u128) -> Json {
+    Json::Int(i128::try_from(value).unwrap_or(i128::MAX))
+}
+
+/// `{"error": message}` — the uniform error body.
+#[must_use]
+pub fn error_body(message: &str) -> String {
+    Json::obj(vec![("error", Json::str(message))]).render()
+}
+
+// ---------------------------------------------------------------------
+// Request-side extraction
+// ---------------------------------------------------------------------
+
+fn require<'a>(body: &'a Json, key: &str) -> Result<&'a Json, ApiError> {
+    body.get(key)
+        .ok_or_else(|| ApiError::new(format!("missing required field \"{key}\"")))
+}
+
+/// Build the [`An5d`] pipeline named by a request body: either
+/// `"benchmark": "<suite name>"` or `"source": "<C code>"` +
+/// `"name": "<label>"`, optionally with `"scheme"`.
+///
+/// # Errors
+///
+/// Rejects bodies naming neither (or both) stencil forms, unknown
+/// benchmarks, unparsable DSL sources and unknown schemes.
+pub fn pipeline_from(body: &Json) -> Result<An5d, ApiError> {
+    let pipeline = match (body.get("benchmark"), body.get("source")) {
+        (Some(benchmark), None) => {
+            let name = benchmark
+                .as_str()
+                .ok_or_else(|| ApiError::new("\"benchmark\" must be a string"))?;
+            An5d::benchmark(name).map_err(|e| ApiError::new(e.to_string()))?
+        }
+        (None, Some(source)) => {
+            let source = source
+                .as_str()
+                .ok_or_else(|| ApiError::new("\"source\" must be a string"))?;
+            let name = require(body, "name")?
+                .as_str()
+                .ok_or_else(|| ApiError::new("\"name\" must be a string"))?;
+            An5d::from_c_source(source, name).map_err(|e| ApiError::new(e.to_string()))?
+        }
+        (Some(_), Some(_)) => {
+            return Err(ApiError::new(
+                "give either \"benchmark\" or \"source\", not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ApiError::new(
+                "missing stencil: give \"benchmark\" or \"source\" + \"name\"",
+            ))
+        }
+    };
+    Ok(pipeline.with_scheme(scheme_from(body)?))
+}
+
+/// Extract the optional `"scheme"` field (default AN5D).
+///
+/// # Errors
+///
+/// Rejects unknown scheme names.
+pub fn scheme_from(body: &Json) -> Result<FrameworkScheme, ApiError> {
+    match body.get("scheme") {
+        None => Ok(FrameworkScheme::an5d()),
+        Some(value) => match value.as_str() {
+            Some("an5d") => Ok(FrameworkScheme::an5d()),
+            Some("stencilgen") => Ok(FrameworkScheme::stencilgen()),
+            Some("an5d_no_associative") => Ok(FrameworkScheme::an5d_no_associative()),
+            _ => Err(ApiError::new(
+                "\"scheme\" must be \"an5d\", \"stencilgen\" or \"an5d_no_associative\"",
+            )),
+        },
+    }
+}
+
+fn usize_list(value: &Json, key: &str) -> Result<Vec<usize>, ApiError> {
+    value
+        .as_array()
+        .ok_or_else(|| ApiError::new(format!("\"{key}\" must be an array of integers")))?
+        .iter()
+        .map(|v| {
+            v.as_usize().ok_or_else(|| {
+                ApiError::new(format!("\"{key}\" entries must be non-negative integers"))
+            })
+        })
+        .collect()
+}
+
+/// Extract `interior` + `steps` into a [`StencilProblem`] for the
+/// pipeline's stencil.
+///
+/// # Errors
+///
+/// Rejects missing/ill-typed fields and extents invalid for the stencil.
+pub fn problem_from(body: &Json, pipeline: &An5d) -> Result<StencilProblem, ApiError> {
+    let interior = usize_list(require(body, "interior")?, "interior")?;
+    let steps = require(body, "steps")?
+        .as_usize()
+        .ok_or_else(|| ApiError::new("\"steps\" must be a non-negative integer"))?;
+    pipeline
+        .problem(&interior, steps)
+        .map_err(|e| ApiError::new(e.to_string()))
+}
+
+fn precision_value(value: &Json) -> Result<Precision, ApiError> {
+    match value.as_str() {
+        Some("single" | "float") => Ok(Precision::Single),
+        Some("double") => Ok(Precision::Double),
+        _ => Err(ApiError::new(
+            "\"precision\" must be \"single\" or \"double\"",
+        )),
+    }
+}
+
+/// Extract the top-level `"precision"` field.
+///
+/// # Errors
+///
+/// Rejects missing or unknown precisions.
+pub fn precision_from(body: &Json) -> Result<Precision, ApiError> {
+    precision_value(require(body, "precision")?)
+}
+
+/// Extract the `"config"` object into a [`BlockConfig`].
+///
+/// # Errors
+///
+/// Rejects missing/ill-typed fields and configurations the planner
+/// rejects outright (zero extents, rank mismatch).
+pub fn config_from(body: &Json) -> Result<BlockConfig, ApiError> {
+    let config = require(body, "config")?;
+    let bt = require(config, "bt")?
+        .as_usize()
+        .ok_or_else(|| ApiError::new("\"config.bt\" must be a non-negative integer"))?;
+    let bs = usize_list(require(config, "bs")?, "config.bs")?;
+    let hsn = match config.get("hsn") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(
+            value
+                .as_usize()
+                .ok_or_else(|| ApiError::new("\"config.hsn\" must be an integer or null"))?,
+        ),
+    };
+    let precision = precision_value(require(config, "precision")?)?;
+    BlockConfig::new(bt, &bs, hsn, precision).map_err(|e| ApiError::new(e.to_string()))
+}
+
+/// Extract the `"device"` field (`"v100"` / `"p100"`, default V100).
+///
+/// # Errors
+///
+/// Rejects unknown device names.
+pub fn device_from(body: &Json) -> Result<GpuDevice, ApiError> {
+    match body.get("device") {
+        None => Ok(GpuDevice::tesla_v100()),
+        Some(value) => match value.as_str().map(str::to_ascii_lowercase).as_deref() {
+            Some("v100" | "tesla_v100") => Ok(GpuDevice::tesla_v100()),
+            Some("p100" | "tesla_p100") => Ok(GpuDevice::tesla_p100()),
+            _ => Err(ApiError::new("\"device\" must be \"v100\" or \"p100\"")),
+        },
+    }
+}
+
+/// Extract the `"space"` field (`"quick"` / `"paper"`, default quick)
+/// for a stencil rank and precision.
+///
+/// # Errors
+///
+/// Rejects unknown space names.
+pub fn space_from(body: &Json, ndim: usize, precision: Precision) -> Result<SearchSpace, ApiError> {
+    match body.get("space") {
+        None => Ok(SearchSpace::quick(ndim, precision)),
+        Some(value) => match value.as_str() {
+            Some("quick") => Ok(SearchSpace::quick(ndim, precision)),
+            Some("paper") => Ok(SearchSpace::paper(ndim, precision)),
+            _ => Err(ApiError::new("\"space\" must be \"quick\" or \"paper\"")),
+        },
+    }
+}
+
+/// Extract the optional `"seed"` for the execute endpoint's deterministic
+/// initial grid (default `0x5EED`, matching [`an5d::BatchJob::new`]).
+///
+/// # Errors
+///
+/// Rejects ill-typed seeds.
+pub fn seed_from(body: &Json) -> Result<u64, ApiError> {
+    match body.get("seed") {
+        None => Ok(0x5EED),
+        Some(value) => value
+            .as_usize()
+            .map(|v| v as u64)
+            .ok_or_else(|| ApiError::new("\"seed\" must be a non-negative integer")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response-side rendering
+// ---------------------------------------------------------------------
+
+/// Response body for `/parse`.
+#[must_use]
+pub fn parse_response(detected: &DetectedStencil) -> Json {
+    let def = &detected.def;
+    Json::obj(vec![
+        ("name", Json::str(def.name())),
+        ("ndim", int(def.ndim())),
+        ("radius", int(def.radius())),
+        ("flops_per_cell", int(def.flops_per_cell())),
+        ("shape_class", Json::Str(def.shape_class().to_string())),
+        ("array", Json::str(&detected.array_name)),
+        ("time_var", Json::str(&detected.time_var)),
+        (
+            "space_vars",
+            Json::Arr(detected.space_vars.iter().map(|v| Json::str(v)).collect()),
+        ),
+    ])
+}
+
+fn config_json(config: &BlockConfig) -> Json {
+    Json::obj(vec![
+        ("bt", int(config.bt())),
+        ("bs", Json::usize_array(config.bs())),
+        ("hsn", config.hsn().map_or(Json::Null, int)),
+        (
+            "precision",
+            Json::str(match config.precision() {
+                Precision::Single => "single",
+                Precision::Double => "double",
+            }),
+        ),
+    ])
+}
+
+fn register_cap_json(cap: RegisterCap) -> Json {
+    match cap {
+        RegisterCap::Limit(n) => int(n),
+        RegisterCap::Unlimited => Json::Null,
+    }
+}
+
+/// Response body for `/plan`.
+#[must_use]
+pub fn plan_response(plan: &KernelPlan) -> Json {
+    let geometry = plan.geometry();
+    let resources = plan.resources();
+    Json::obj(vec![
+        ("stencil", Json::str(plan.def().name())),
+        ("scheme", Json::str(plan.scheme().name)),
+        ("kernel", Json::Str(an5d::kernel_name_for(plan))),
+        ("config", config_json(plan.config())),
+        (
+            "geometry",
+            Json::obj(vec![
+                ("nthr", int(geometry.nthr)),
+                ("halo_per_side", int(geometry.halo_per_side)),
+                (
+                    "compute_region",
+                    Json::usize_array(&geometry.compute_region),
+                ),
+                ("tiles_per_dim", Json::usize_array(&geometry.tiles_per_dim)),
+                ("thread_blocks", int(geometry.thread_blocks)),
+                ("stream_blocks", int(geometry.stream_blocks)),
+                ("total_thread_blocks", int(geometry.total_thread_blocks)),
+            ]),
+        ),
+        (
+            "resources",
+            Json::obj(vec![
+                ("registers_per_thread", int(resources.registers_per_thread)),
+                ("shared_buffers", int(resources.shared_buffers)),
+                (
+                    "shared_bytes_per_block",
+                    int(resources.shared_bytes_per_block),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Response body for `/predict`.
+#[must_use]
+pub fn predict_response(prediction: &ModelPrediction) -> Json {
+    Json::obj(vec![
+        ("seconds", Json::Num(prediction.seconds)),
+        ("gflops", Json::Num(prediction.gflops)),
+        ("time_compute", Json::Num(prediction.time_compute)),
+        ("time_global", Json::Num(prediction.time_global)),
+        ("time_shared", Json::Num(prediction.time_shared)),
+        ("bottleneck", Json::Str(prediction.bottleneck.to_string())),
+        ("eff_alu", Json::Num(prediction.eff_alu)),
+        ("eff_sm", Json::Num(prediction.eff_sm)),
+        ("total_gm_bytes", big(prediction.total_gm_bytes)),
+        ("total_sm_bytes", big(prediction.total_sm_bytes)),
+        ("total_flops", big(prediction.total_flops)),
+    ])
+}
+
+fn candidate_json(candidate: &TunedCandidate) -> Json {
+    Json::obj(vec![
+        ("config", config_json(&candidate.config)),
+        ("register_cap", register_cap_json(candidate.register_cap)),
+        ("predicted_gflops", Json::Num(candidate.predicted_gflops)),
+        ("measured_gflops", Json::Num(candidate.measured_gflops)),
+        ("measured_gcells", Json::Num(candidate.measured_gcells)),
+        ("seconds", Json::Num(candidate.seconds)),
+    ])
+}
+
+/// Response body for `/tune`.
+#[must_use]
+pub fn tune_response(result: &TuningResult) -> Json {
+    Json::obj(vec![
+        ("best", candidate_json(&result.best)),
+        (
+            "measured",
+            Json::Arr(result.measured.iter().map(candidate_json).collect()),
+        ),
+        ("ranked_candidates", int(result.ranked_candidates)),
+        ("total_candidates", int(result.total_candidates)),
+    ])
+}
+
+/// Response body for `/codegen`.
+#[must_use]
+pub fn codegen_response(code: &CudaCode) -> Json {
+    Json::obj(vec![
+        ("kernel_name", Json::str(&code.kernel_name)),
+        ("kernel_source", Json::str(&code.kernel_source)),
+        ("host_source", Json::str(&code.host_source)),
+        ("total_lines", int(code.total_lines())),
+    ])
+}
+
+fn counters_json(counters: &TrafficCounters) -> Json {
+    Json::obj(vec![
+        ("gm_reads", big(counters.gm_reads)),
+        ("gm_writes", big(counters.gm_writes)),
+        ("sm_reads", big(counters.sm_reads)),
+        ("sm_writes", big(counters.sm_writes)),
+        ("flops", big(counters.flops)),
+        ("cell_updates", big(counters.cell_updates)),
+        ("valid_updates", big(counters.valid_updates)),
+        ("syncs", big(counters.syncs)),
+        ("thread_blocks", big(counters.thread_blocks)),
+        ("kernel_launches", big(counters.kernel_launches)),
+    ])
+}
+
+/// Response body for `/execute`.
+///
+/// Deliberately excludes the per-call plan-cache-hit flag and elapsed
+/// time: those are operational metadata (visible in `/stats`), and
+/// including them would break the bit-identical-response guarantee.
+#[must_use]
+pub fn execute_response(outcome: &BatchOutcome) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&outcome.name)),
+        ("checksum", Json::Num(outcome.checksum)),
+        ("counters", counters_json(&outcome.counters)),
+    ])
+}
+
+/// The `"cache"` object of `/stats`.
+#[must_use]
+pub fn cache_stats_json(stats: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::Int(i128::from(stats.hits))),
+        ("misses", Json::Int(i128::from(stats.misses))),
+        ("coalesced", Json::Int(i128::from(stats.coalesced))),
+        ("entries", int(stats.entries)),
+        ("capacity", int(stats.capacity)),
+        ("hit_rate", Json::Num(stats.hit_rate())),
+    ])
+}
+
+/// Lookup of the benchmark suite for `/parse` of a known benchmark is
+/// not needed — `/parse` takes DSL source. Exposed for the handlers'
+/// convenience: `suite::by_name` with an API-shaped error.
+///
+/// # Errors
+///
+/// Rejects unknown benchmark names.
+pub fn benchmark_def(name: &str) -> Result<an5d::StencilDef, ApiError> {
+    suite::by_name(name).ok_or_else(|| ApiError::new(format!("unknown benchmark \"{name}\"")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn pipeline_accepts_benchmark_or_source() {
+        let by_name = parse(r#"{"benchmark":"j2d5pt"}"#).unwrap();
+        assert_eq!(pipeline_from(&by_name).unwrap().def().name(), "j2d5pt");
+
+        let source = an5d::An5d::benchmark("star2d1r").unwrap().c_source();
+        let body = Json::obj(vec![
+            ("source", Json::str(&source)),
+            ("name", Json::str("star2d1r")),
+        ]);
+        assert_eq!(pipeline_from(&body).unwrap().def().radius(), 1);
+
+        assert!(pipeline_from(&parse("{}").unwrap()).is_err());
+        assert!(pipeline_from(&parse(r#"{"benchmark":"nope"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn config_extraction_round_trips() {
+        let body =
+            parse(r#"{"config":{"bt":4,"bs":[128],"hsn":256,"precision":"single"}}"#).unwrap();
+        let config = config_from(&body).unwrap();
+        assert_eq!(config.bt(), 4);
+        assert_eq!(config.bs(), &[128]);
+        assert_eq!(config.hsn(), Some(256));
+        assert_eq!(
+            config_json(&config).render(),
+            r#"{"bt":4,"bs":[128],"hsn":256,"precision":"single"}"#
+        );
+
+        let no_hsn = parse(r#"{"config":{"bt":1,"bs":[32],"precision":"double"}}"#).unwrap();
+        assert_eq!(config_from(&no_hsn).unwrap().hsn(), None);
+
+        let bad = parse(r#"{"config":{"bt":0,"bs":[32],"precision":"double"}}"#).unwrap();
+        assert!(config_from(&bad).is_err());
+    }
+
+    #[test]
+    fn device_and_space_defaults() {
+        let empty = parse("{}").unwrap();
+        assert_eq!(device_from(&empty).unwrap().short_name(), "V100");
+        let p100 = parse(r#"{"device":"p100"}"#).unwrap();
+        assert_eq!(device_from(&p100).unwrap().short_name(), "P100");
+        assert!(device_from(&parse(r#"{"device":"a100"}"#).unwrap()).is_err());
+
+        let space = space_from(&empty, 2, Precision::Single).unwrap();
+        assert!(!space.is_empty());
+        assert!(space_from(&parse(r#"{"space":"huge"}"#).unwrap(), 2, Precision::Single).is_err());
+    }
+
+    #[test]
+    fn responses_render_deterministically() {
+        let pipeline = An5d::benchmark("j2d5pt").unwrap();
+        let problem = pipeline.problem(&[64, 64], 8).unwrap();
+        let config = BlockConfig::new(2, &[32], None, Precision::Double).unwrap();
+        let plan = pipeline.plan(&problem, &config).unwrap();
+        let a = plan_response(&plan).render();
+        let b = plan_response(&plan).render();
+        assert_eq!(a, b);
+        assert!(a.contains("\"nthr\""));
+
+        let device = GpuDevice::tesla_v100();
+        let prediction = pipeline.predict(&problem, &config, &device).unwrap();
+        assert_eq!(
+            predict_response(&prediction).render(),
+            predict_response(&prediction).render()
+        );
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        assert_eq!(error_body("boom \"x\""), r#"{"error":"boom \"x\""}"#);
+    }
+}

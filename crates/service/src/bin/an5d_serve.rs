@@ -1,0 +1,71 @@
+//! The `an5d-serve` binary: serve the AN5D pipeline over HTTP until a
+//! `POST /shutdown` arrives.
+//!
+//! ```text
+//! an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ```
+//!
+//! The execution backend for `/execute` is selected by the standard
+//! `AN5D_BACKEND` environment variable (`serial`, `parallel`,
+//! `parallel:<threads>`); invalid specs fall back to serial with a note
+//! on stderr, exactly as in the library.
+
+use an5d_service::{banner, Server, ServerConfig};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         defaults: --addr 127.0.0.1:7845 --workers 4 --queue 64 --cache 256\n\
+         stop with: curl -X POST http://HOST:PORT/shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--workers" => match value.parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match value.parse() {
+                Ok(n) if n > 0 => config.queue_depth = n,
+                _ => usage(),
+            },
+            "--cache" => match value.parse() {
+                Ok(n) if n > 0 => config.cache_capacity = n,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    config
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let server = match Server::start(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("an5d-serve: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}",
+        banner(
+            server.addr(),
+            &server.state().backend().describe(),
+            config.workers,
+            config.queue_depth
+        )
+    );
+    server.wait();
+    eprintln!("an5d-serve: shutdown complete");
+    ExitCode::SUCCESS
+}

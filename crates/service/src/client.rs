@@ -1,0 +1,104 @@
+//! A minimal blocking HTTP/1.1 client for `an5d-serve`.
+//!
+//! One connection per request (the server is `Connection: close`), with
+//! socket timeouts so a wedged server fails a test instead of hanging
+//! it. Used by the integration tests, the `load_gen` harness and the
+//! server's own unit tests; production consumers would use any real
+//! HTTP client.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Send raw request bytes and read one `(status, body)` response.
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses.
+pub fn raw(addr: SocketAddr, request: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(invalid("truncated response headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| invalid("bad Content-Length"))?,
+                );
+            }
+        }
+    }
+    let body = match content_length {
+        Some(length) => {
+            let mut body = vec![0u8; length];
+            reader.read_exact(&mut body)?;
+            String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?
+        }
+        None => {
+            // Connection: close framing — read to EOF.
+            let mut body = String::new();
+            reader.read_to_string(&mut body)?;
+            body
+        }
+    };
+    Ok((status, body))
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    raw(
+        addr,
+        &format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// `GET path` → `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "GET", path, "")
+}
+
+/// `POST path` with a JSON body → `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(addr, "POST", path, body)
+}

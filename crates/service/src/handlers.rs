@@ -1,0 +1,379 @@
+//! Endpoint handlers: JSON request → `An5d` facade → JSON response.
+//!
+//! Every handler routes planning through the server's shared
+//! [`PlanCache`] (so concurrent identical requests coalesce onto one
+//! build) and blocked execution through the shared [`BatchDriver`], and
+//! records its latency in the shared [`Metrics`]. Handlers are plain
+//! functions over [`ServiceState`] — the integration tests and the
+//! `load_gen` harness call [`dispatch`] directly to compute the exact
+//! bytes the server must produce.
+
+use crate::api::{self, ApiError};
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use an5d::{
+    generate_cuda_for_plan, parse_stencil, predict, BatchDriver, BatchJob, ExecutionBackend,
+    GridInit, PlanCache,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The endpoints served, with the method each accepts.
+pub const ENDPOINTS: &[(&str, &str)] = &[
+    ("GET", "/stats"),
+    ("POST", "/parse"),
+    ("POST", "/plan"),
+    ("POST", "/predict"),
+    ("POST", "/tune"),
+    ("POST", "/codegen"),
+    ("POST", "/execute"),
+    ("POST", "/shutdown"),
+];
+
+/// Shared, thread-safe service state: one per server, referenced by every
+/// connection worker.
+pub struct ServiceState {
+    backend: Arc<dyn ExecutionBackend>,
+    cache: Arc<PlanCache>,
+    driver: BatchDriver,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for ServiceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceState")
+            .field("backend", &self.backend.describe())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl ServiceState {
+    /// State executing on `backend` with a plan cache of `cache_capacity`.
+    #[must_use]
+    pub fn new(backend: Arc<dyn ExecutionBackend>, cache_capacity: usize) -> Self {
+        let cache = Arc::new(PlanCache::new(cache_capacity));
+        // One driver worker: each HTTP request is a single job, so
+        // request-level parallelism comes from the connection workers.
+        let driver = BatchDriver::new(Arc::clone(&backend))
+            .with_cache(Arc::clone(&cache))
+            .with_workers(1);
+        Self {
+            backend,
+            cache,
+            driver,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The shared plan cache.
+    #[must_use]
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The shared metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The execution backend blocked runs go through.
+    #[must_use]
+    pub fn backend(&self) -> &Arc<dyn ExecutionBackend> {
+        &self.backend
+    }
+}
+
+fn ok(body: Json) -> Response {
+    Response::new(200, body.render())
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::new(400, api::error_body(message))
+}
+
+/// Dispatch one parsed request to its handler, recording metrics.
+///
+/// `/shutdown` is *answered* here (so its body is uniform) but the
+/// actual shutdown signal is the server loop's job — it watches for this
+/// path before writing the response.
+pub fn dispatch(state: &ServiceState, request: &Request) -> Response {
+    let known = ENDPOINTS.iter().find(|(_, path)| *path == request.path);
+    let Some(&(method, path)) = known else {
+        return Response::new(
+            404,
+            api::error_body(&format!("no such endpoint {}", request.path)),
+        );
+    };
+    if request.method != method {
+        return Response::new(
+            405,
+            api::error_body(&format!("{path} expects {method}, got {}", request.method)),
+        );
+    }
+    let started = Instant::now();
+    let response = handle(state, path, &request.body);
+    state
+        .metrics
+        .record(path, started.elapsed(), response.status < 300);
+    response
+}
+
+fn handle(state: &ServiceState, path: &str, body: &[u8]) -> Response {
+    match path {
+        "/stats" => stats(state),
+        "/shutdown" => ok(Json::obj(vec![("ok", Json::Bool(true))])),
+        _ => {
+            let parsed = match parse_body(body) {
+                Ok(parsed) => parsed,
+                Err(response) => return response,
+            };
+            let result = match path {
+                "/parse" => parse_endpoint(&parsed),
+                "/plan" => plan_endpoint(state, &parsed),
+                "/predict" => predict_endpoint(state, &parsed),
+                "/tune" => tune_endpoint(state, &parsed),
+                "/codegen" => codegen_endpoint(state, &parsed),
+                "/execute" => execute_endpoint(state, &parsed),
+                _ => unreachable!("ENDPOINTS and handle() cover the same paths"),
+            };
+            match result {
+                Ok(body) => ok(body),
+                Err(e) => bad_request(&e.0),
+            }
+        }
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| bad_request("request body is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(bad_request("request body must be a JSON object"));
+    }
+    json::parse(text).map_err(|e| bad_request(&e.to_string()))
+}
+
+fn stats(state: &ServiceState) -> Response {
+    ok(Json::obj(vec![
+        ("backend", Json::Str(state.backend.describe())),
+        ("cache", api::cache_stats_json(&state.cache.stats())),
+        ("endpoints", state.metrics.endpoints_json()),
+        ("rejected", Json::Int(i128::from(state.metrics.rejected()))),
+    ]))
+}
+
+fn parse_endpoint(body: &Json) -> Result<Json, ApiError> {
+    let source = body
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError("missing required field \"source\"".to_string()))?;
+    let name = body
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError("missing required field \"name\"".to_string()))?;
+    let detected = parse_stencil(source, name).map_err(|e| ApiError(e.to_string()))?;
+    Ok(api::parse_response(&detected))
+}
+
+/// The shared front half of `/plan`, `/predict` and `/codegen`: extract
+/// stencil + problem + config + scheme and plan through the shared cache.
+fn planned(
+    state: &ServiceState,
+    body: &Json,
+) -> Result<(an5d::StencilProblem, Arc<an5d::KernelPlan>), ApiError> {
+    let pipeline = api::pipeline_from(body)?;
+    let problem = api::problem_from(body, &pipeline)?;
+    let config = api::config_from(body)?;
+    let scheme = api::scheme_from(body)?;
+    let plan = state
+        .cache
+        .get_or_build(pipeline.def(), &problem, &config, scheme)
+        .map_err(|e| ApiError(e.to_string()))?;
+    Ok((problem, plan))
+}
+
+fn plan_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
+    let (_, plan) = planned(state, body)?;
+    Ok(api::plan_response(&plan))
+}
+
+fn predict_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
+    let device = api::device_from(body)?;
+    let (problem, plan) = planned(state, body)?;
+    Ok(api::predict_response(&predict(&plan, &problem, &device)))
+}
+
+fn tune_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
+    let pipeline = api::pipeline_from(body)?;
+    let problem = api::problem_from(body, &pipeline)?;
+    let device = api::device_from(body)?;
+    let precision = api::precision_from(body)?;
+    let space = api::space_from(body, pipeline.def().ndim(), precision)?;
+    let result = pipeline
+        .tune_with_cache(&problem, &device, &space, Arc::clone(&state.cache))
+        .map_err(|e| ApiError(e.to_string()))?;
+    Ok(api::tune_response(&result))
+}
+
+fn codegen_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
+    let (_, plan) = planned(state, body)?;
+    Ok(api::codegen_response(&generate_cuda_for_plan(&plan)))
+}
+
+fn execute_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
+    let pipeline = api::pipeline_from(body)?;
+    let problem = api::problem_from(body, &pipeline)?;
+    let config = api::config_from(body)?;
+    let seed = api::seed_from(body)?;
+    let job = BatchJob::new(
+        pipeline.def().clone(),
+        problem.interior(),
+        problem.time_steps(),
+        config,
+    )
+    .with_init(GridInit::Hash { seed });
+    let mut results = state.driver.run(&[job]);
+    let outcome = results
+        .pop()
+        .expect("one job in yields one result out")
+        .map_err(|e| ApiError(e.to_string()))?;
+    Ok(api::execute_response(&outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d::SerialBackend;
+
+    fn state() -> ServiceState {
+        ServiceState::new(Arc::new(SerialBackend), 64)
+    }
+
+    fn post(state: &ServiceState, path: &str, body: &str) -> Response {
+        dispatch(
+            state,
+            &Request {
+                method: "POST".to_string(),
+                path: path.to_string(),
+                body: body.as_bytes().to_vec(),
+            },
+        )
+    }
+
+    #[test]
+    fn unknown_path_and_wrong_method_are_rejected() {
+        let state = state();
+        assert_eq!(post(&state, "/nope", "{}").status, 404);
+        let get_tune = Request {
+            method: "GET".to_string(),
+            path: "/tune".to_string(),
+            body: Vec::new(),
+        };
+        assert_eq!(dispatch(&state, &get_tune).status, 405);
+    }
+
+    #[test]
+    fn malformed_bodies_get_400s() {
+        let state = state();
+        assert_eq!(post(&state, "/plan", "").status, 400);
+        assert_eq!(post(&state, "/plan", "{not json").status, 400);
+        assert_eq!(post(&state, "/plan", "{}").status, 400);
+        assert_eq!(
+            post(&state, "/execute", r#"{"benchmark":"nope"}"#).status,
+            400
+        );
+    }
+
+    #[test]
+    fn plan_and_codegen_share_the_cache() {
+        let state = state();
+        let body = r#"{"benchmark":"j2d5pt","interior":[64,64],"steps":8,
+                       "config":{"bt":2,"bs":[32],"precision":"double"}}"#;
+        assert_eq!(post(&state, "/plan", body).status, 200);
+        let misses = state.cache().stats().misses;
+        assert_eq!(misses, 1);
+        // Same key through a different endpoint: served from the cache.
+        let response = post(&state, "/codegen", body);
+        assert_eq!(response.status, 200);
+        assert!(response.body.contains("__global__"));
+        let stats = state.cache().stats();
+        assert_eq!(stats.misses, misses);
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn execute_is_deterministic_and_excludes_per_call_metadata() {
+        let state = state();
+        let body = r#"{"benchmark":"j2d5pt","interior":[24,24],"steps":5,
+                       "config":{"bt":2,"bs":[12],"precision":"double"}}"#;
+        let first = post(&state, "/execute", body);
+        let second = post(&state, "/execute", body);
+        assert_eq!(first.status, 200);
+        assert_eq!(
+            first.body, second.body,
+            "cold and warm responses must be bit-identical"
+        );
+        assert!(first.body.contains("\"checksum\""));
+        assert!(!first.body.contains("cache"), "{}", first.body);
+    }
+
+    #[test]
+    fn stats_reports_endpoint_latencies_and_cache() {
+        let state = state();
+        let body = r#"{"benchmark":"star2d1r","interior":[32,32],"steps":4,
+                       "config":{"bt":1,"bs":[16],"precision":"double"}}"#;
+        post(&state, "/plan", body);
+        post(&state, "/plan", body);
+        let stats = dispatch(
+            &state,
+            &Request {
+                method: "GET".to_string(),
+                path: "/stats".to_string(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(stats.status, 200);
+        let parsed = json::parse(&stats.body).unwrap();
+        let plan = parsed
+            .get("endpoints")
+            .and_then(|e| e.get("/plan"))
+            .expect("/plan endpoint recorded");
+        assert_eq!(plan.get("count").unwrap().as_usize(), Some(2));
+        let hit_rate = parsed
+            .get("cache")
+            .and_then(|c| c.get("hit_rate"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((hit_rate - 0.5).abs() < 1e-12, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn parse_endpoint_detects_a_stencil_from_source() {
+        let state = state();
+        let source = an5d::An5d::benchmark("j2d5pt").unwrap().c_source();
+        let body = Json::obj(vec![
+            ("source", Json::str(&source)),
+            ("name", Json::str("mine")),
+        ]);
+        let response = post(&state, "/parse", &body.render());
+        assert_eq!(response.status, 200);
+        let parsed = json::parse(&response.body).unwrap();
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("mine"));
+        assert_eq!(parsed.get("radius").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    fn tune_endpoint_returns_a_ranked_result() {
+        let state = state();
+        let body = r#"{"benchmark":"j2d5pt","interior":[512,512],"steps":50,
+                       "device":"v100","precision":"single","space":"quick"}"#;
+        let response = post(&state, "/tune", body);
+        assert_eq!(response.status, 200, "{}", response.body);
+        let parsed = json::parse(&response.body).unwrap();
+        assert!(parsed.get("best").is_some());
+        assert!(state.cache().stats().misses > 0, "tuner planned via cache");
+    }
+}

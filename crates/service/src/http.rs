@@ -1,0 +1,249 @@
+//! Minimal HTTP/1.1 framing: just enough to read one JSON request and
+//! write one JSON response per connection.
+//!
+//! The build environment has no crates.io access, so this is a std-only
+//! implementation: request line + headers + `Content-Length` body in,
+//! `Connection: close` response out. Connections are one-shot (no
+//! keep-alive); the load generator and the CI smoke test open a fresh
+//! connection per request, which also keeps the worker pool's admission
+//! accounting trivial (one queue slot == one request).
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a request body (1 MiB — DSL sources are tiny).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+/// Upper bound on one header line.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path without query string (e.g. `/tune`).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A response about to be written; the body is always JSON here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A response with the given status and JSON body.
+    #[must_use]
+    pub fn new(status: u16, body: String) -> Self {
+        Self { status, body }
+    }
+}
+
+/// A framing problem while reading a request, carrying the status code
+/// the connection should be answered with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Status to reply with (400, 413, …).
+    pub status: u16,
+    /// Human-readable reason (returned in the JSON error body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad_request(message: &str) -> Self {
+        Self {
+            status: 400,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.status)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = io::Read::read(reader, &mut byte)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header line too long",
+            ));
+        }
+    }
+}
+
+/// Read one request from the stream.
+///
+/// # Errors
+///
+/// `Ok(Err(HttpError))` for malformed requests that deserve an HTTP error
+/// reply; `Err(io::Error)` for transport failures (closed socket, read
+/// timeout) where no reply is possible or useful.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Result<Request, HttpError>> {
+    let Some(request_line) = read_line(reader)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a request line",
+        ));
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(Err(HttpError::bad_request("malformed request line")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(HttpError::bad_request("unsupported HTTP version")));
+    }
+    // Strip any query string; the API is JSON-body based.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: usize = 0;
+    for _ in 0..MAX_HEADERS {
+        let Some(line) = read_line(reader)? else {
+            return Ok(Err(HttpError::bad_request("truncated headers")));
+        };
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            io::Read::read_exact(reader, &mut body)?;
+            return Ok(Ok(Request {
+                method: method.to_ascii_uppercase(),
+                path,
+                body,
+            }));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(Err(HttpError::bad_request("malformed header")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let Ok(length) = value.trim().parse::<usize>() else {
+                return Ok(Err(HttpError::bad_request("invalid Content-Length")));
+            };
+            if length > MAX_BODY_BYTES {
+                return Ok(Err(HttpError {
+                    status: 413,
+                    message: format!("body larger than {MAX_BODY_BYTES} bytes"),
+                }));
+            }
+            content_length = length;
+        }
+    }
+    Ok(Err(HttpError::bad_request("too many headers")))
+}
+
+/// Write a one-shot JSON response and flush it.
+///
+/// # Errors
+///
+/// Propagates transport errors from the underlying stream.
+pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.body.len()
+    )?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> io::Result<Result<Request, HttpError>> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse("POST /tune?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\nabcd")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/tune");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("get /stats HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_map_to_http_errors() {
+        assert_eq!(parse("nonsense\r\n\r\n").unwrap().unwrap_err().status, 400);
+        assert_eq!(
+            parse("GET / SPDY/3\r\n\r\n").unwrap().unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+                .unwrap()
+                .unwrap_err()
+                .status,
+            400
+        );
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
+        assert_eq!(parse(&huge).unwrap().unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn closed_connection_is_a_transport_error() {
+        assert!(parse("").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").is_err());
+    }
+
+    #[test]
+    fn response_framing_includes_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::new(200, "{\"ok\":true}".into())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,78 @@
+//! `an5d-serve`: a concurrent HTTP service in front of the AN5D
+//! tune → plan → codegen → execute pipeline.
+//!
+//! The ROADMAP's north star is a production-scale system serving heavy
+//! traffic; this crate is that serving layer. Instead of every consumer
+//! linking the crates and driving the [`an5d::An5d`] facade in-process,
+//! a long-running `an5d-serve` process exposes the Section 6.3 flow as
+//! JSON-over-HTTP endpoints, with all requests flowing through one
+//! shared [`an5d::PlanCache`] (concurrent identical misses coalesce onto
+//! a single plan build) and one shared [`an5d::BatchDriver`]. Tuning
+//! results are device-specific, so repeated per-device tuning queries
+//! are exactly the traffic a shared cache-backed service absorbs.
+//!
+//! Everything is std-only (TcpListener + a bounded worker pool): the
+//! build environment has no crates.io access, so the crate carries its
+//! own minimal [`json`] codec and [`http`] framing.
+//!
+//! # Endpoints
+//!
+//! | Endpoint | Method | Purpose |
+//! |---|---|---|
+//! | `/parse` | POST | DSL C source → detected stencil summary |
+//! | `/plan` | POST | blocking config → geometry/resource summary |
+//! | `/predict` | POST | Section 5 model prediction on a device |
+//! | `/tune` | POST | Section 6.3 tuner over a search space |
+//! | `/codegen` | POST | CUDA kernel + host source |
+//! | `/execute` | POST | blocked run: checksum + traffic counters |
+//! | `/stats` | GET | cache hit rate + per-endpoint latencies |
+//! | `/shutdown` | POST | graceful shutdown (drains the queue) |
+//!
+//! Responses are deterministic byte-for-byte: the same request always
+//! produces the same body, bit-identical to a direct facade call (the
+//! `load_gen` harness in `an5d-bench` asserts this under concurrent
+//! mixed traffic). Overload is shed at admission: when the bounded
+//! connection queue is full, new connections get an immediate `503`.
+//!
+//! # Example
+//!
+//! ```
+//! use an5d_service::{client, Server, ServerConfig};
+//!
+//! let server = Server::start(&ServerConfig {
+//!     addr: "127.0.0.1:0".to_string(), // ephemeral port
+//!     ..ServerConfig::default()
+//! })?;
+//! let addr = server.addr();
+//!
+//! let (status, body) = client::post(
+//!     addr,
+//!     "/plan",
+//!     r#"{"benchmark":"j2d5pt","interior":[64,64],"steps":8,
+//!         "config":{"bt":2,"bs":[32],"precision":"double"}}"#,
+//! )?;
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"nthr\""));
+//!
+//! let (status, _) = client::post(addr, "/shutdown", "")?;
+//! assert_eq!(status, 200);
+//! server.wait();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod metrics;
+mod server;
+
+pub use handlers::{dispatch, ServiceState, ENDPOINTS};
+pub use http::{Request, Response};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use metrics::{EndpointStats, Metrics};
+pub use server::{banner, Server, ServerConfig};

@@ -1,0 +1,145 @@
+//! Per-endpoint latency and outcome metrics for `/stats`.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Aggregated statistics for one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Requests dispatched to the handler (including failed ones).
+    pub count: u64,
+    /// Requests answered with a non-2xx status.
+    pub errors: u64,
+    /// Total handler latency in microseconds.
+    pub total_micros: u64,
+    /// Worst handler latency in microseconds.
+    pub max_micros: u64,
+}
+
+impl EndpointStats {
+    /// Mean handler latency in microseconds (0 with no requests).
+    #[must_use]
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Thread-safe metrics registry shared by every connection worker.
+///
+/// Endpoints are keyed by path; the map is a `BTreeMap` so `/stats`
+/// renders endpoints in a stable (sorted) order.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: Mutex<BTreeMap<String, EndpointStats>>,
+    /// Connections turned away by admission control with a 503.
+    rejected: AtomicU64,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one handled request for an endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex was poisoned by a panicking thread.
+    pub fn record(&self, endpoint: &str, latency: Duration, ok: bool) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let mut endpoints = self.endpoints.lock().expect("metrics poisoned");
+        let stats = endpoints.entry(endpoint.to_string()).or_default();
+        stats.count += 1;
+        if !ok {
+            stats.errors += 1;
+        }
+        stats.total_micros = stats.total_micros.saturating_add(micros);
+        stats.max_micros = stats.max_micros.max(micros);
+    }
+
+    /// Record one connection rejected by admission control.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of admission-control rejections so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of one endpoint's stats (zeroes when never hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn endpoint(&self, endpoint: &str) -> EndpointStats {
+        self.endpoints
+            .lock()
+            .expect("metrics poisoned")
+            .get(endpoint)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Render the `"endpoints"` object of `/stats`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn endpoints_json(&self) -> Json {
+        let endpoints = self.endpoints.lock().expect("metrics poisoned");
+        Json::Obj(
+            endpoints
+                .iter()
+                .map(|(path, stats)| {
+                    (
+                        path.clone(),
+                        Json::obj(vec![
+                            ("count", Json::Int(i128::from(stats.count))),
+                            ("errors", Json::Int(i128::from(stats.errors))),
+                            ("mean_us", Json::Int(i128::from(stats.mean_micros()))),
+                            ("max_us", Json::Int(i128::from(stats.max_micros))),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_errors_and_latency() {
+        let metrics = Metrics::new();
+        metrics.record("/tune", Duration::from_micros(100), true);
+        metrics.record("/tune", Duration::from_micros(300), false);
+        metrics.record("/stats", Duration::from_micros(5), true);
+
+        let tune = metrics.endpoint("/tune");
+        assert_eq!(tune.count, 2);
+        assert_eq!(tune.errors, 1);
+        assert_eq!(tune.mean_micros(), 200);
+        assert_eq!(tune.max_micros, 300);
+        assert_eq!(metrics.endpoint("/nope"), EndpointStats::default());
+
+        metrics.record_rejected();
+        assert_eq!(metrics.rejected(), 1);
+
+        let rendered = metrics.endpoints_json().render();
+        // Sorted by path: /stats before /tune.
+        let stats_at = rendered.find("/stats").unwrap();
+        let tune_at = rendered.find("/tune").unwrap();
+        assert!(stats_at < tune_at, "{rendered}");
+    }
+}

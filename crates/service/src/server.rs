@@ -1,0 +1,358 @@
+//! The `an5d-serve` server: TCP accept loop, bounded connection queue
+//! with admission control, a fixed worker pool and graceful shutdown.
+//!
+//! Concurrency model (all std, no external runtime):
+//!
+//! * the **accept thread** owns the `TcpListener`. Each accepted
+//!   connection is pushed onto a bounded queue; when the queue is full
+//!   the connection is answered `503` immediately (admission control —
+//!   overload sheds load instead of growing an unbounded backlog);
+//! * **worker threads** pop connections, read one request, dispatch it
+//!   through [`crate::handlers::dispatch`] and write one response
+//!   (`Connection: close`);
+//! * **graceful shutdown** — `POST /shutdown` (or [`Server::stop`]) sets
+//!   the shutdown flag, wakes the accept thread with a loopback
+//!   connection and wakes all workers; workers drain the queue before
+//!   exiting, so every admitted request is answered.
+
+use crate::handlers::{dispatch, ServiceState};
+use crate::http::{read_request, write_response, Response};
+use crate::{api, json::Json};
+use an5d::{backend_from_env, ExecutionBackend};
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Bounded queue depth; connections beyond it are answered 503.
+    pub queue_depth: usize,
+    /// Plan-cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7845".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+struct Shared {
+    state: ServiceState,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    queue_depth: usize,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Admit a connection or shed it with a 503.
+    fn admit(&self, stream: TcpStream) {
+        let mut queue = self.queue.lock().expect("connection queue poisoned");
+        if queue.len() >= self.queue_depth {
+            drop(queue);
+            self.state.metrics().record_rejected();
+            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+            let mut stream = stream;
+            let _ = write_response(
+                &mut stream,
+                &Response::new(503, api::error_body("server overloaded, retry later")),
+            );
+            return;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        self.available.notify_one();
+    }
+
+    /// Pop the next connection; `None` once shut down and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().expect("connection queue poisoned");
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self
+                .available
+                .wait(queue)
+                .expect("connection queue poisoned");
+        }
+    }
+
+    /// Flip the shutdown flag and wake the accept thread and all workers.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return; // already shutting down
+        }
+        // Notify while holding the queue mutex: a worker that has just
+        // read `shutdown == false` under the lock is then either still
+        // holding it (we wait; it parks; our notify wakes it) or already
+        // parked in `wait` — without the lock the notification could
+        // slip into the gap and be lost, leaving that worker (and
+        // `Server::stop`) asleep forever.
+        let guard = self.queue.lock().expect("connection queue poisoned");
+        self.available.notify_all();
+        drop(guard);
+        // Wake the accept thread out of its blocking accept(); the
+        // connection itself is discarded by the flag check.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running `an5d-serve` instance.
+///
+/// Dropping a `Server` without calling [`Server::stop`] or
+/// [`Server::wait`] detaches the threads (the process keeps serving
+/// until exit); tests and the binary always join explicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.shared.addr)
+            .field("workers", &self.worker_handles.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind and start serving with the process-default backend
+    /// (`AN5D_BACKEND`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: &ServerConfig) -> io::Result<Server> {
+        Self::start_with_backend(config, backend_from_env())
+    }
+
+    /// Bind and start serving on an explicit execution backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start_with_backend(
+        config: &ServerConfig,
+        backend: Arc<dyn ExecutionBackend>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: ServiceState::new(backend, config.cache_capacity.max(1)),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_depth: config.queue_depth.max(1),
+            addr,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("an5d-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+        let workers = config.workers.max(1);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("an5d-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&worker_shared))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared service state (cache statistics, metrics).
+    #[must_use]
+    pub fn state(&self) -> &ServiceState {
+        &self.shared.state
+    }
+
+    /// Request graceful shutdown and join every thread. Queued requests
+    /// are answered before workers exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn stop(mut self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+
+    /// Block until the server shuts down (via `POST /shutdown` or another
+    /// thread calling [`Server::stop`]) and join every thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            handle.join().expect("accept thread panicked");
+        }
+        for handle in self.worker_handles.drain(..) {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                shared.admit(stream);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                // Transient accept failure (e.g. EMFILE): keep serving.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.pop() {
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(Ok(request)) => request,
+        Ok(Err(http_error)) => {
+            let mut stream = reader.into_inner();
+            let _ = write_response(
+                &mut stream,
+                &Response::new(http_error.status, api::error_body(&http_error.message)),
+            );
+            return;
+        }
+        // Transport failure (peer vanished, read timed out): no reply
+        // possible.
+        Err(_) => return,
+    };
+    let response = dispatch(&shared.state, &request);
+    let mut stream = reader.into_inner();
+    let _ = write_response(&mut stream, &response);
+    if request.method == "POST" && request.path == "/shutdown" && response.status == 200 {
+        shared.begin_shutdown();
+    }
+}
+
+/// Render the one-line startup banner used by the binary (and asserted
+/// by the CI smoke test).
+#[must_use]
+pub fn banner(addr: SocketAddr, backend: &str, workers: usize, queue_depth: usize) -> String {
+    Json::obj(vec![
+        ("listening", Json::Str(format!("http://{addr}"))),
+        ("backend", Json::str(backend)),
+        ("workers", Json::Int(workers as i128)),
+        ("queue_depth", Json::Int(queue_depth as i128)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use an5d::SerialBackend;
+
+    fn test_server(workers: usize, queue_depth: usize) -> Server {
+        Server::start_with_backend(
+            &ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers,
+                queue_depth,
+                cache_capacity: 64,
+            },
+            Arc::new(SerialBackend),
+        )
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn serves_stats_and_shuts_down_cleanly() {
+        let server = test_server(2, 16);
+        let addr = server.addr();
+        let (status, body) = client::get(addr, "/stats").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cache\""), "{body}");
+        let (status, body) = client::post(addr, "/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"ok":true}"#);
+        server.wait();
+    }
+
+    #[test]
+    fn stop_joins_without_outside_help() {
+        let server = test_server(1, 4);
+        let addr = server.addr();
+        let (status, _) = client::get(addr, "/stats").unwrap();
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses_not_hangs() {
+        let server = test_server(2, 16);
+        let addr = server.addr();
+        // Malformed request line.
+        let (status, body) = client::raw(addr, "BOGUS\r\n\r\n").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("error"));
+        // Unknown endpoint.
+        let (status, _) = client::post(addr, "/nope", "{}").unwrap();
+        assert_eq!(status, 404);
+        server.stop();
+    }
+}

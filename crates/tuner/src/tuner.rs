@@ -16,6 +16,22 @@ use crate::SearchSpace;
 /// paper uses the top 5.
 const DEFAULT_TOP_K: usize = 5;
 
+/// Descending, NaN-safe score comparison for candidate ranking.
+///
+/// Built on [`f64::total_cmp`] so the sort is a total order even when a
+/// prediction or measurement goes NaN; NaN is additionally mapped *below*
+/// every real score (including −∞), so a poisoned candidate can never
+/// out-rank a finite one or scramble the order of its neighbours the way
+/// `partial_cmp(..).unwrap_or(Equal)` silently did.
+fn cmp_scores_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => b.total_cmp(&a),
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+    }
+}
+
 /// Errors produced by the tuner.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -213,7 +229,7 @@ impl Tuner {
         if ranked.is_empty() {
             return Err(TunerError::NoFeasibleCandidate);
         }
-        ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| cmp_scores_desc(a.2, b.2));
         let ranked_candidates = ranked.len();
 
         // Step 2: "run" the model-ranked top-k with every register cap and
@@ -247,11 +263,7 @@ impl Tuner {
         if measured.is_empty() {
             return Err(TunerError::NoFeasibleCandidate);
         }
-        measured.sort_by(|a, b| {
-            b.measured_gflops
-                .partial_cmp(&a.measured_gflops)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        measured.sort_by(|a, b| cmp_scores_desc(a.measured_gflops, b.measured_gflops));
         let best = measured[0].clone();
         Ok(TuningResult {
             best,
@@ -415,6 +427,61 @@ mod tests {
         let space = SearchSpace::quick(2, Precision::Single);
         let result = tuner.tune(&def, &small_problem(&def), &space).unwrap();
         assert!(result.measured.len() <= 2);
+    }
+
+    #[test]
+    fn nan_scoring_candidate_ranks_last_and_never_wins() {
+        // Regression: ranking used `partial_cmp(..).unwrap_or(Equal)`,
+        // under which a NaN score compared Equal to everything and could
+        // scramble the whole order (and even surface as the winner,
+        // depending on the sort's comparison sequence).
+        let config = BlockConfig::new(2, &[32], None, Precision::Single).unwrap();
+        let candidate = |gflops: f64| TunedCandidate {
+            config: config.clone(),
+            register_cap: RegisterCap::Unlimited,
+            predicted_gflops: gflops,
+            measured_gflops: gflops,
+            measured_gcells: 0.0,
+            seconds: 0.0,
+        };
+        let mut measured = [
+            candidate(5.0),
+            candidate(f64::NAN),
+            candidate(7.0),
+            candidate(f64::NEG_INFINITY),
+            candidate(6.0),
+        ];
+        measured.sort_by(|a, b| cmp_scores_desc(a.measured_gflops, b.measured_gflops));
+
+        let order: Vec<f64> = measured.iter().map(|c| c.measured_gflops).collect();
+        assert_eq!(order[0], 7.0);
+        assert_eq!(order[1], 6.0);
+        assert_eq!(order[2], 5.0);
+        assert_eq!(order[3], f64::NEG_INFINITY);
+        assert!(order[4].is_nan(), "NaN must sort strictly last");
+        assert!(
+            !measured[0].measured_gflops.is_nan(),
+            "a NaN-scoring candidate must never be picked as best"
+        );
+    }
+
+    #[test]
+    fn nan_safe_comparison_is_a_total_order() {
+        use std::cmp::Ordering;
+        let values = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.0, 2.5];
+        for &a in &values {
+            assert_eq!(cmp_scores_desc(a, a), Ordering::Equal, "reflexive on {a}");
+            for &b in &values {
+                let ab = cmp_scores_desc(a, b);
+                let ba = cmp_scores_desc(b, a);
+                assert_eq!(ab, ba.reverse(), "antisymmetric on ({a}, {b})");
+            }
+        }
+        assert_eq!(
+            cmp_scores_desc(f64::NAN, f64::NEG_INFINITY),
+            Ordering::Greater
+        );
+        assert_eq!(cmp_scores_desc(1.0, f64::NAN), Ordering::Less);
     }
 
     #[test]
