@@ -117,9 +117,11 @@ impl ExecutionBackend for SerialBackend {
 /// Within each temporal block the spatial tiles are independent: every
 /// tile reads only the immutable input grid and owns a disjoint write-back
 /// region of the output grid. This backend fans the tiles of each temporal
-/// block across scoped worker threads, collects the detached
-/// [`TileRun`]s, and applies them **in canonical tile order** on the
-/// driving thread.
+/// block across the shared persistent worker pool
+/// ([`an5d_runtime::global`]), with tiles claimed one at a time (dynamic
+/// scheduling, so an expensive tile never serialises a static chunk
+/// behind it), collects the detached [`TileRun`]s, and applies them
+/// **in canonical tile order** on the driving thread.
 ///
 /// Determinism: each `f64` cell value is produced by exactly one tile
 /// running exactly the serial executor's per-tile code, so grids are
@@ -133,7 +135,9 @@ pub struct ParallelCpuBackend {
 }
 
 impl ParallelCpuBackend {
-    /// A backend with an explicit worker-thread count (clamped to ≥ 1).
+    /// A backend with an explicit tile-execution concurrency cap
+    /// (clamped to ≥ 1): at most `threads` threads — pool workers plus
+    /// the driving thread — execute tiles at once.
     ///
     /// The clamp is a convenience for programmatic construction only; the
     /// string registry treats `"parallel:0"` as an invalid spec and
@@ -146,7 +150,7 @@ impl ParallelCpuBackend {
         }
     }
 
-    /// A backend with one worker per available CPU.
+    /// A backend with one executor per available CPU.
     #[must_use]
     pub fn with_available_parallelism() -> Self {
         let threads = std::thread::available_parallelism()
@@ -155,7 +159,7 @@ impl ParallelCpuBackend {
         Self::new(threads)
     }
 
-    /// The worker-thread count used for tile execution.
+    /// The tile-execution concurrency cap.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
@@ -175,36 +179,24 @@ impl ParallelCpuBackend {
 
         let ctx = TileContext::new(plan, problem);
         let tiles = ctx.tiles();
+        let pool = an5d_runtime::global();
         let mut counters = an5d_gpusim::TrafficCounters::new();
         let mut current = initial;
         for chunk in temporal_chunks(problem.time_steps(), plan.config().bt()) {
-            // Fan the tiles of this temporal block across workers. Each
-            // worker owns a contiguous slice of result slots, so no locks
-            // and no unsafe are needed; the slot index doubles as the tile
-            // index, keeping aggregation order canonical.
-            let workers = self.threads.min(tiles.len()).max(1);
-            let per_worker = tiles.len().div_ceil(workers);
-            let mut runs: Vec<Option<TileRun<T>>> = (0..tiles.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                let current = &current;
-                let ctx = &ctx;
-                for (worker, slots) in runs.chunks_mut(per_worker).enumerate() {
-                    let begin = worker * per_worker;
-                    scope.spawn(move || {
-                        for (k, slot) in slots.iter_mut().enumerate() {
-                            *slot = Some(ctx.execute_tile(current, &tiles[begin + k], chunk));
-                        }
-                    });
-                }
+            // Fan the tiles of this temporal block across the shared
+            // pool; the slot index doubles as the tile index, keeping
+            // aggregation order canonical no matter which thread ran
+            // which tile.
+            let current_ref = &current;
+            let ctx_ref = &ctx;
+            let runs: Vec<TileRun<T>> = pool.map_indexed_limited(self.threads, tiles.len(), |k| {
+                ctx_ref.execute_tile(current_ref, &tiles[k], chunk)
             });
 
             // Deterministic aggregation: apply write-backs and sum counters
             // in canonical tile order on the driving thread.
             let mut next = current.clone();
-            for run in runs
-                .into_iter()
-                .map(|r| r.expect("worker filled every slot"))
-            {
+            for run in runs {
                 run.apply_to(&mut next);
                 counters += run.counters;
             }
@@ -230,7 +222,7 @@ impl ExecutionBackend for ParallelCpuBackend {
     }
 
     fn describe(&self) -> String {
-        format!("parallel ({} worker threads)", self.threads)
+        format!("parallel ({} pool executors)", self.threads)
     }
 
     fn execute_f32(

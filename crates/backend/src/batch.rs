@@ -7,8 +7,7 @@ use an5d_gpusim::TrafficCounters;
 use an5d_grid::{Grid, GridInit, Precision};
 use an5d_plan::{BlockConfig, FrameworkScheme, PlanError};
 use an5d_stencil::{StencilDef, StencilError, StencilProblem};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One unit of batch work: a stencil, its problem extents and a blocking
@@ -101,12 +100,13 @@ impl std::fmt::Display for BatchError {
 
 impl std::error::Error for BatchError {}
 
-/// Fans batch jobs across a bounded worker pool.
+/// Fans batch jobs across the shared persistent worker pool
+/// ([`an5d_runtime::global`]), bounded by a per-driver concurrency cap.
 ///
-/// Jobs are claimed from a shared queue, planned through the shared
-/// [`PlanCache`] and executed on the configured [`ExecutionBackend`];
-/// results are returned **in input order** regardless of completion
-/// order, so batch output is deterministic.
+/// Jobs are claimed one at a time from the pool's dynamic queue, planned
+/// through the shared [`PlanCache`] and executed on the configured
+/// [`ExecutionBackend`]; results are returned **in input order**
+/// regardless of completion order, so batch output is deterministic.
 pub struct BatchDriver {
     backend: Arc<dyn ExecutionBackend>,
     cache: Arc<PlanCache>,
@@ -223,7 +223,8 @@ impl BatchDriver {
     ///
     /// # Panics
     ///
-    /// Panics if a pool worker panics (propagating the original panic).
+    /// Panics if a job panics on a pool thread (propagating the original
+    /// panic).
     pub fn run(&self, jobs: &[BatchJob]) -> Vec<Result<BatchOutcome, BatchError>> {
         if jobs.is_empty() {
             return Vec::new();
@@ -232,30 +233,8 @@ impl BatchDriver {
         if workers <= 1 {
             return jobs.iter().map(|job| self.run_job(job)).collect();
         }
-
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<BatchOutcome, BatchError>>>> =
-            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= jobs.len() {
-                        break;
-                    }
-                    let outcome = self.run_job(&jobs[index]);
-                    *results[index].lock().expect("batch result slot poisoned") = Some(outcome);
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("batch result slot poisoned")
-                    .expect("every job index was claimed")
-            })
-            .collect()
+        an5d_runtime::global()
+            .map_indexed_limited(workers, jobs.len(), |index| self.run_job(&jobs[index]))
     }
 }
 

@@ -206,6 +206,49 @@ impl Drop for AbandonGuard<'_> {
     }
 }
 
+/// One plan to pre-build during [`PlanCache::warm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmRequest {
+    /// The stencil to plan for.
+    pub def: StencilDef,
+    /// The problem extents/time-steps.
+    pub problem: StencilProblem,
+    /// The blocking configuration.
+    pub config: BlockConfig,
+    /// The framework scheme.
+    pub scheme: FrameworkScheme,
+}
+
+impl WarmRequest {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(
+        def: StencilDef,
+        problem: StencilProblem,
+        config: BlockConfig,
+        scheme: FrameworkScheme,
+    ) -> Self {
+        Self {
+            def,
+            problem,
+            config,
+            scheme,
+        }
+    }
+}
+
+/// Outcome of a [`PlanCache::warm`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Plans newly built by this pass.
+    pub built: usize,
+    /// Requests already answered by the cache (or coalesced onto a
+    /// concurrent build).
+    pub already_cached: usize,
+    /// Requests whose plan failed validation.
+    pub failed: usize,
+}
+
 /// A bounded, thread-safe LRU cache of built [`KernelPlan`]s.
 pub struct PlanCache {
     capacity: usize,
@@ -399,6 +442,43 @@ impl PlanCache {
         drop(inner);
         slot.publish(built.clone());
         built.map(|plan| (plan, false))
+    }
+
+    /// Pre-build a set of plans on the shared persistent worker pool
+    /// ([`an5d_runtime::global`]), so later lookups (service startup
+    /// traffic, tuner sweeps, batch runs) hit a warm cache instead of
+    /// paying first-build latency.
+    ///
+    /// Requests are claimed dynamically, one at a time; duplicates and
+    /// already-cached keys are answered from the cache (counted in
+    /// [`WarmStats::already_cached`]), and invalid configurations are
+    /// tallied in [`WarmStats::failed`] without aborting the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn warm(&self, requests: &[WarmRequest]) -> WarmStats {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let built = AtomicUsize::new(0);
+        let already_cached = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(0);
+        an5d_runtime::global().for_each(requests, |request| {
+            match self.get_or_build_traced(
+                &request.def,
+                &request.problem,
+                &request.config,
+                request.scheme,
+            ) {
+                Ok((_, true)) => already_cached.fetch_add(1, Ordering::Relaxed),
+                Ok((_, false)) => built.fetch_add(1, Ordering::Relaxed),
+                Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+            };
+        });
+        WarmStats {
+            built: built.into_inner(),
+            already_cached: already_cached.into_inner(),
+            failed: failed.into_inner(),
+        }
     }
 
     /// Current hit/miss/occupancy statistics.
@@ -711,6 +791,52 @@ mod tests {
             misses_before + 1,
             "least-recently-used bt=2 must have been evicted"
         );
+    }
+
+    #[test]
+    fn warming_pre_builds_plans_on_the_pool() {
+        let cache = PlanCache::new(64);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let scheme = FrameworkScheme::an5d();
+        let mut requests: Vec<WarmRequest> = (1..=4)
+            .map(|bt| {
+                WarmRequest::new(
+                    def.clone(),
+                    problem.clone(),
+                    BlockConfig::new(bt, &[16], None, Precision::Double).unwrap(),
+                    scheme,
+                )
+            })
+            .collect();
+        // A duplicate and an invalid config ride along.
+        requests.push(requests[0].clone());
+        requests.push(WarmRequest::new(
+            suite::j2d9pt(),
+            StencilProblem::new(suite::j2d9pt(), &[32, 32], 8).unwrap(),
+            BlockConfig::new(16, &[32], None, Precision::Double).unwrap(),
+            scheme,
+        ));
+
+        let stats = cache.warm(&requests);
+        assert_eq!(stats.built, 4);
+        assert_eq!(stats.already_cached, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(cache.stats().entries, 4);
+
+        // Warm lookups afterwards: all hits, no further builds.
+        let misses_before = cache.stats().misses;
+        for request in &requests[..4] {
+            cache
+                .get_or_build(&request.def, &request.problem, &request.config, scheme)
+                .unwrap();
+        }
+        assert_eq!(cache.stats().misses, misses_before);
+
+        // A second warm pass is a no-op build-wise.
+        let again = cache.warm(&requests[..4]);
+        assert_eq!(again.built, 0);
+        assert_eq!(again.already_cached, 4);
     }
 
     #[test]

@@ -14,17 +14,18 @@
 //! * [`ExecutionBackend`] implementations:
 //!   [`SerialBackend`] (the reference driver, one tile at a time) and
 //!   [`ParallelCpuBackend`] (the independent spatial tiles of each
-//!   temporal block fan out across scoped worker threads). Because each
-//!   tile reads only the immutable input grid and writes a disjoint
-//!   region of the output grid, every backend produces **bit-identical**
-//!   `f64` grids and identical counter totals;
+//!   temporal block fan out across the shared persistent worker pool of
+//!   `an5d-runtime`). Because each tile reads only the immutable input
+//!   grid and writes a disjoint region of the output grid, every backend
+//!   produces **bit-identical** `f64` grids and identical counter totals;
 //! * [`PlanCache`] — an LRU plan/codegen cache keyed by
 //!   (stencil fingerprint, problem extents, [`BlockConfig`],
 //!   [`FrameworkScheme`]) so repeated tuner and benchmark queries skip
-//!   re-planning;
+//!   re-planning, with pool-parallel pre-warming ([`PlanCache::warm`]);
 //! * [`BatchDriver`] — fans a whole suite of (stencil, config) jobs across
-//!   a bounded worker pool, planning through a shared [`PlanCache`] and
-//!   executing through any [`ExecutionBackend`].
+//!   the shared pool (bounded by a per-driver concurrency cap), planning
+//!   through a shared [`PlanCache`] and executing through any
+//!   [`ExecutionBackend`].
 //!
 //! # Backend selection
 //!
@@ -68,7 +69,7 @@ mod registry;
 
 pub use backend::{BackendElement, ExecutionBackend, ParallelCpuBackend, SerialBackend};
 pub use batch::{BatchDriver, BatchError, BatchFailure, BatchJob, BatchOutcome};
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, PlanCache, WarmRequest, WarmStats};
 pub use registry::{available_backends, backend_from_env, create_backend, BACKEND_ENV};
 
 // Re-exported so backend users can name the key/config types without an

@@ -1,0 +1,72 @@
+//! Criterion benchmark establishing a tuning-throughput baseline: the
+//! full Section 6.3 flow (stream → analytic pre-prune → plan → rank →
+//! measure top-5) over the paper's 2D and 3D search spaces, with and
+//! without a shared plan cache.
+
+use an5d::{GpuDevice, PlanCache, Precision, SearchSpace, StencilProblem, Tuner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_paper_spaces(c: &mut Criterion) {
+    let device = GpuDevice::tesla_v100();
+    let cases = [
+        (
+            "star2d1r",
+            an5d::suite::star2d(1),
+            vec![4096usize, 4096],
+            SearchSpace::paper(2, Precision::Single),
+        ),
+        (
+            "star3d1r",
+            an5d::suite::star3d(1),
+            vec![256, 256, 256],
+            SearchSpace::paper(3, Precision::Single),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("tuner/paper_space");
+    for (name, def, interior, space) in &cases {
+        let problem = StencilProblem::new(def.clone(), interior, 500).expect("valid problem");
+
+        // Cold: every tune() replans the whole surviving space.
+        let tuner = Tuner::new(device.clone(), Precision::Single);
+        group.bench_with_input(BenchmarkId::new("uncached", name), name, |b, _| {
+            b.iter(|| tuner.tune(def, &problem, space).expect("tunes"));
+        });
+
+        // Warm: repeated tunes answer every plan from the shared cache.
+        let cache = Arc::new(PlanCache::new(1024));
+        let cached_tuner =
+            Tuner::new(device.clone(), Precision::Single).with_plan_cache(Arc::clone(&cache));
+        let _ = cached_tuner.tune(def, &problem, space).expect("warms");
+        group.bench_with_input(BenchmarkId::new("plan_cached", name), name, |b, _| {
+            b.iter(|| cached_tuner.tune(def, &problem, space).expect("tunes"));
+        });
+    }
+    group.finish();
+
+    // Direct sweep-throughput report (min-of-3 wall clock), independent
+    // of the harness: candidates ranked per second for the 2D space.
+    let (_, def, interior, space) = &cases[0];
+    let problem = StencilProblem::new(def.clone(), interior, 500).expect("valid problem");
+    let tuner = Tuner::new(device, Precision::Single);
+    let best = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(tuner.tune(def, &problem, space).expect("tunes"));
+            start.elapsed()
+        })
+        .min()
+        .expect("three samples");
+    let per_candidate = best.as_secs_f64() / space.len() as f64;
+    println!(
+        "tuner throughput: paper 2D space ({} candidates) in {best:?} \
+         ({:.0} candidates/s uncached)",
+        space.len(),
+        1.0 / per_candidate
+    );
+}
+
+criterion_group!(benches, bench_paper_spaces);
+criterion_main!(benches);

@@ -5,11 +5,15 @@
 //!
 //! ```text
 //! load_gen [--requests N] [--clients N] [--server-workers N]
+//!          [--keep-alive | --no-keep-alive]
 //! ```
 //!
-//! Defaults (120 requests across 4 clients) satisfy the acceptance bar
-//! of ≥ 100 mixed requests over ≥ 4 concurrent clients. Exits non-zero
-//! (panics) on any status or byte mismatch.
+//! Defaults (120 requests across 4 clients, keep-alive on) satisfy the
+//! acceptance bar of ≥ 100 mixed requests over ≥ 4 concurrent clients.
+//! Per-endpoint latency percentiles (p50/p95/p99) and overall
+//! requests/sec are reported, so running once with `--keep-alive` and
+//! once with `--no-keep-alive` quantifies what connection reuse is
+//! worth. Exits non-zero (panics) on any status or byte mismatch.
 
 use an5d::{
     generate_cuda_for_plan, predict, An5d, BatchDriver, BatchJob, BlockConfig, GpuDevice, GridInit,
@@ -32,6 +36,26 @@ struct Template {
 /// shared cache and worker pool.
 fn templates() -> Vec<Template> {
     let mut out = Vec::new();
+
+    // /parse — the cheap, pure-frontend endpoint. Deterministic (the
+    // response depends only on the source text), and light enough that
+    // per-connection overhead is a visible fraction of its latency —
+    // which is exactly what the keep-alive comparison needs.
+    {
+        let pipeline = An5d::benchmark("star2d1r").unwrap();
+        let source = pipeline.c_source();
+        let detected = an5d::parse_stencil(&source, "star2d1r").unwrap();
+        let body = an5d_service::Json::obj(vec![
+            ("source", an5d_service::Json::str(&source)),
+            ("name", an5d_service::Json::str("star2d1r")),
+        ])
+        .render();
+        out.push(Template {
+            path: "/parse",
+            body,
+            expected: api::parse_response(&detected).render(),
+        });
+    }
 
     // /tune — the expensive, cache-friendly query the service exists for.
     {
@@ -140,6 +164,15 @@ struct Args {
     requests: usize,
     clients: usize,
     server_workers: usize,
+    keep_alive: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: load_gen [--requests N] [--clients N] [--server-workers N] \
+         [--keep-alive | --no-keep-alive]"
+    );
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
@@ -147,34 +180,47 @@ fn parse_args() -> Args {
         requests: 120,
         clients: 4,
         server_workers: 4,
+        keep_alive: true,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
-        let value = iter
-            .next()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                eprintln!("usage: load_gen [--requests N] [--clients N] [--server-workers N]");
-                std::process::exit(2);
-            });
         match flag.as_str() {
-            "--requests" => args.requests = value.max(1),
-            "--clients" => args.clients = value.max(1),
-            "--server-workers" => args.server_workers = value.max(1),
+            "--keep-alive" => args.keep_alive = true,
+            "--no-keep-alive" => args.keep_alive = false,
+            "--requests" | "--clients" | "--server-workers" => {
+                let Some(value) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    usage();
+                };
+                match flag.as_str() {
+                    "--requests" => args.requests = value.max(1),
+                    "--clients" => args.clients = value.max(1),
+                    _ => args.server_workers = value.max(1),
+                }
+            }
             _ => {
                 eprintln!("load_gen: unknown flag {flag}");
-                std::process::exit(2);
+                usage();
             }
         }
     }
     args
 }
 
+/// Nearest-rank percentile of an ascending-sorted series.
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    assert!(!sorted.is_empty());
+    let rank = (pct * sorted.len()).div_ceil(100).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 fn main() {
     let args = parse_args();
     println!(
-        "load_gen: {} mixed requests across {} clients ({} server workers)",
-        args.requests, args.clients, args.server_workers
+        "load_gen: {} mixed requests across {} clients ({} server workers, keep-alive {})",
+        args.requests,
+        args.clients,
+        args.server_workers,
+        if args.keep_alive { "on" } else { "off" },
     );
 
     println!("load_gen: computing expected responses via direct facade calls…");
@@ -186,6 +232,7 @@ fn main() {
             workers: args.server_workers,
             queue_depth: 256,
             cache_capacity: 256,
+            ..ServerConfig::default()
         },
         Arc::new(SerialBackend),
     )
@@ -199,17 +246,26 @@ fn main() {
         for client_id in 0..args.clients {
             let templates = Arc::clone(&templates);
             let latencies = &latencies;
+            let keep_alive = args.keep_alive;
             scope.spawn(move || {
+                // One persistent connection per client in keep-alive
+                // mode; a fresh connection per request otherwise.
+                let mut persistent = keep_alive.then(|| client::KeepAliveClient::new(addr));
                 // Client k takes requests k, k+C, k+2C, … — deterministic
                 // coverage of the template mix with no coordination.
+                let mut sent_count: u64 = 0;
                 for index in (client_id..args.requests).step_by(args.clients) {
                     let template = &templates[index % templates.len()];
                     let sent = Instant::now();
-                    let (status, body) = client::post(addr, template.path, &template.body)
-                        .unwrap_or_else(|e| {
-                            panic!("client {client_id} request {index} {}: {e}", template.path)
-                        });
+                    let result = match &mut persistent {
+                        Some(conn) => conn.post(template.path, &template.body),
+                        None => client::post(addr, template.path, &template.body),
+                    };
+                    let (status, body) = result.unwrap_or_else(|e| {
+                        panic!("client {client_id} request {index} {}: {e}", template.path)
+                    });
                     let elapsed = sent.elapsed();
+                    sent_count += 1;
                     assert_eq!(
                         status, 200,
                         "client {client_id} request {index} {}: {body}",
@@ -226,6 +282,12 @@ fn main() {
                         .unwrap()
                         .push((index % templates.len(), elapsed));
                 }
+                if let Some(conn) = &persistent {
+                    assert!(
+                        sent_count <= 1 || conn.reused() > 0,
+                        "client {client_id}: keep-alive mode must reuse its connection"
+                    );
+                }
             });
         }
     });
@@ -233,14 +295,25 @@ fn main() {
 
     let latencies = latencies.into_inner().unwrap();
     assert_eq!(latencies.len(), args.requests);
+    let requests_per_sec = args.requests as f64 / wall.as_secs_f64();
     println!(
-        "load_gen: {} requests in {:.3}s ({:.0} req/s), all bit-identical to the facade",
+        "load_gen: {} requests in {:.3}s ({requests_per_sec:.0} req/s), \
+         all bit-identical to the facade",
         args.requests,
         wall.as_secs_f64(),
-        args.requests as f64 / wall.as_secs_f64()
+    );
+    if args.keep_alive {
+        println!(
+            "load_gen: {} requests served over reused connections",
+            server.reused_requests()
+        );
+    }
+    println!(
+        "  {:>9} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "endpoint", "n", "p50", "p95", "p99", "max"
     );
     for (template_index, template) in templates.iter().enumerate() {
-        let series: Vec<Duration> = latencies
+        let mut series: Vec<Duration> = latencies
             .iter()
             .filter(|(t, _)| *t == template_index)
             .map(|&(_, d)| d)
@@ -248,14 +321,15 @@ fn main() {
         if series.is_empty() {
             continue;
         }
-        let total: Duration = series.iter().sum();
-        let max = series.iter().max().unwrap();
+        series.sort_unstable();
         println!(
-            "  {:>9} n={:<4} mean={:>8.1?} max={:>8.1?}",
+            "  {:>9} {:>6} {:>10.1?} {:>10.1?} {:>10.1?} {:>10.1?}",
             template.path,
             series.len(),
-            total / u32::try_from(series.len()).unwrap(),
-            max
+            percentile(&series, 50),
+            percentile(&series, 95),
+            percentile(&series, 99),
+            series.last().unwrap(),
         );
     }
 

@@ -81,15 +81,17 @@ pub use an5d_gpusim::{
 pub use an5d_backend::{
     available_backends, backend_from_env, create_backend, BackendElement, BatchDriver, BatchError,
     BatchFailure, BatchJob, BatchOutcome, CacheStats, ExecutionBackend, ParallelCpuBackend,
-    PlanCache, SerialBackend, BACKEND_ENV,
+    PlanCache, SerialBackend, WarmRequest, WarmStats, BACKEND_ENV,
 };
+
+pub use an5d_runtime::{global as global_pool, WorkerPool, POOL_THREADS_ENV};
 
 pub use an5d_model::{
     analytic_counters, measure, measure_best_cap, predict, thread_classes, Measurement,
     ModelPrediction, ThreadClasses,
 };
 
-pub use an5d_tuner::{SearchSpace, TunedCandidate, Tuner, TunerError, TuningResult};
+pub use an5d_tuner::{CandidateIter, SearchSpace, TunedCandidate, Tuner, TunerError, TuningResult};
 
 pub use an5d_codegen::{generate as generate_cuda_for_plan, kernel_name_for, CudaCode};
 

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!            [--keep-alive-timeout SECS] [--max-requests N]
 //! ```
 //!
 //! The execution backend for `/execute` is selected by the standard
@@ -16,7 +17,9 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         \x20                 [--keep-alive-timeout SECS] [--max-requests N]\n\
          defaults: --addr 127.0.0.1:7845 --workers 4 --queue 64 --cache 256\n\
+         \x20         --keep-alive-timeout 5 --max-requests 1000\n\
          stop with: curl -X POST http://HOST:PORT/shutdown"
     );
     std::process::exit(2);
@@ -39,6 +42,16 @@ fn parse_args() -> ServerConfig {
             },
             "--cache" => match value.parse() {
                 Ok(n) if n > 0 => config.cache_capacity = n,
+                _ => usage(),
+            },
+            "--keep-alive-timeout" => match value.parse() {
+                Ok(n) if n > 0 => {
+                    config.keep_alive_timeout = std::time::Duration::from_secs(n);
+                }
+                _ => usage(),
+            },
+            "--max-requests" => match value.parse() {
+                Ok(n) if n > 0 => config.max_requests_per_connection = n,
                 _ => usage(),
             },
             _ => usage(),

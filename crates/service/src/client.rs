@@ -1,10 +1,17 @@
-//! A minimal blocking HTTP/1.1 client for `an5d-serve`.
+//! Minimal blocking HTTP/1.1 clients for `an5d-serve`.
 //!
-//! One connection per request (the server is `Connection: close`), with
-//! socket timeouts so a wedged server fails a test instead of hanging
-//! it. Used by the integration tests, the `load_gen` harness and the
-//! server's own unit tests; production consumers would use any real
-//! HTTP client.
+//! Two flavours:
+//!
+//! * the module-level [`get`]/[`post`]/[`raw`] helpers open **one
+//!   connection per request** (they send `Connection: close`) — simple,
+//!   stateless, fine for tests and one-off calls;
+//! * [`KeepAliveClient`] holds a persistent connection and reuses it
+//!   across requests, reconnecting transparently when the server closes
+//!   it (idle timeout, per-connection request bound, shutdown). This is
+//!   the high-throughput path the `load_gen` harness measures.
+//!
+//! Both use socket timeouts so a wedged server fails a test instead of
+//! hanging it; production consumers would use any real HTTP client.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -15,6 +22,62 @@ const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 fn invalid(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Parsed response head: status, body length (when framed) and whether
+/// the server announced it will close the connection.
+struct ResponseHead {
+    status: u16,
+    content_length: Option<usize>,
+    close: bool,
+}
+
+fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a status line",
+        ));
+    }
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut close = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(invalid("truncated response headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| invalid("bad Content-Length"))?,
+                );
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+    Ok(ResponseHead {
+        status,
+        content_length,
+        close,
+    })
 }
 
 /// Send raw request bytes and read one `(status, body)` response.
@@ -30,49 +93,21 @@ pub fn raw(addr: SocketAddr, request: &str) -> io::Result<(u16, String)> {
     stream.flush()?;
 
     let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|code| code.parse::<u16>().ok())
-        .ok_or_else(|| invalid("malformed status line"))?;
-
-    let mut content_length: Option<usize> = None;
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(invalid("truncated response headers"));
-        }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = Some(
-                    value
-                        .trim()
-                        .parse()
-                        .map_err(|_| invalid("bad Content-Length"))?,
-                );
-            }
-        }
-    }
-    let body = match content_length {
+    let head = read_head(&mut reader)?;
+    let body = match head.content_length {
         Some(length) => {
             let mut body = vec![0u8; length];
             reader.read_exact(&mut body)?;
             String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?
         }
         None => {
-            // Connection: close framing — read to EOF.
+            // No Content-Length: fall back to read-to-EOF framing.
             let mut body = String::new();
             reader.read_to_string(&mut body)?;
             body
         }
     };
-    Ok((status, body))
+    Ok((head.status, body))
 }
 
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
@@ -85,7 +120,7 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Result
     )
 }
 
-/// `GET path` → `(status, body)`.
+/// `GET path` → `(status, body)` over a fresh one-shot connection.
 ///
 /// # Errors
 ///
@@ -94,11 +129,154 @@ pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
     request(addr, "GET", path, "")
 }
 
-/// `POST path` with a JSON body → `(status, body)`.
+/// `POST path` with a JSON body → `(status, body)` over a fresh
+/// one-shot connection.
 ///
 /// # Errors
 ///
 /// Propagates connect/IO failures and malformed responses.
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
     request(addr, "POST", path, body)
+}
+
+/// A client that keeps one TCP connection to `an5d-serve` open and
+/// pushes every request through it, reconnecting when the server closes
+/// the connection (idle timeout, request bound, shutdown) — at most one
+/// transparent retry per request, and only when no response bytes had
+/// arrived (re-sending is safe then).
+#[derive(Debug)]
+pub struct KeepAliveClient {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+    /// Requests answered without opening a new connection.
+    reused: u64,
+}
+
+impl KeepAliveClient {
+    /// A client for the given server address; connects lazily.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            conn: None,
+            reused: 0,
+        }
+    }
+
+    /// Requests served over an already-established connection (i.e. TCP
+    /// connection setups saved versus the one-shot client).
+    #[must_use]
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    fn connect(addr: SocketAddr) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        // Requests are single-segment writes; don't let Nagle hold one
+        // back waiting for the previous response's ACK.
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// One request/response exchange over the current connection.
+    fn exchange(
+        conn: &mut BufReader<TcpStream>,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> io::Result<(u16, String, bool)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len()
+        );
+        conn.get_mut().write_all(head.as_bytes())?;
+        conn.get_mut().flush()?;
+        // Same principle for the head: only closed-before-status-line
+        // (UnexpectedEof from the first read) may keep its kind and thus
+        // remain retryable; any failure after response bytes started
+        // arriving is remapped so it cannot be silently re-sent.
+        let head = read_head(conn).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                e
+            } else {
+                invalid(&format!("failed reading response head: {e}"))
+            }
+        })?;
+        let length = head
+            .content_length
+            .ok_or_else(|| invalid("keep-alive response without Content-Length"))?;
+        let mut bytes = vec![0u8; length];
+        // A body truncated mid-response must NOT surface as
+        // UnexpectedEof: that kind marks "no response bytes arrived" for
+        // the retry logic in `request`, and a partially-received
+        // response may already have been acted upon server-side.
+        conn.read_exact(&mut bytes)
+            .map_err(|e| invalid(&format!("truncated response body: {e}")))?;
+        let body = String::from_utf8(bytes).map_err(|_| invalid("non-UTF-8 body"))?;
+        Ok((head.status, body, head.close))
+    }
+
+    /// `GET path` → `(status, body)`, reusing the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/IO failures and malformed responses.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST path` with a JSON body → `(status, body)`, reusing the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/IO failures and malformed responses.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let had_conn = self.conn.is_some();
+        let mut conn = match self.conn.take() {
+            Some(conn) => conn,
+            None => Self::connect(self.addr)?,
+        };
+        match Self::exchange(&mut conn, self.addr, method, path, body) {
+            Ok((status, response_body, close)) => {
+                if had_conn {
+                    self.reused += 1;
+                }
+                if !close {
+                    self.conn = Some(conn);
+                }
+                Ok((status, response_body))
+            }
+            Err(error)
+                if had_conn
+                    && matches!(
+                        error.kind(),
+                        io::ErrorKind::UnexpectedEof
+                            | io::ErrorKind::BrokenPipe
+                            | io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::ConnectionAborted
+                    ) =>
+            {
+                // The server closed the kept-alive connection between
+                // requests (idle timeout / request bound). Nothing of the
+                // response had arrived (the API is idempotent anyway), so
+                // retrying on a fresh connection is safe.
+                let mut conn = Self::connect(self.addr)?;
+                let (status, response_body, close) =
+                    Self::exchange(&mut conn, self.addr, method, path, body)?;
+                if !close {
+                    self.conn = Some(conn);
+                }
+                Ok((status, response_body))
+            }
+            Err(error) => Err(error),
+        }
+    }
 }

@@ -253,25 +253,14 @@ mod tests {
     }
 
     fn post(state: &ServiceState, path: &str, body: &str) -> Response {
-        dispatch(
-            state,
-            &Request {
-                method: "POST".to_string(),
-                path: path.to_string(),
-                body: body.as_bytes().to_vec(),
-            },
-        )
+        dispatch(state, &Request::new("POST", path, body.as_bytes()))
     }
 
     #[test]
     fn unknown_path_and_wrong_method_are_rejected() {
         let state = state();
         assert_eq!(post(&state, "/nope", "{}").status, 404);
-        let get_tune = Request {
-            method: "GET".to_string(),
-            path: "/tune".to_string(),
-            body: Vec::new(),
-        };
+        let get_tune = Request::new("GET", "/tune", b"");
         assert_eq!(dispatch(&state, &get_tune).status, 405);
     }
 
@@ -327,14 +316,7 @@ mod tests {
                        "config":{"bt":1,"bs":[16],"precision":"double"}}"#;
         post(&state, "/plan", body);
         post(&state, "/plan", body);
-        let stats = dispatch(
-            &state,
-            &Request {
-                method: "GET".to_string(),
-                path: "/stats".to_string(),
-                body: Vec::new(),
-            },
-        );
+        let stats = dispatch(&state, &Request::new("GET", "/stats", b""));
         assert_eq!(stats.status, 200);
         let parsed = json::parse(&stats.body).unwrap();
         let plan = parsed

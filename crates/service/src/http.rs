@@ -1,12 +1,15 @@
-//! Minimal HTTP/1.1 framing: just enough to read one JSON request and
-//! write one JSON response per connection.
+//! Minimal HTTP/1.1 framing: request line + headers + `Content-Length`
+//! body in, JSON response out — with keep-alive.
 //!
 //! The build environment has no crates.io access, so this is a std-only
-//! implementation: request line + headers + `Content-Length` body in,
-//! `Connection: close` response out. Connections are one-shot (no
-//! keep-alive); the load generator and the CI smoke test open a fresh
-//! connection per request, which also keeps the worker pool's admission
-//! accounting trivial (one queue slot == one request).
+//! implementation. Connections are **persistent by default** (HTTP/1.1
+//! semantics): the server keeps reading requests off one connection
+//! until the client sends `Connection: close`, the idle timeout expires,
+//! or the per-connection request bound is reached. `HTTP/1.0` requests
+//! default to close unless they carry `Connection: keep-alive`.
+//! Responses always carry a `Content-Length` and an explicit
+//! `Connection:` header, so clients never need read-to-EOF framing to
+//! reuse a connection.
 
 use std::io::{self, BufRead, Write};
 
@@ -26,6 +29,24 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open after this
+    /// request (HTTP/1.1 default unless `Connection: close`; HTTP/1.0
+    /// default off unless `Connection: keep-alive`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// A keep-alive request — the HTTP/1.1 default — for tests and
+    /// direct `dispatch` callers.
+    #[must_use]
+    pub fn new(method: &str, path: &str, body: &[u8]) -> Self {
+        Self {
+            method: method.to_ascii_uppercase(),
+            path: path.to_string(),
+            body: body.to_vec(),
+            keep_alive: true,
+        }
+    }
 }
 
 /// A response about to be written; the body is always JSON here.
@@ -80,6 +101,7 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -109,6 +131,14 @@ fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
     }
 }
 
+/// `true` when a `Connection:` header value contains `token` (the header
+/// is a comma-separated token list, compared case-insensitively).
+fn connection_header_has(value: &str, token: &str) -> bool {
+    value
+        .split(',')
+        .any(|part| part.trim().eq_ignore_ascii_case(token))
+}
+
 /// Read one request from the stream.
 ///
 /// # Errors
@@ -133,6 +163,11 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Result<Request, Htt
     }
     // Strip any query string; the API is JSON-body based.
     let path = target.split('?').next().unwrap_or(target).to_string();
+    // Persistent connections are the HTTP/1.1 default; 1.0 must opt in.
+    let mut keep_alive = version != "HTTP/1.0";
+    // RFC 9112: once any Connection header says close, close wins — a
+    // later keep-alive token must not re-enable persistence.
+    let mut close_seen = false;
 
     let mut content_length: usize = 0;
     for _ in 0..MAX_HEADERS {
@@ -146,12 +181,14 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Result<Request, Htt
                 method: method.to_ascii_uppercase(),
                 path,
                 body,
+                keep_alive,
             }));
         }
         let Some((name, value)) = line.split_once(':') else {
             return Ok(Err(HttpError::bad_request("malformed header")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             let Ok(length) = value.trim().parse::<usize>() else {
                 return Ok(Err(HttpError::bad_request("invalid Content-Length")));
             };
@@ -162,25 +199,52 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Result<Request, Htt
                 }));
             }
             content_length = length;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if connection_header_has(value, "close") {
+                close_seen = true;
+                keep_alive = false;
+            } else if connection_header_has(value, "keep-alive") && !close_seen {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Only Content-Length framing is implemented. On a
+            // persistent connection a silently-ignored chunked body
+            // would be re-parsed as the next request (framing desync /
+            // request smuggling), so refuse outright — the error reply
+            // closes the connection.
+            return Ok(Err(HttpError {
+                status: 501,
+                message: "Transfer-Encoding is not supported; use Content-Length".to_string(),
+            }));
         }
     }
     Ok(Err(HttpError::bad_request("too many headers")))
 }
 
-/// Write a one-shot JSON response and flush it.
+/// Write a JSON response and flush it, announcing whether the server
+/// will keep the connection open (`keep_alive`) or close it after this
+/// response.
 ///
 /// # Errors
 ///
 /// Propagates transport errors from the underlying stream.
-pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    // One buffered write per response: on a kept-alive connection a
+    // header segment followed by a separate body segment would trip
+    // Nagle + delayed-ACK (~40 ms per request).
+    let rendered = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
         response.status,
         reason_phrase(response.status),
-        response.body.len()
-    )?;
-    writer.write_all(response.body.as_bytes())?;
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+        response.body
+    );
+    writer.write_all(rendered.as_bytes())?;
     writer.flush()
 }
 
@@ -202,6 +266,7 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/tune");
         assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -210,6 +275,71 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/stats");
         assert!(req.body.is_empty());
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn connection_header_overrides_the_version_default() {
+        let req = parse("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET /stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+        // Token lists and mixed case are honoured.
+        let req = parse("GET /stats HTTP/1.1\r\nConnection: TE, Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        // Unrelated Connection tokens leave the version default alone.
+        let req = parse("GET /stats HTTP/1.1\r\nConnection: upgrade\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+        // Close wins even when a later header line says keep-alive.
+        let req =
+            parse("GET /stats HTTP/1.1\r\nConnection: close\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .unwrap();
+        assert!(!req.keep_alive, "close must win once seen");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                   GET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let first = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"hi");
+        assert!(first.keep_alive);
+        let second = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive);
+        // Stream exhausted: the next read is a transport-level EOF.
+        assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn request_constructor_defaults_to_keep_alive() {
+        let req = Request::new("post", "/tune", b"{}");
+        assert_eq!(req.method, "POST");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused_not_desynced() {
+        // A chunked body the server does not parse must not be left on
+        // the stream to be misread as the next pipelined request.
+        let err = parse(
+            "POST /plan HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap_err();
+        assert_eq!(err.status, 501);
+        assert!(err.message.contains("Transfer-Encoding"));
     }
 
     #[test]
@@ -237,13 +367,19 @@ mod tests {
     }
 
     #[test]
-    fn response_framing_includes_length_and_close() {
+    fn response_framing_includes_length_and_connection_state() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::new(200, "{\"ok\":true}".into())).unwrap();
+        write_response(&mut out, &Response::new(200, "{\"ok\":true}".into()), true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
-        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::new(200, "{}".into()), false).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: close\r\n"));
     }
 }

@@ -34,6 +34,14 @@
 //! mixed traffic). Overload is shed at admission: when the bounded
 //! connection queue is full, new connections get an immediate `503`.
 //!
+//! Connections are **persistent** (HTTP/1.1 keep-alive): a worker keeps
+//! serving requests off one connection until the client sends
+//! `Connection: close`, the keep-alive idle timeout expires, or the
+//! per-connection request bound is reached (both configurable through
+//! [`ServerConfig`]). The [`client::KeepAliveClient`] reuses one
+//! connection across requests — `load_gen --no-keep-alive` quantifies
+//! what that reuse is worth in requests/sec.
+//!
 //! # Example
 //!
 //! ```

@@ -1,5 +1,6 @@
 //! The `an5d-serve` server: TCP accept loop, bounded connection queue
-//! with admission control, a fixed worker pool and graceful shutdown.
+//! with admission control, a fixed worker pool, persistent (keep-alive)
+//! connections and graceful shutdown.
 //!
 //! Concurrency model (all std, no external runtime):
 //!
@@ -7,13 +8,17 @@
 //!   connection is pushed onto a bounded queue; when the queue is full
 //!   the connection is answered `503` immediately (admission control —
 //!   overload sheds load instead of growing an unbounded backlog);
-//! * **worker threads** pop connections, read one request, dispatch it
-//!   through [`crate::handlers::dispatch`] and write one response
-//!   (`Connection: close`);
+//! * **worker threads** pop connections and serve **multiple requests
+//!   per connection**: requests are read and dispatched through
+//!   [`crate::handlers::dispatch`] until the client sends
+//!   `Connection: close`, the keep-alive idle timeout expires, or the
+//!   per-connection request bound is reached (so one chatty client
+//!   cannot monopolise a worker forever);
 //! * **graceful shutdown** — `POST /shutdown` (or [`Server::stop`]) sets
 //!   the shutdown flag, wakes the accept thread with a loopback
 //!   connection and wakes all workers; workers drain the queue before
-//!   exiting, so every admitted request is answered.
+//!   exiting (closing each connection after its in-flight request), so
+//!   every admitted request is answered.
 
 use crate::handlers::{dispatch, ServiceState};
 use crate::http::{read_request, write_response, Response};
@@ -22,12 +27,13 @@ use an5d::{backend_from_env, ExecutionBackend};
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Per-connection socket read/write timeout.
+/// Socket read timeout for the *first* request of a connection, and the
+/// write timeout throughout.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Server construction parameters.
@@ -41,6 +47,12 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Plan-cache capacity.
     pub cache_capacity: usize,
+    /// How long a persistent connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_timeout: Duration,
+    /// Maximum requests served on one connection before the server
+    /// closes it (bounds worker monopolisation by a single client).
+    pub max_requests_per_connection: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,16 +62,34 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 256,
+            keep_alive_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1000,
         }
     }
 }
 
+/// A connection waiting for (or returning to) a worker, with the
+/// serving state that must survive fairness re-queueing.
+struct QueuedConn {
+    stream: TcpStream,
+    /// Requests already served on this connection.
+    served: usize,
+    /// Absolute idle deadline for the next request (`None` until the
+    /// connection first waits).
+    deadline: Option<std::time::Instant>,
+}
+
 struct Shared {
     state: ServiceState,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<QueuedConn>>,
     available: Condvar,
     shutdown: AtomicBool,
     queue_depth: usize,
+    keep_alive_timeout: Duration,
+    max_requests_per_connection: usize,
+    /// Requests served on a connection that had already served at least
+    /// one (i.e. saved TCP connection setups).
+    reused_requests: AtomicU64,
     addr: SocketAddr,
 }
 
@@ -75,20 +105,36 @@ impl Shared {
             let _ = write_response(
                 &mut stream,
                 &Response::new(503, api::error_body("server overloaded, retry later")),
+                false,
             );
             return;
         }
-        queue.push_back(stream);
+        queue.push_back(QueuedConn {
+            stream,
+            served: 0,
+            deadline: None,
+        });
+        drop(queue);
+        self.available.notify_one();
+    }
+
+    /// Return an established (already admitted) connection to the back
+    /// of the queue. Bypasses the admission bound on purpose: requeued
+    /// connections are already inside the system, and their number is
+    /// bounded by the worker count.
+    fn requeue(&self, conn: QueuedConn) {
+        let mut queue = self.queue.lock().expect("connection queue poisoned");
+        queue.push_back(conn);
         drop(queue);
         self.available.notify_one();
     }
 
     /// Pop the next connection; `None` once shut down and drained.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<QueuedConn> {
         let mut queue = self.queue.lock().expect("connection queue poisoned");
         loop {
-            if let Some(stream) = queue.pop_front() {
-                return Some(stream);
+            if let Some(conn) = queue.pop_front() {
+                return Some(conn);
             }
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
@@ -168,6 +214,9 @@ impl Server {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             queue_depth: config.queue_depth.max(1),
+            keep_alive_timeout: config.keep_alive_timeout.max(Duration::from_millis(1)),
+            max_requests_per_connection: config.max_requests_per_connection.max(1),
+            reused_requests: AtomicU64::new(0),
             addr,
         });
 
@@ -203,6 +252,13 @@ impl Server {
     #[must_use]
     pub fn state(&self) -> &ServiceState {
         &self.shared.state
+    }
+
+    /// Requests served over an already-used (kept-alive) connection —
+    /// each one is a TCP connection setup the client did not pay.
+    #[must_use]
+    pub fn reused_requests(&self) -> u64 {
+        self.shared.reused_requests.load(Ordering::Relaxed)
     }
 
     /// Request graceful shutdown and join every thread. Queued requests
@@ -257,34 +313,181 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(stream) = shared.pop() {
-        handle_connection(shared, stream);
+    while let Some(conn) = shared.pop() {
+        handle_connection(shared, conn);
     }
 }
 
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+/// Granularity of the shutdown-flag / fairness poll while a worker waits
+/// for the next request on an idle connection: the worst-case extra
+/// shutdown latency contributed by a parked worker, and the longest a
+/// queued connection waits behind an idle one.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+/// Outcome of waiting for the next request on a connection.
+enum Wait {
+    /// Request bytes are available (or already buffered).
+    Ready,
+    /// Close the connection: peer hung up, idle deadline passed, a
+    /// transport error occurred, or the server is shutting down.
+    Close,
+    /// Other connections are queued and this one is idle: hand the
+    /// worker back by re-queueing the connection (round-robin fairness).
+    Requeue,
+}
+
+/// Wait until the next request's first byte is available (or already
+/// buffered), the absolute `deadline` passes, the peer hangs up, or the
+/// server begins shutting down. Polls in [`SHUTDOWN_POLL`] slices so an
+/// idle kept-alive connection can neither park its worker past shutdown
+/// nor starve connections waiting in the queue.
+fn wait_for_request(
+    shared: &Shared,
+    reader: &BufReader<TcpStream>,
+    deadline: std::time::Instant,
+) -> Wait {
+    if !reader.buffer().is_empty() {
+        return Wait::Ready; // a pipelined request is already buffered
+    }
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Wait::Close;
+        }
+        let now = std::time::Instant::now();
+        let Some(remaining) = deadline
+            .checked_duration_since(now)
+            .filter(|r| !r.is_zero())
+        else {
+            return Wait::Close; // idle deadline passed
+        };
+        let slice = SHUTDOWN_POLL.min(remaining);
+        let _ = reader.get_ref().set_read_timeout(Some(slice));
+        match reader.get_ref().peek(&mut probe) {
+            Ok(0) => return Wait::Close, // peer closed
+            Ok(_) => return Wait::Ready, // request bytes available
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Still idle: if admitted connections are waiting for a
+                // worker, give this one's slot back rather than sitting
+                // on it for the rest of the idle budget.
+                if !shared
+                    .queue
+                    .lock()
+                    .expect("connection queue poisoned")
+                    .is_empty()
+                {
+                    return Wait::Requeue;
+                }
+            }
+            Err(_) => return Wait::Close,
+        }
+    }
+}
+
+/// Serve requests off one connection until the client (or a server
+/// policy) ends it: `Connection: close`, the keep-alive idle deadline,
+/// the per-connection request bound, a transport error, or server
+/// shutdown. Pipelined requests already buffered in the reader are
+/// served before the connection waits on the socket again. An idle
+/// connection is re-queued (with its `served` count and idle deadline
+/// carried along) whenever other connections are waiting, so persistent
+/// clients cannot pin every worker.
+fn handle_connection(shared: &Shared, conn: QueuedConn) {
+    let QueuedConn {
+        stream,
+        mut served,
+        mut deadline,
+    } = conn;
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    // Responses are written as one buffered segment each; disable Nagle
+    // so a response never waits on the client's delayed ACK.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
-    let request = match read_request(&mut reader) {
-        Ok(Ok(request)) => request,
-        Ok(Err(http_error)) => {
-            let mut stream = reader.into_inner();
-            let _ = write_response(
-                &mut stream,
-                &Response::new(http_error.status, api::error_body(&http_error.message)),
-            );
+    loop {
+        // The first request gets the full I/O timeout; between requests
+        // the shorter keep-alive idle timeout applies, so a silent
+        // client releases this worker quickly. The deadline is absolute
+        // and survives re-queueing, so requeue cycles never extend a
+        // connection's idle budget.
+        let limit = *deadline.get_or_insert_with(|| {
+            let budget = if served == 0 {
+                IO_TIMEOUT
+            } else {
+                shared.keep_alive_timeout
+            };
+            std::time::Instant::now() + budget
+        });
+        match wait_for_request(shared, &reader, limit) {
+            Wait::Ready => {}
+            Wait::Close => return,
+            Wait::Requeue => {
+                shared.requeue(QueuedConn {
+                    stream: reader.into_inner(),
+                    served,
+                    deadline: Some(limit),
+                });
+                return;
+            }
+        }
+        // The request has started arriving: give its remaining bytes the
+        // full I/O timeout regardless of the idle budget.
+        let _ = reader.get_ref().set_read_timeout(Some(IO_TIMEOUT));
+        let request = match read_request(&mut reader) {
+            Ok(Ok(request)) => request,
+            Ok(Err(http_error)) => {
+                // Framing errors poison the stream position; answer and
+                // close rather than guess where the next request starts.
+                let _ = write_response(
+                    reader.get_mut(),
+                    &Response::new(http_error.status, api::error_body(&http_error.message)),
+                    false,
+                );
+                return;
+            }
+            // Transport failure: the peer closed (normal keep-alive
+            // teardown), vanished, or idled past the deadline. No reply
+            // is possible or useful.
+            Err(_) => return,
+        };
+        served += 1;
+        if served > 1 {
+            shared.reused_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        let response = dispatch(&shared.state, &request);
+        let shutting_down =
+            request.method == "POST" && request.path == "/shutdown" && response.status == 200;
+        let keep_alive = request.keep_alive
+            && !shutting_down
+            && served < shared.max_requests_per_connection
+            && !shared.shutdown.load(Ordering::Acquire);
+        let written = write_response(reader.get_mut(), &response, keep_alive);
+        if shutting_down {
+            shared.begin_shutdown();
+        }
+        if !keep_alive || written.is_err() {
             return;
         }
-        // Transport failure (peer vanished, read timed out): no reply
-        // possible.
-        Err(_) => return,
-    };
-    let response = dispatch(&shared.state, &request);
-    let mut stream = reader.into_inner();
-    let _ = write_response(&mut stream, &response);
-    if request.method == "POST" && request.path == "/shutdown" && response.status == 200 {
-        shared.begin_shutdown();
+        // A fresh idle period starts after each response.
+        deadline = None;
+        // Fairness: if other connections await a worker and nothing of
+        // this connection's next request has arrived yet, rotate to the
+        // back of the queue instead of monopolising the worker.
+        if reader.buffer().is_empty()
+            && !shared
+                .queue
+                .lock()
+                .expect("connection queue poisoned")
+                .is_empty()
+        {
+            shared.requeue(QueuedConn {
+                stream: reader.into_inner(),
+                served,
+                deadline: Some(std::time::Instant::now() + shared.keep_alive_timeout),
+            });
+            return;
+        }
     }
 }
 
@@ -307,17 +510,18 @@ mod tests {
     use crate::client;
     use an5d::SerialBackend;
 
+    fn test_server_with(config: ServerConfig) -> Server {
+        Server::start_with_backend(&config, Arc::new(SerialBackend)).expect("bind ephemeral port")
+    }
+
     fn test_server(workers: usize, queue_depth: usize) -> Server {
-        Server::start_with_backend(
-            &ServerConfig {
-                addr: "127.0.0.1:0".to_string(),
-                workers,
-                queue_depth,
-                cache_capacity: 64,
-            },
-            Arc::new(SerialBackend),
-        )
-        .expect("bind ephemeral port")
+        test_server_with(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_depth,
+            cache_capacity: 64,
+            ..ServerConfig::default()
+        })
     }
 
     #[test]
@@ -353,6 +557,177 @@ mod tests {
         // Unknown endpoint.
         let (status, _) = client::post(addr, "/nope", "{}").unwrap();
         assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn one_connection_serves_many_requests() {
+        let server = test_server(2, 16);
+        let addr = server.addr();
+        let mut client = client::KeepAliveClient::new(addr);
+        for round in 0..10 {
+            let (status, body) = client.get("/stats").unwrap();
+            assert_eq!(status, 200, "round {round}: {body}");
+            assert!(body.contains("\"cache\""));
+        }
+        assert_eq!(
+            client.reused(),
+            9,
+            "9 of 10 requests must reuse the connection"
+        );
+        assert_eq!(server.reused_requests(), 9);
+        server.stop();
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection_are_all_answered() {
+        use std::io::{Read, Write};
+        let server = test_server(1, 8);
+        let addr = server.addr();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Two back-to-back requests in one write; the second closes.
+        stream
+            .write_all(
+                b"GET /stats HTTP/1.1\r\n\r\n\
+                  GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert_eq!(
+            raw.matches("HTTP/1.1 200 OK").count(),
+            2,
+            "both pipelined requests must be answered: {raw}"
+        );
+        assert!(raw.contains("Connection: keep-alive"));
+        assert!(raw.contains("Connection: close"));
+        server.stop();
+    }
+
+    #[test]
+    fn request_bound_closes_the_connection_and_the_client_reconnects() {
+        let server = test_server_with(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 64,
+            max_requests_per_connection: 3,
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+        let mut client = client::KeepAliveClient::new(addr);
+        for round in 0..10 {
+            let (status, _) = client.get("/stats").unwrap();
+            assert_eq!(status, 200, "round {round}");
+        }
+        // Connections are recycled every 3 requests, so fewer than 9
+        // reuses — but the client kept going transparently.
+        assert!(client.reused() < 9, "reused {}", client.reused());
+        assert!(client.reused() >= 6, "reused {}", client.reused());
+        server.stop();
+    }
+
+    #[test]
+    fn idle_keep_alive_connections_are_reaped_quickly() {
+        let server = test_server_with(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 8,
+            cache_capacity: 64,
+            keep_alive_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+        let mut client = client::KeepAliveClient::new(addr);
+        let (status, _) = client.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        // Sit idle past the server's keep-alive timeout; the server
+        // drops the connection, freeing its only worker — a second
+        // client must still get served...
+        std::thread::sleep(Duration::from_millis(200));
+        let (status, _) = client::get(addr, "/stats").unwrap();
+        assert_eq!(status, 200, "worker must not stay parked on idle conn");
+        // ...and the idle client reconnects transparently.
+        let (status, _) = client.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_is_not_delayed_by_idle_keep_alive_connections() {
+        // A worker parked on an idle persistent connection must notice
+        // shutdown within the SHUTDOWN_POLL slice, not after the whole
+        // keep-alive timeout.
+        let server = test_server_with(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 8,
+            cache_capacity: 64,
+            keep_alive_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+        let mut idle = client::KeepAliveClient::new(addr);
+        let (status, _) = idle.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        // The connection now sits idle, parking a worker in its wait.
+        let started = std::time::Instant::now();
+        server.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "stop() took {:?} with an idle keep-alive connection",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn keep_alive_connections_do_not_starve_queued_clients() {
+        // More persistent clients than workers: with one worker, a
+        // second keep-alive client must still be served promptly (the
+        // idle first connection is requeued, not held for its whole
+        // keep-alive budget).
+        let server = test_server_with(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 8,
+            cache_capacity: 64,
+            keep_alive_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+        let mut first = client::KeepAliveClient::new(addr);
+        let (status, _) = first.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        // The first connection is now idle on the only worker.
+        let mut second = client::KeepAliveClient::new(addr);
+        let started = std::time::Instant::now();
+        let (status, _) = second.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "second client waited {:?} behind an idle keep-alive connection",
+            started.elapsed()
+        );
+        // Both clients keep interleaving on the single worker.
+        for _ in 0..5 {
+            assert_eq!(first.get("/stats").unwrap().0, 200);
+            assert_eq!(second.get("/stats").unwrap().0, 200);
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn explicit_connection_close_is_honoured() {
+        let server = test_server(1, 8);
+        let addr = server.addr();
+        let (status, body) =
+            client::raw(addr, "GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cache\""));
+        assert_eq!(server.reused_requests(), 0);
         server.stop();
     }
 }

@@ -89,6 +89,7 @@ fn concurrent_clients_get_facade_identical_responses_and_a_warming_cache() {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 256,
+            ..ServerConfig::default()
         },
         Arc::new(SerialBackend),
     )
@@ -98,8 +99,9 @@ fn concurrent_clients_get_facade_identical_responses_and_a_warming_cache() {
     let workload = workload();
     let expected = expected_bodies();
 
-    // Round 1: 4 concurrent client threads × the full workload. Every
-    // response must be byte-identical to the direct facade rendering.
+    // Round 1: 4 concurrent client threads × the full workload, each
+    // over ONE persistent keep-alive connection. Every response must be
+    // byte-identical to the direct facade rendering.
     const CLIENTS: usize = 4;
     const ROUNDS_PER_CLIENT: usize = 3;
     std::thread::scope(|scope| {
@@ -107,9 +109,11 @@ fn concurrent_clients_get_facade_identical_responses_and_a_warming_cache() {
             let workload = &workload;
             let expected = &expected;
             scope.spawn(move || {
+                let mut client = client::KeepAliveClient::new(addr);
                 for round in 0..ROUNDS_PER_CLIENT {
                     for ((path, body), want) in workload.iter().zip(expected) {
-                        let (status, got) = client::post(addr, path, body)
+                        let (status, got) = client
+                            .post(path, body)
                             .unwrap_or_else(|e| panic!("client {client_id} {path}: {e}"));
                         assert_eq!(status, 200, "client {client_id} {path}: {got}");
                         assert_eq!(
@@ -119,9 +123,20 @@ fn concurrent_clients_get_facade_identical_responses_and_a_warming_cache() {
                         );
                     }
                 }
+                let requests = (ROUNDS_PER_CLIENT * workload.len()) as u64;
+                assert_eq!(
+                    client.reused(),
+                    requests - 1,
+                    "client {client_id}: all but the first request must reuse the connection"
+                );
             });
         }
     });
+    assert_eq!(
+        server.reused_requests(),
+        (CLIENTS * (ROUNDS_PER_CLIENT * workload.len() - 1)) as u64,
+        "server must have served every follow-up request on a kept-alive connection"
+    );
 
     let warm_rate = hit_rate(addr);
     assert!(
@@ -169,6 +184,7 @@ fn admission_control_sheds_load_with_503s_instead_of_queueing_unboundedly() {
             workers: 1,
             queue_depth: 1,
             cache_capacity: 16,
+            ..ServerConfig::default()
         },
         Arc::new(SerialBackend),
     )

@@ -31,5 +31,5 @@
 mod space;
 mod tuner;
 
-pub use space::SearchSpace;
+pub use space::{CandidateIter, SearchSpace};
 pub use tuner::{TunedCandidate, Tuner, TunerError, TuningResult};

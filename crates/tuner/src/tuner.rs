@@ -4,11 +4,11 @@ use an5d_backend::PlanCache;
 use an5d_gpusim::GpuDevice;
 use an5d_grid::Precision;
 use an5d_model::{measure, predict};
-use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, PlanError, RegisterCap};
+use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, PlanError, RegisterCap, ResourceUsage};
 use an5d_stencil::{StencilDef, StencilProblem};
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::SearchSpace;
 
@@ -55,6 +55,10 @@ impl fmt::Display for TunerError {
 }
 
 impl Error for TunerError {}
+
+/// A ranking-stage survivor: candidate index (for deterministic
+/// tie-breaking), configuration, built plan and model score.
+type RankedCandidate = (usize, BlockConfig, Arc<KernelPlan>, f64);
 
 /// One fully evaluated candidate configuration.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -177,6 +181,34 @@ impl Tuner {
         regs * plan.geometry().nthr <= self.device.registers_per_sm
     }
 
+    /// Analytic pre-prune: decide — from the configuration, stencil and
+    /// device alone, without building a [`KernelPlan`] — whether a
+    /// candidate can survive plan validation *and* the Section 6.3
+    /// register heuristic.
+    ///
+    /// This is exact, not approximate: plan construction fails precisely
+    /// when the blocked rank mismatches or the `2·bT·rad` halo consumes a
+    /// whole block ([`BlockConfig::fits_stencil`] checks both), and the
+    /// register estimate is the same closed-form
+    /// [`ResourceUsage::compute`] the plan itself would carry. Candidates
+    /// rejected here therefore skip `KernelPlan::build` entirely with
+    /// zero effect on the surviving ranking.
+    fn survives_analytic_pruning(&self, def: &StencilDef, config: &BlockConfig) -> bool {
+        if !config.fits_stencil(def) {
+            return false;
+        }
+        let resources = ResourceUsage::compute(
+            config,
+            def.radius(),
+            self.scheme.classify(def),
+            self.scheme.registers,
+            self.scheme.shared_memory,
+        );
+        let regs = resources.registers_per_thread;
+        regs <= self.device.max_registers_per_thread
+            && regs * config.nthr() <= self.device.registers_per_sm
+    }
+
     /// Run the full tuning flow for a stencil and problem.
     ///
     /// # Errors
@@ -192,50 +224,50 @@ impl Tuner {
     ) -> Result<TuningResult, TunerError> {
         let total_candidates = space.len();
 
-        // Step 1: build plans for every valid combination and rank them with
-        // the Section 5 model. Candidate evaluation is independent, so the
-        // ranking is computed in parallel.
-        let candidates = space.candidates();
-        let mut ranked: Vec<(BlockConfig, Arc<KernelPlan>, f64)> = Vec::new();
-        let chunk_size = candidates.len().div_ceil(num_workers()).max(1);
-        let results: Vec<Vec<(BlockConfig, Arc<KernelPlan>, f64)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        for config in chunk {
-                            let Ok(plan) = self.plan_for(def, problem, config) else {
-                                continue;
-                            };
-                            if !self.survives_register_pruning(&plan) {
-                                continue;
-                            }
-                            let prediction = predict(&plan, problem, &self.device);
-                            local.push((config.clone(), plan, prediction.gflops));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("tuner worker panicked"))
-                .collect()
+        // Step 1: stream the search space, analytically pre-prune, build
+        // plans only for survivors and rank them with the Section 5
+        // model. Candidates are generated lazily (no up-front
+        // materialisation of the space) and claimed one at a time by the
+        // shared worker pool, so expensive plans cannot serialise a whole
+        // static chunk behind one thread. Survivors carry their candidate
+        // index so the final ordering is identical to a serial sweep.
+        // The pre-prune runs inside the task (not as an iterator
+        // adapter): the pool claims items with the iterator mutex held,
+        // so pruning there would serialise exactly the mostly-rejected
+        // mega-sweeps the pre-prune exists for.
+        let evaluated: Mutex<Vec<RankedCandidate>> = Mutex::new(Vec::new());
+        an5d_runtime::global().for_each(space.iter().enumerate(), |(index, config)| {
+            if !self.survives_analytic_pruning(def, &config) {
+                return;
+            }
+            let Ok(plan) = self.plan_for(def, problem, &config) else {
+                return;
+            };
+            debug_assert!(
+                self.survives_register_pruning(&plan),
+                "analytic pre-prune must subsume the plan-based register prune"
+            );
+            let prediction = predict(&plan, problem, &self.device);
+            evaluated
+                .lock()
+                .expect("tuner ranking buffer poisoned")
+                .push((index, config, plan, prediction.gflops));
         });
-        for chunk in results {
-            ranked.extend(chunk);
-        }
+        let mut ranked = evaluated
+            .into_inner()
+            .expect("tuner ranking buffer poisoned");
         if ranked.is_empty() {
             return Err(TunerError::NoFeasibleCandidate);
         }
-        ranked.sort_by(|a, b| cmp_scores_desc(a.2, b.2));
+        // Score-descending with candidate order breaking ties: exactly
+        // the order the old stable sort over an in-order Vec produced.
+        ranked.sort_by(|a, b| cmp_scores_desc(a.3, b.3).then_with(|| a.0.cmp(&b.0)));
         let ranked_candidates = ranked.len();
 
         // Step 2: "run" the model-ranked top-k with every register cap and
         // keep the best measured performance per candidate.
         let mut measured: Vec<TunedCandidate> = Vec::new();
-        for (config, plan, predicted_gflops) in ranked.into_iter().take(self.top_k) {
+        for (_, config, plan, predicted_gflops) in ranked.into_iter().take(self.top_k) {
             let mut best_for_candidate: Option<TunedCandidate> = None;
             for cap in RegisterCap::tuning_candidates() {
                 let Ok(m) = measure(&plan, problem, &self.device, cap) else {
@@ -283,13 +315,6 @@ impl Tuner {
         let space = SearchSpace::paper(def.ndim(), self.precision);
         self.tune(def, &problem, &space)
     }
-}
-
-fn num_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(16)
 }
 
 #[cfg(test)]
@@ -482,6 +507,79 @@ mod tests {
             Ordering::Greater
         );
         assert_eq!(cmp_scores_desc(1.0, f64::NAN), Ordering::Less);
+    }
+
+    #[test]
+    fn analytically_pruned_candidates_never_build_plans() {
+        // j2d9pt has radius 2, so a 32-wide block fits only bT ≤ 7
+        // (halo 4·bT must stay below 32); bs=[512] with bT=30 passes the
+        // geometry check but busts the 65,536-register SM budget
+        // ((4·30+20+10)·512 regs). Every such candidate must be rejected
+        // *before* planning, which the plan-cache miss counter observes
+        // directly: one miss == one KernelPlan::build.
+        let def = suite::j2d9pt();
+        let problem = StencilProblem::new(def.clone(), &[2048, 2048], 50).unwrap();
+        let space = SearchSpace::new(
+            (1..=16).collect(),
+            vec![vec![32]],
+            vec![None],
+            Precision::Single,
+        );
+        let cache = Arc::new(PlanCache::new(1024));
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single)
+            .with_plan_cache(Arc::clone(&cache));
+        let result = tuner.tune(&def, &problem, &space).unwrap();
+        assert_eq!(result.total_candidates, 16);
+        assert_eq!(result.ranked_candidates, 7, "bT 1..=7 survive");
+        let stats = cache.stats();
+        assert_eq!(
+            stats.misses, 7,
+            "analytically pruned candidates must skip KernelPlan::build"
+        );
+        assert_eq!(stats.hits, 0);
+
+        // Register-budget pruning (not geometry) also skips planning.
+        let def = suite::star2d(1);
+        let space = SearchSpace::new(vec![1, 30], vec![vec![512]], vec![None], Precision::Single);
+        let cache = Arc::new(PlanCache::new(1024));
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single)
+            .with_plan_cache(Arc::clone(&cache));
+        let result = tuner.tune(&def, &problem, &space).unwrap();
+        assert_eq!(result.ranked_candidates, 1, "bT=30 busts the SM budget");
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn tuning_a_paper_space_streams_without_materialising_candidates() {
+        // The full paper(3) sweep must work through the lazy iterator and
+        // produce a result whose counters are consistent with the space.
+        let def = suite::star3d(1);
+        let problem = StencilProblem::new(def.clone(), &[128, 128, 128], 32).unwrap();
+        let space = SearchSpace::paper(3, Precision::Single);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        let result = tuner.tune(&def, &problem, &space).unwrap();
+        assert_eq!(result.total_candidates, 64);
+        assert!(result.ranked_candidates <= 64);
+        assert!(result.best.measured_gflops > 0.0);
+    }
+
+    #[test]
+    fn concurrent_tuning_on_the_shared_pool_is_deterministic() {
+        // Four threads tuning simultaneously contend for the same global
+        // pool; every run must produce the identical result.
+        let def = suite::star2d(1);
+        let problem = small_problem(&def);
+        let space = SearchSpace::quick(2, Precision::Single);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        let baseline = tuner.tune(&def, &problem, &space).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let result = tuner.tune(&def, &problem, &space).unwrap();
+                    assert_eq!(result, baseline);
+                });
+            }
+        });
     }
 
     #[test]

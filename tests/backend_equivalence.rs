@@ -143,3 +143,146 @@ fn batch_driver_runs_a_suite_identically_on_both_backends() {
         assert_eq!(a.counters, b.counters, "{}", a.name);
     }
 }
+
+#[test]
+fn batch_driver_is_deterministic_across_pool_concurrency_caps() {
+    // The driver fans jobs onto the shared persistent pool; whatever the
+    // concurrency cap (1 = inline on the caller), outcomes must be
+    // bit-identical in input order.
+    let jobs: Vec<BatchJob> = workloads()
+        .into_iter()
+        .map(|(def, interior, steps, config)| BatchJob::new(def, &interior, steps, config))
+        .collect();
+    let baseline = BatchDriver::new(Arc::new(SerialBackend))
+        .with_workers(1)
+        .run(&jobs);
+    for workers in [2usize, 3, 8] {
+        let again = BatchDriver::new(Arc::new(SerialBackend))
+            .with_workers(workers)
+            .run(&jobs);
+        for (a, b) in baseline.iter().zip(&again) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.checksum, b.checksum, "workers={workers} {}", a.name);
+            assert_eq!(a.counters, b.counters, "workers={workers} {}", a.name);
+        }
+    }
+}
+
+/// A from-scratch serial re-implementation of the Section 6.3 tuning
+/// flow: enumerate → plan → register-prune → rank by model → measure the
+/// top-5 under every register cap → pick the best. The pool-backed
+/// streaming tuner must reproduce it bit for bit.
+fn serial_tune_reference(
+    def: &an5d::StencilDef,
+    problem: &StencilProblem,
+    device: &an5d::GpuDevice,
+    space: &an5d::SearchSpace,
+) -> Vec<an5d::TunedCandidate> {
+    use an5d::{measure, predict, RegisterCap};
+    let mut ranked: Vec<(BlockConfig, KernelPlan, f64)> = Vec::new();
+    for config in space.iter() {
+        let Ok(plan) = KernelPlan::build(def, problem, &config, FrameworkScheme::an5d()) else {
+            continue;
+        };
+        let regs = plan.resources().registers_per_thread;
+        if regs > device.max_registers_per_thread
+            || regs * plan.geometry().nthr > device.registers_per_sm
+        {
+            continue;
+        }
+        let score = predict(&plan, problem, device).gflops;
+        ranked.push((config, plan, score));
+    }
+    ranked.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let mut measured: Vec<an5d::TunedCandidate> = Vec::new();
+    for (config, plan, predicted_gflops) in ranked.into_iter().take(5) {
+        let mut best: Option<an5d::TunedCandidate> = None;
+        for cap in RegisterCap::tuning_candidates() {
+            let Ok(m) = measure(&plan, problem, device, cap) else {
+                continue;
+            };
+            let candidate = an5d::TunedCandidate {
+                config: config.clone(),
+                register_cap: cap,
+                predicted_gflops,
+                measured_gflops: m.gflops,
+                measured_gcells: m.gcells,
+                seconds: m.seconds,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| candidate.measured_gflops > b.measured_gflops)
+            {
+                best = Some(candidate);
+            }
+        }
+        measured.extend(best);
+    }
+    measured.sort_by(|a, b| b.measured_gflops.total_cmp(&a.measured_gflops));
+    measured
+}
+
+#[test]
+fn streaming_pool_backed_tuner_matches_a_serial_reference_sweep() {
+    use an5d::{GpuDevice, SearchSpace, Tuner};
+    let device = GpuDevice::tesla_v100();
+    for (def, space) in [
+        (
+            an5d::suite::star2d(1),
+            SearchSpace::paper(2, Precision::Single),
+        ),
+        (
+            an5d::suite::star3d(1),
+            SearchSpace::quick(3, Precision::Single),
+        ),
+    ] {
+        let interior: Vec<usize> = match def.ndim() {
+            2 => vec![2048, 2048],
+            _ => vec![128, 128, 128],
+        };
+        let problem = StencilProblem::new(def.clone(), &interior, 64).unwrap();
+        let expected = serial_tune_reference(&def, &problem, &device, &space);
+        let result = Tuner::new(device.clone(), Precision::Single)
+            .tune(&def, &problem, &space)
+            .unwrap();
+        assert_eq!(
+            result.measured,
+            expected,
+            "{}: pool-backed tuner diverged from the serial reference",
+            def.name()
+        );
+        assert_eq!(result.best, expected[0]);
+    }
+}
+
+#[test]
+fn warmed_cache_serves_the_same_plans_it_would_build_on_demand() {
+    use an5d::WarmRequest;
+    let scheme = FrameworkScheme::an5d();
+    let requests: Vec<WarmRequest> = workloads()
+        .into_iter()
+        .map(|(def, interior, steps, config)| {
+            let problem = StencilProblem::new(def.clone(), &interior, steps).unwrap();
+            WarmRequest::new(def, problem, config, scheme)
+        })
+        .collect();
+
+    let warmed = PlanCache::new(32);
+    let stats = warmed.warm(&requests);
+    assert_eq!(stats.built, requests.len());
+    assert_eq!(stats.failed, 0);
+
+    let cold = PlanCache::new(32);
+    for request in &requests {
+        let from_warm = warmed
+            .get_or_build(&request.def, &request.problem, &request.config, scheme)
+            .unwrap();
+        let from_cold = cold
+            .get_or_build(&request.def, &request.problem, &request.config, scheme)
+            .unwrap();
+        assert_eq!(*from_warm, *from_cold, "{}", request.def.name());
+    }
+    // Every post-warm lookup was a hit.
+    assert_eq!(warmed.stats().misses, requests.len() as u64);
+    assert_eq!(warmed.stats().hits, requests.len() as u64);
+}
