@@ -22,6 +22,9 @@
 //!   (stencil fingerprint, problem extents, [`BlockConfig`],
 //!   [`FrameworkScheme`]) so repeated tuner and benchmark queries skip
 //!   re-planning, with pool-parallel pre-warming ([`PlanCache::warm`]);
+//!   [`ShardedPlanCache`] adds a device dimension to the key — one
+//!   shard per [`an5d_gpusim::DeviceId`], so a fleet-serving process
+//!   holds per-device working sets with no cross-device eviction;
 //! * [`BatchDriver`] — fans a whole suite of (stencil, config) jobs across
 //!   the shared pool (bounded by a per-driver concurrency cap), planning
 //!   through a shared [`PlanCache`] and executing through any
@@ -66,11 +69,13 @@ mod backend;
 mod batch;
 mod cache;
 mod registry;
+mod sharded;
 
 pub use backend::{BackendElement, ExecutionBackend, ParallelCpuBackend, SerialBackend};
 pub use batch::{BatchDriver, BatchError, BatchFailure, BatchJob, BatchOutcome};
 pub use cache::{CacheStats, PlanCache, WarmRequest, WarmStats};
 pub use registry::{available_backends, backend_from_env, create_backend, BACKEND_ENV};
+pub use sharded::ShardedPlanCache;
 
 // Re-exported so backend users can name the key/config types without an
 // extra dependency edge.

@@ -1,0 +1,256 @@
+//! A device-sharded plan cache: one [`PlanCache`] shard per
+//! [`DeviceId`], so plans are effectively keyed by `(device, plan key)`.
+//!
+//! A single process serving a heterogeneous fleet holds plans for every
+//! device at once. With one flat LRU, a burst of traffic for one device
+//! evicts the working set of every other device it shares the cache
+//! with ("cross-device eviction fights"); with per-device shards each
+//! device gets its own capacity, its own LRU order, its own miss
+//! coalescing and its own [`CacheStats`] — a V100 miss can never evict
+//! a P100 entry. Each shard is a full [`PlanCache`], so all of its
+//! machinery (in-flight coalescing, tick-ordered eviction, warming) is
+//! inherited per device.
+
+use crate::cache::{CacheStats, PlanCache, WarmRequest, WarmStats};
+use an5d_gpusim::DeviceId;
+use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, PlanError};
+use an5d_stencil::{StencilDef, StencilProblem};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A bounded plan cache per device: lookups are keyed by
+/// `(DeviceId, stencil fingerprint, problem, config, scheme)` and
+/// eviction is confined to the device's own shard.
+pub struct ShardedPlanCache {
+    shard_capacity: usize,
+    shards: Mutex<BTreeMap<DeviceId, Arc<PlanCache>>>,
+}
+
+impl std::fmt::Debug for ShardedPlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPlanCache")
+            .field("shard_capacity", &self.shard_capacity)
+            .field("shards", &self.stats_per_device().len())
+            .finish()
+    }
+}
+
+impl ShardedPlanCache {
+    /// A sharded cache whose shards each hold at most `shard_capacity`
+    /// plans (clamped to ≥ 1). Shards are created lazily per device.
+    #[must_use]
+    pub fn new(shard_capacity: usize) -> Self {
+        Self {
+            shard_capacity: shard_capacity.max(1),
+            shards: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Per-shard capacity.
+    #[must_use]
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// The shard for a device, created on first use. The returned `Arc`
+    /// can be handed to anything built on a plain [`PlanCache`] (a
+    /// tuner, a `BatchDriver`) to pin that consumer to the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard map mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn shard(&self, device: &DeviceId) -> Arc<PlanCache> {
+        let mut shards = self.shards.lock().expect("shard map poisoned");
+        Arc::clone(
+            shards
+                .entry(device.clone())
+                .or_insert_with(|| Arc::new(PlanCache::new(self.shard_capacity))),
+        )
+    }
+
+    /// [`PlanCache::get_or_build`] against the device's shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from the shard (failed builds are not
+    /// cached).
+    pub fn get_or_build(
+        &self,
+        device: &DeviceId,
+        def: &StencilDef,
+        problem: &StencilProblem,
+        config: &BlockConfig,
+        scheme: FrameworkScheme,
+    ) -> Result<Arc<KernelPlan>, PlanError> {
+        self.shard(device)
+            .get_or_build(def, problem, config, scheme)
+    }
+
+    /// Pre-build plans into one device's shard (see [`PlanCache::warm`]).
+    pub fn warm(&self, device: &DeviceId, requests: &[WarmRequest]) -> WarmStats {
+        self.shard(device).warm(requests)
+    }
+
+    /// Per-device statistics, in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard map mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats_per_device(&self) -> BTreeMap<DeviceId, CacheStats> {
+        let shards = self.shards.lock().expect("shard map poisoned");
+        shards
+            .iter()
+            .map(|(id, shard)| (id.clone(), shard.stats()))
+            .collect()
+    }
+
+    /// Fleet-wide totals: hits/misses/coalesced/entries summed over every
+    /// shard, capacity summed over *instantiated* shards.
+    #[must_use]
+    pub fn aggregate_stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            entries: 0,
+            capacity: 0,
+        };
+        for stats in self.stats_per_device().values() {
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.coalesced += stats.coalesced;
+            total.entries += stats.entries;
+            total.capacity += stats.capacity;
+        }
+        total
+    }
+
+    /// Drop every cached plan in every shard (statistics are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard map mutex was poisoned by a panicking thread.
+    pub fn clear(&self) {
+        let shards = self.shards.lock().expect("shard map poisoned");
+        for shard in shards.values() {
+            shard.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d_grid::Precision;
+    use an5d_stencil::suite;
+
+    fn config(bt: usize) -> BlockConfig {
+        BlockConfig::new(bt, &[16], None, Precision::Double).unwrap()
+    }
+
+    fn problem(def: &StencilDef) -> StencilProblem {
+        StencilProblem::new(def.clone(), &[32, 32], 8).unwrap()
+    }
+
+    #[test]
+    fn shards_are_per_device_and_stable() {
+        let cache = ShardedPlanCache::new(8);
+        let v100 = DeviceId::new("v100");
+        let p100 = DeviceId::new("p100");
+        assert!(Arc::ptr_eq(&cache.shard(&v100), &cache.shard(&v100)));
+        assert!(!Arc::ptr_eq(&cache.shard(&v100), &cache.shard(&p100)));
+    }
+
+    #[test]
+    fn identical_keys_on_different_devices_are_distinct_entries() {
+        let cache = ShardedPlanCache::new(8);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let v100 = DeviceId::new("v100");
+        let p100 = DeviceId::new("p100");
+        cache
+            .get_or_build(&v100, &def, &problem, &config(2), FrameworkScheme::an5d())
+            .unwrap();
+        cache
+            .get_or_build(&p100, &def, &problem, &config(2), FrameworkScheme::an5d())
+            .unwrap();
+        let stats = cache.stats_per_device();
+        assert_eq!(stats[&v100].misses, 1);
+        assert_eq!(stats[&p100].misses, 1, "no cross-device sharing");
+        // Re-requesting on each device hits its own shard.
+        cache
+            .get_or_build(&v100, &def, &problem, &config(2), FrameworkScheme::an5d())
+            .unwrap();
+        assert_eq!(cache.stats_per_device()[&v100].hits, 1);
+        let aggregate = cache.aggregate_stats();
+        assert_eq!(aggregate.misses, 2);
+        assert_eq!(aggregate.hits, 1);
+        assert_eq!(aggregate.entries, 2);
+    }
+
+    #[test]
+    fn one_devices_miss_flood_never_evicts_another_devices_entries() {
+        // The sharding guarantee the service's fleet routing relies on: a
+        // V100 working set overflowing its shard must leave every P100
+        // entry resident.
+        let cache = ShardedPlanCache::new(2);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let v100 = DeviceId::new("v100");
+        let p100 = DeviceId::new("p100");
+
+        cache
+            .get_or_build(&p100, &def, &problem, &config(1), FrameworkScheme::an5d())
+            .unwrap();
+        cache
+            .get_or_build(&p100, &def, &problem, &config(2), FrameworkScheme::an5d())
+            .unwrap();
+
+        // Flood the V100 shard far past its capacity.
+        for bt in 1..=6 {
+            cache
+                .get_or_build(&v100, &def, &problem, &config(bt), FrameworkScheme::an5d())
+                .unwrap();
+        }
+        assert_eq!(cache.stats_per_device()[&v100].entries, 2, "capacity held");
+
+        // Both P100 entries must still be resident: zero new misses.
+        let p100_misses = cache.stats_per_device()[&p100].misses;
+        cache
+            .get_or_build(&p100, &def, &problem, &config(1), FrameworkScheme::an5d())
+            .unwrap();
+        cache
+            .get_or_build(&p100, &def, &problem, &config(2), FrameworkScheme::an5d())
+            .unwrap();
+        assert_eq!(
+            cache.stats_per_device()[&p100].misses,
+            p100_misses,
+            "a V100 miss flood must never evict a P100 entry"
+        );
+    }
+
+    #[test]
+    fn warming_targets_one_shard() {
+        let cache = ShardedPlanCache::new(16);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let a100 = DeviceId::new("a100");
+        let requests: Vec<WarmRequest> = (1..=3)
+            .map(|bt| {
+                WarmRequest::new(
+                    def.clone(),
+                    problem.clone(),
+                    config(bt),
+                    FrameworkScheme::an5d(),
+                )
+            })
+            .collect();
+        let stats = cache.warm(&a100, &requests);
+        assert_eq!(stats.built, 3);
+        let per_device = cache.stats_per_device();
+        assert_eq!(per_device[&a100].entries, 3);
+        assert_eq!(per_device.len(), 1, "only the warmed shard exists");
+    }
+}

@@ -2,7 +2,7 @@
 //! Section 5 model and a full tuner sweep.
 
 use an5d::{
-    analytic_counters, predict, suite, BlockConfig, FrameworkScheme, GpuDevice, KernelPlan,
+    analytic_counters, predict, standard_registry, suite, BlockConfig, FrameworkScheme, KernelPlan,
     Precision, SearchSpace, StencilProblem, Tuner,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -24,7 +24,7 @@ fn bench_traffic_analysis(c: &mut Criterion) {
 
 fn bench_prediction(c: &mut Criterion) {
     let (plan, problem) = paper_plan();
-    let device = GpuDevice::tesla_v100();
+    let device = standard_registry().profile("v100").expect("registered");
     c.bench_function("model/predict_paper_scale", |b| {
         b.iter(|| predict(&plan, &problem, &device));
     });
@@ -34,7 +34,8 @@ fn bench_tuner_sweep(c: &mut Criterion) {
     let def = suite::j2d5pt();
     let problem = StencilProblem::new(def.clone(), &[4096, 4096], 500).expect("valid problem");
     let space = SearchSpace::paper(2, Precision::Single);
-    let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+    let device = standard_registry().profile("v100").expect("registered");
+    let tuner = Tuner::new(device, Precision::Single);
     c.bench_function("model/tuner_full_2d_space", |b| {
         b.iter(|| tuner.tune(&def, &problem, &space).expect("tuning succeeds"));
     });

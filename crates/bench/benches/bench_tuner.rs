@@ -3,13 +3,13 @@
 //! measure top-5) over the paper's 2D and 3D search spaces, with and
 //! without a shared plan cache.
 
-use an5d::{GpuDevice, PlanCache, Precision, SearchSpace, StencilProblem, Tuner};
+use an5d::{standard_registry, PlanCache, Precision, SearchSpace, StencilProblem, Tuner};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use std::time::Instant;
 
 fn bench_paper_spaces(c: &mut Criterion) {
-    let device = GpuDevice::tesla_v100();
+    let device = standard_registry().profile("v100").expect("registered");
     let cases = [
         (
             "star2d1r",

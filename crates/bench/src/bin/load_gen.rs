@@ -5,19 +5,22 @@
 //!
 //! ```text
 //! load_gen [--requests N] [--clients N] [--server-workers N]
-//!          [--keep-alive | --no-keep-alive]
+//!          [--device NAME] [--keep-alive | --no-keep-alive]
 //! ```
+//!
+//! Device-parameterized traffic (`/tune`, `/predict`) exercises the
+//! service's fleet routing layer: with `--device` every such request
+//! targets one registered profile; without it the workload round-robins
+//! across the whole fleet (one template per registered device), and the
+//! report breaks latency out per device (p50/p95/p99).
 //!
 //! Defaults (120 requests across 4 clients, keep-alive on) satisfy the
 //! acceptance bar of ≥ 100 mixed requests over ≥ 4 concurrent clients.
-//! Per-endpoint latency percentiles (p50/p95/p99) and overall
-//! requests/sec are reported, so running once with `--keep-alive` and
-//! once with `--no-keep-alive` quantifies what connection reuse is
-//! worth. Exits non-zero (panics) on any status or byte mismatch.
+//! Exits non-zero (panics) on any status or byte mismatch.
 
 use an5d::{
-    generate_cuda_for_plan, predict, An5d, BatchDriver, BatchJob, BlockConfig, GpuDevice, GridInit,
-    Precision, SearchSpace, SerialBackend,
+    generate_cuda_for_plan, predict, standard_registry, An5d, BatchDriver, BatchJob, BlockConfig,
+    GpuDevice, GridInit, Precision, SearchSpace, SerialBackend,
 };
 use an5d_service::{api, client, parse_json, Server, ServerConfig};
 use std::sync::{Arc, Mutex};
@@ -26,15 +29,29 @@ use std::time::{Duration, Instant};
 /// One kind of request plus the exact bytes the server must answer.
 struct Template {
     path: &'static str,
+    /// Canonical device id for device-parameterized requests (`/tune`,
+    /// `/predict`); `None` for device-agnostic traffic.
+    device: Option<String>,
     body: String,
     expected: String,
 }
 
-/// The mixed workload: every endpoint, several stencils and configs.
+impl Template {
+    fn label(&self) -> String {
+        match &self.device {
+            Some(device) => format!("{}@{device}", self.path),
+            None => self.path.to_string(),
+        }
+    }
+}
+
+/// The mixed workload: every endpoint, several stencils and configs,
+/// and — for the device-parameterized endpoints — one template per
+/// target device, so stepping through the list round-robins the fleet.
 /// Expected bodies come from direct facade calls with fresh (uncached)
 /// state — the server must reproduce them byte-for-byte through its
-/// shared cache and worker pool.
-fn templates() -> Vec<Template> {
+/// per-device cache shards and worker pool.
+fn templates(targets: &[(String, GpuDevice)]) -> Vec<Template> {
     let mut out = Vec::new();
 
     // /parse — the cheap, pure-frontend endpoint. Deterministic (the
@@ -52,29 +69,34 @@ fn templates() -> Vec<Template> {
         .render();
         out.push(Template {
             path: "/parse",
+            device: None,
             body,
             expected: api::parse_response(&detected).render(),
         });
     }
 
-    // /tune — the expensive, cache-friendly query the service exists for.
+    // /tune — the expensive, cache-friendly, device-specific query the
+    // fleet exists for: one template per target device.
     {
         let pipeline = An5d::benchmark("j2d5pt").unwrap();
         let problem = pipeline.problem(&[512, 512], 50).unwrap();
         let space = SearchSpace::quick(2, Precision::Single);
-        let result = pipeline
-            .tune(&problem, &GpuDevice::tesla_v100(), &space)
-            .unwrap();
-        out.push(Template {
-            path: "/tune",
-            body: r#"{"benchmark":"j2d5pt","interior":[512,512],"steps":50,
-                      "device":"v100","precision":"single","space":"quick"}"#
-                .to_string(),
-            expected: api::tune_response(&result).render(),
-        });
+        for (id, device) in targets {
+            let result = pipeline.tune(&problem, device, &space).unwrap();
+            out.push(Template {
+                path: "/tune",
+                device: Some(id.clone()),
+                body: format!(
+                    r#"{{"benchmark":"j2d5pt","interior":[512,512],"steps":50,
+                         "device":"{id}","precision":"single","space":"quick"}}"#
+                ),
+                expected: api::tune_response(&result).render(),
+            });
+        }
     }
 
-    // /plan + /predict + /codegen for one 2D configuration…
+    // /plan + /codegen (device-agnostic: routed to the least-loaded
+    // shard) and /predict per target device for one 2D configuration…
     {
         let pipeline = An5d::benchmark("star2d1r").unwrap();
         let problem = pipeline.problem(&[256, 256], 32).unwrap();
@@ -84,41 +106,55 @@ fn templates() -> Vec<Template> {
                           "config":{"bt":4,"bs":[64],"hsn":64,"precision":"single"}}"#;
         out.push(Template {
             path: "/plan",
+            device: None,
             body: request.to_string(),
             expected: api::plan_response(&plan).render(),
         });
         out.push(Template {
-            path: "/predict",
-            body: request.to_string(),
-            expected: api::predict_response(&predict(&plan, &problem, &GpuDevice::tesla_v100()))
-                .render(),
-        });
-        out.push(Template {
             path: "/codegen",
+            device: None,
             body: request.to_string(),
             expected: api::codegen_response(&generate_cuda_for_plan(&plan)).render(),
         });
+        for (id, device) in targets {
+            out.push(Template {
+                path: "/predict",
+                device: Some(id.clone()),
+                body: format!(
+                    r#"{{"benchmark":"star2d1r","interior":[256,256],"steps":32,"device":"{id}",
+                         "config":{{"bt":4,"bs":[64],"hsn":64,"precision":"single"}}}}"#
+                ),
+                expected: api::predict_response(&predict(&plan, &problem, device)).render(),
+            });
+        }
     }
 
-    // …and /plan + /predict for a 3D stencil on the other device.
+    // …and a device-agnostic 3D /plan plus 3D /predict per target
+    // device, so the fleet path is exercised for ndim=3 too.
     {
         let pipeline = An5d::benchmark("star3d1r").unwrap();
         let problem = pipeline.problem(&[64, 64, 64], 8).unwrap();
         let config = BlockConfig::new(2, &[16, 16], None, Precision::Double).unwrap();
         let plan = pipeline.plan(&problem, &config).unwrap();
-        let request = r#"{"benchmark":"star3d1r","interior":[64,64,64],"steps":8,"device":"p100",
-                          "config":{"bt":2,"bs":[16,16],"precision":"double"}}"#;
         out.push(Template {
             path: "/plan",
-            body: request.to_string(),
+            device: None,
+            body: r#"{"benchmark":"star3d1r","interior":[64,64,64],"steps":8,
+                      "config":{"bt":2,"bs":[16,16],"precision":"double"}}"#
+                .to_string(),
             expected: api::plan_response(&plan).render(),
         });
-        out.push(Template {
-            path: "/predict",
-            body: request.to_string(),
-            expected: api::predict_response(&predict(&plan, &problem, &GpuDevice::tesla_p100()))
-                .render(),
-        });
+        for (id, device) in targets {
+            out.push(Template {
+                path: "/predict",
+                device: Some(id.clone()),
+                body: format!(
+                    r#"{{"benchmark":"star3d1r","interior":[64,64,64],"steps":8,"device":"{id}",
+                         "config":{{"bt":2,"bs":[16,16],"precision":"double"}}}}"#
+                ),
+                expected: api::predict_response(&predict(&plan, &problem, device)).render(),
+            });
+        }
     }
 
     // /execute — functional runs with real grids (kept small).
@@ -149,6 +185,7 @@ fn templates() -> Vec<Template> {
         );
         out.push(Template {
             path: "/execute",
+            device: None,
             body: format!(
                 r#"{{"benchmark":"{benchmark}","interior":{interior_json},"steps":{steps},
                     "config":{{"bt":{bt},"bs":{bs_json},"precision":"double"}}}}"#
@@ -165,12 +202,13 @@ struct Args {
     clients: usize,
     server_workers: usize,
     keep_alive: bool,
+    device: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: load_gen [--requests N] [--clients N] [--server-workers N] \
-         [--keep-alive | --no-keep-alive]"
+         [--device NAME] [--keep-alive | --no-keep-alive]"
     );
     std::process::exit(2);
 }
@@ -181,12 +219,17 @@ fn parse_args() -> Args {
         clients: 4,
         server_workers: 4,
         keep_alive: true,
+        device: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--keep-alive" => args.keep_alive = true,
             "--no-keep-alive" => args.keep_alive = false,
+            "--device" => {
+                let Some(value) = iter.next() else { usage() };
+                args.device = Some(value);
+            }
             "--requests" | "--clients" | "--server-workers" => {
                 let Some(value) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
                     usage();
@@ -213,18 +256,56 @@ fn percentile(sorted: &[Duration], pct: usize) -> Duration {
     sorted[rank - 1]
 }
 
+fn print_percentile_row(label: &str, series: &mut [Duration]) {
+    series.sort_unstable();
+    println!(
+        "  {:>14} {:>6} {:>10.1?} {:>10.1?} {:>10.1?} {:>10.1?}",
+        label,
+        series.len(),
+        percentile(series, 50),
+        percentile(series, 95),
+        percentile(series, 99),
+        series.last().unwrap(),
+    );
+}
+
 fn main() {
     let args = parse_args();
+
+    // Target devices: the named one, or the whole registered fleet
+    // (round-robin through the template list).
+    let registry = standard_registry();
+    let targets: Vec<(String, GpuDevice)> = match &args.device {
+        Some(name) => match registry.resolve(name) {
+            Some((id, device)) => vec![(id.to_string(), device.clone())],
+            None => {
+                eprintln!(
+                    "load_gen: unknown --device {name:?}; registered: {}",
+                    registry.accepted_names()
+                );
+                std::process::exit(2);
+            }
+        },
+        None => registry
+            .devices()
+            .map(|(id, device)| (id.to_string(), device.clone()))
+            .collect(),
+    };
     println!(
-        "load_gen: {} mixed requests across {} clients ({} server workers, keep-alive {})",
+        "load_gen: {} mixed requests across {} clients ({} server workers, keep-alive {}, devices: {})",
         args.requests,
         args.clients,
         args.server_workers,
         if args.keep_alive { "on" } else { "off" },
+        targets
+            .iter()
+            .map(|(id, _)| id.as_str())
+            .collect::<Vec<_>>()
+            .join(","),
     );
 
     println!("load_gen: computing expected responses via direct facade calls…");
-    let templates = Arc::new(templates());
+    let templates = Arc::new(templates(&targets));
 
     let server = Server::start_with_backend(
         &ServerConfig {
@@ -239,6 +320,16 @@ fn main() {
     .expect("bind ephemeral port");
     let addr = server.addr();
     println!("load_gen: an5d-serve listening on http://{addr}");
+
+    // The fleet is exposed: every target device must be listed.
+    let (status, devices_body) = client::get(addr, "/devices").expect("/devices reachable");
+    assert_eq!(status, 200);
+    for (id, _) in &targets {
+        assert!(
+            devices_body.contains(&format!("\"{id}\"")),
+            "/devices must list {id}: {devices_body}"
+        );
+    }
 
     let latencies: Mutex<Vec<(usize, Duration)>> = Mutex::new(Vec::new());
     let started = Instant::now();
@@ -267,15 +358,17 @@ fn main() {
                     let elapsed = sent.elapsed();
                     sent_count += 1;
                     assert_eq!(
-                        status, 200,
+                        status,
+                        200,
                         "client {client_id} request {index} {}: {body}",
-                        template.path
+                        template.label()
                     );
                     assert_eq!(
-                        body, template.expected,
+                        body,
+                        template.expected,
                         "client {client_id} request {index} {}: response differs from the \
                          direct facade call",
-                        template.path
+                        template.label()
                     );
                     latencies
                         .lock()
@@ -309,7 +402,7 @@ fn main() {
         );
     }
     println!(
-        "  {:>9} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "  {:>14} {:>6} {:>10} {:>10} {:>10} {:>10}",
         "endpoint", "n", "p50", "p95", "p99", "max"
     );
     for (template_index, template) in templates.iter().enumerate() {
@@ -321,16 +414,25 @@ fn main() {
         if series.is_empty() {
             continue;
         }
-        series.sort_unstable();
-        println!(
-            "  {:>9} {:>6} {:>10.1?} {:>10.1?} {:>10.1?} {:>10.1?}",
-            template.path,
-            series.len(),
-            percentile(&series, 50),
-            percentile(&series, 95),
-            percentile(&series, 99),
-            series.last().unwrap(),
-        );
+        print_percentile_row(&template.label(), &mut series);
+    }
+
+    // Per-device latency rollup across the device-parameterized
+    // endpoints: the fleet report.
+    println!(
+        "  {:>14} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "device", "n", "p50", "p95", "p99", "max"
+    );
+    for (id, _) in &targets {
+        let mut series: Vec<Duration> = latencies
+            .iter()
+            .filter(|(t, _)| templates[*t].device.as_deref() == Some(id.as_str()))
+            .map(|&(_, d)| d)
+            .collect();
+        if series.is_empty() {
+            continue;
+        }
+        print_percentile_row(id, &mut series);
     }
 
     let (status, stats_body) = client::get(addr, "/stats").expect("stats reachable");
@@ -341,11 +443,34 @@ fn main() {
         .and_then(|c| c.get("hit_rate"))
         .and_then(an5d_service::Json::as_f64)
         .expect("cache hit rate present");
-    println!("load_gen: plan-cache hit rate {hit_rate:.3}");
-    assert!(
-        hit_rate > 0.5,
-        "repeated mixed traffic should mostly hit the shared plan cache"
-    );
+    println!("load_gen: fleet-wide plan-cache hit rate {hit_rate:.3}");
+    // Hits require repeats: only meaningful once the schedule has
+    // cycled the template mix at least twice.
+    if args.requests >= 2 * templates.len() {
+        assert!(
+            hit_rate > 0.5,
+            "repeated mixed traffic should mostly hit the per-device plan caches"
+        );
+    }
+    // Per-device shards saw the traffic their devices were sent. A run
+    // shorter than the template cycle never reaches some devices'
+    // templates — only assert for devices the request schedule covered.
+    let exercised: std::collections::BTreeSet<&str> = (0..args.requests)
+        .map(|index| index % templates.len())
+        .filter_map(|t| templates[t].device.as_deref())
+        .collect();
+    let device_stats = stats.get("devices").expect("per-device stats present");
+    for (id, _) in &targets {
+        let requests = device_stats
+            .get(id)
+            .and_then(|d| d.get("requests"))
+            .and_then(an5d_service::Json::as_usize)
+            .unwrap_or(0);
+        println!("load_gen: device {id}: {requests} requests on its shard");
+        if exercised.contains(id.as_str()) {
+            assert!(requests > 0, "device {id} saw no routed traffic");
+        }
+    }
 
     let (status, _) = client::post(addr, "/shutdown", "").expect("shutdown reachable");
     assert_eq!(status, 200);

@@ -7,9 +7,10 @@
 //! example and test switches backends without code changes.
 
 use an5d::{
-    backend_from_env, measure_best_cap, predict, BlockConfig, ExecutionBackend, FrameworkScheme,
-    GpuDevice, KernelPlan, Measurement, ModelPrediction, PlanCache, Precision, SearchSpace,
-    StencilDef, StencilProblem, TrafficCounters, Tuner, TuningResult,
+    backend_from_env, measure_best_cap, predict, standard_registry, BlockConfig, DeviceRegistry,
+    ExecutionBackend, FrameworkScheme, GpuDevice, KernelPlan, Measurement, ModelPrediction,
+    PlanCache, Precision, SearchSpace, StencilDef, StencilProblem, TrafficCounters, Tuner,
+    TuningResult,
 };
 use std::sync::{Arc, OnceLock};
 
@@ -57,10 +58,25 @@ pub fn counted_run(
     )
 }
 
+/// The process-wide device registry every harness resolves GPUs through.
+#[must_use]
+pub fn device_registry() -> &'static DeviceRegistry {
+    standard_registry()
+}
+
+/// A registered device by name (panics on unknown names: the harnesses
+/// only ask for registry profiles).
+#[must_use]
+pub fn device(name: &str) -> GpuDevice {
+    device_registry()
+        .profile(name)
+        .unwrap_or_else(|| panic!("device {name:?} is not in the registry"))
+}
+
 /// The two evaluation devices, V100 first (the paper's Fig. 6 order).
 #[must_use]
 pub fn devices() -> Vec<GpuDevice> {
-    GpuDevice::paper_devices()
+    device_registry().paper_devices()
 }
 
 /// The two evaluated precisions, single first.
@@ -172,7 +188,7 @@ mod tests {
     #[test]
     fn helpers_produce_results_for_a_representative_stencil() {
         let def = suite::star2d(1);
-        let device = GpuDevice::tesla_v100();
+        let device = device("v100");
         let problem = paper_problem(&def);
         assert!(sconf_measurement(&def, &problem, &device, Precision::Single).is_some());
         let config = BlockConfig::new(8, &[256], Some(256), Precision::Single).unwrap();

@@ -1,6 +1,7 @@
 //! Fig. 8: performance scaling with the temporal blocking degree `bT` on
 //! Tesla V100 (first-order star and box stencils, float).
 
+use super::common::device;
 use super::common::{measurement_for, prediction_for};
 use crate::report::{gflops, render_table};
 use an5d::{suite, BlockConfig, GpuDevice, Precision, StencilDef};
@@ -64,23 +65,13 @@ fn series(
 /// The 2D series of Fig. 8 (left plot): `bT ∈ [1, 16]`, rad = 1.
 #[must_use]
 pub fn rows_2d() -> Vec<Fig8Point> {
-    series(
-        &suite::star2d(1),
-        &suite::box2d(1),
-        16,
-        &GpuDevice::tesla_v100(),
-    )
+    series(&suite::star2d(1), &suite::box2d(1), 16, &device("v100"))
 }
 
 /// The 3D series of Fig. 8 (right plot): `bT ∈ [1, 8]`, rad = 1.
 #[must_use]
 pub fn rows_3d() -> Vec<Fig8Point> {
-    series(
-        &suite::star3d(1),
-        &suite::box3d(1),
-        8,
-        &GpuDevice::tesla_v100(),
-    )
+    series(&suite::star3d(1), &suite::box3d(1), 8, &device("v100"))
 }
 
 fn render_series(title: &str, points: &[Fig8Point]) -> String {

@@ -1,9 +1,9 @@
 //! Fig. 9: performance of the synthetic star/box stencils of order 1–4 on
 //! Tesla V100, with the best temporal blocking degree annotated.
 
-use super::common::tuned;
+use super::common::{device, tuned};
 use crate::report::{gflops, render_table};
-use an5d::{suite, GpuDevice, Precision, StencilDef};
+use an5d::{suite, Precision, StencilDef};
 use serde::Serialize;
 
 /// One bar of Fig. 9.
@@ -39,7 +39,7 @@ fn stencils() -> Vec<StencilDef> {
 /// Compute the Fig. 9 rows for one precision.
 #[must_use]
 pub fn rows_for(precision: Precision) -> Vec<Fig9Row> {
-    let device = GpuDevice::tesla_v100();
+    let device = device("v100");
     stencils()
         .iter()
         .filter_map(|def| {

@@ -1,7 +1,8 @@
 //! Table 4: GPU specifications used by the evaluation.
 
+use super::common::devices;
 use crate::report::render_table;
-use an5d::{GpuDevice, Precision};
+use an5d::Precision;
 use serde::Serialize;
 
 /// One row of Table 4.
@@ -24,7 +25,7 @@ pub struct Table4Row {
 /// Compute the Table 4 rows.
 #[must_use]
 pub fn rows() -> Vec<Table4Row> {
-    GpuDevice::paper_devices()
+    devices()
         .into_iter()
         .map(|d| Table4Row {
             gpu: d.name.clone(),

@@ -73,18 +73,18 @@ pub use an5d_plan::{
 };
 
 pub use an5d_gpusim::{
-    execute_plan, execute_plan_on, simulate, temporal_chunks, BlockedRun, Bottleneck, GpuDevice,
-    InfeasibleConfig, Occupancy, SimulatedTime, TileContext, TileRun, TileSpec, TrafficCounters,
-    WorkloadProfile,
+    execute_plan, execute_plan_on, simulate, standard_registry, temporal_chunks, BlockedRun,
+    Bottleneck, DeviceId, DeviceRegistry, GpuDevice, InfeasibleConfig, Occupancy, SimulatedTime,
+    TileContext, TileRun, TileSpec, TrafficCounters, WorkloadProfile,
 };
 
 pub use an5d_backend::{
     available_backends, backend_from_env, create_backend, BackendElement, BatchDriver, BatchError,
     BatchFailure, BatchJob, BatchOutcome, CacheStats, ExecutionBackend, ParallelCpuBackend,
-    PlanCache, SerialBackend, WarmRequest, WarmStats, BACKEND_ENV,
+    PlanCache, SerialBackend, ShardedPlanCache, WarmRequest, WarmStats, BACKEND_ENV,
 };
 
-pub use an5d_runtime::{global as global_pool, WorkerPool, POOL_THREADS_ENV};
+pub use an5d_runtime::{global as global_pool, PoolStats, WorkerPool, POOL_THREADS_ENV};
 
 pub use an5d_model::{
     analytic_counters, measure, measure_best_cap, predict, thread_classes, Measurement,

@@ -95,6 +95,57 @@ impl GpuDevice {
         }
     }
 
+    /// Ampere A100 SXM4. Not evaluated by the paper (it predates Ampere);
+    /// parameters are derived the same way Table 4's are: vendor peaks,
+    /// plus measured bandwidths at the ~88 % of peak the paper's
+    /// BabelStream runs achieved on Volta, and shared-memory bandwidth
+    /// scaled from the V100 measurement by SM count and clock.
+    #[must_use]
+    pub fn ampere_a100() -> Self {
+        Self {
+            name: "Ampere A100 SXM4".to_string(),
+            peak_gflops_f32: 19_500.0,
+            peak_gflops_f64: 9_700.0,
+            peak_mem_bw: 1_555.0,
+            measured_mem_bw_f32: 1_370.0,
+            measured_mem_bw_f64: 1_390.0,
+            measured_shared_bw_f32: 17_600.0,
+            measured_shared_bw_f64: 19_800.0,
+            sm_count: 108,
+            shared_mem_per_sm: 164 * 1024,
+            max_threads_per_sm: 2048,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            shared_mem_efficiency: 0.74,
+            fp64_division_derate: 0.50,
+        }
+    }
+
+    /// A generic small GPU (roughly a quarter of a V100): stands in for
+    /// the low-end cards of a heterogeneous fleet. Derived with the same
+    /// ratios as the paper devices (measured global bandwidth ≈ 85 % of
+    /// peak, `f64` slightly above `f32`, shared bandwidth ∝ SM count).
+    #[must_use]
+    pub fn generic_small() -> Self {
+        Self {
+            name: "Generic Small GPU".to_string(),
+            peak_gflops_f32: 4_000.0,
+            peak_gflops_f64: 2_000.0,
+            peak_mem_bw: 320.0,
+            measured_mem_bw_f32: 270.0,
+            measured_mem_bw_f64: 274.0,
+            measured_shared_bw_f32: 2_700.0,
+            measured_shared_bw_f64: 3_200.0,
+            sm_count: 20,
+            shared_mem_per_sm: 64 * 1024,
+            max_threads_per_sm: 2048,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            shared_mem_efficiency: 0.55,
+            fp64_division_derate: 0.40,
+        }
+    }
+
     /// Both evaluation devices, in the order the paper reports them
     /// (V100 first in Fig. 6).
     #[must_use]
@@ -135,13 +186,18 @@ impl GpuDevice {
         self.sm_count * self.max_threads_per_sm
     }
 
-    /// Short identifier used in result tables ("V100", "P100").
+    /// Short identifier used in result tables ("V100", "P100", "A100",
+    /// "Small").
     #[must_use]
     pub fn short_name(&self) -> &str {
         if self.name.contains("V100") {
             "V100"
         } else if self.name.contains("P100") {
             "P100"
+        } else if self.name.contains("A100") {
+            "A100"
+        } else if self.name.contains("Small") {
+            "Small"
         } else {
             &self.name
         }

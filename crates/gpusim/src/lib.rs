@@ -30,6 +30,7 @@ mod device;
 pub mod exec;
 mod occupancy;
 mod profile;
+mod registry;
 pub mod timing;
 
 pub use counters::TrafficCounters;
@@ -39,4 +40,5 @@ pub use exec::{
 };
 pub use occupancy::{Occupancy, OccupancyLimit};
 pub use profile::WorkloadProfile;
+pub use registry::{standard_registry, DeviceId, DeviceRegistry};
 pub use timing::{simulate, Bottleneck, InfeasibleConfig, SimulatedTime};

@@ -43,9 +43,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Environment variable overriding the global pool's worker-thread count.
 ///
@@ -132,6 +133,9 @@ struct Batch {
     runner: RunnerPtr,
     /// Upper bound on concurrently executing threads (caller included).
     max_active: usize,
+    /// Items executed so far by every thread serving this batch; flushed
+    /// into the pool-wide totals when the batch completes.
+    items: AtomicU64,
     state: Mutex<BatchState>,
     /// Signalled when `active` drops to zero on an exhausted batch.
     done: Condvar,
@@ -166,7 +170,9 @@ impl Batch {
                 break;
             }
             match catch_unwind(AssertUnwindSafe(|| runner.run_one())) {
-                Ok(true) => {}
+                Ok(true) => {
+                    self.items.fetch_add(1, Ordering::Relaxed);
+                }
                 Ok(false) => {
                     self.state.lock().expect("pool batch poisoned").exhausted = true;
                     break;
@@ -196,6 +202,45 @@ struct PoolShared {
     registry: Mutex<VecDeque<Arc<Batch>>>,
     work_available: Condvar,
     shutdown: AtomicBool,
+    /// Lifetime totals for [`PoolStats`], updated as each batch
+    /// completes.
+    items_executed: AtomicU64,
+    batches_executed: AtomicU64,
+    total_batch_micros: AtomicU64,
+    max_batch_micros: AtomicU64,
+}
+
+/// Point-in-time observability snapshot of a [`WorkerPool`] — surfaced
+/// through `an5d-serve`'s `/stats` so a fleet operator can see how busy
+/// the shared execution substrate is.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Persistent worker threads.
+    pub workers: usize,
+    /// Batches currently registered with unclaimed work (the pool's
+    /// queue depth at snapshot time).
+    pub queued_batches: usize,
+    /// Items executed by completed batches (an in-flight batch's items
+    /// are flushed into this total when it finishes).
+    pub items_executed: u64,
+    /// Batches fully completed.
+    pub batches_executed: u64,
+    /// Total wall-clock time of completed batches, in microseconds
+    /// (measured on the calling thread, submission to completion).
+    pub total_batch_micros: u64,
+    /// Worst completed-batch wall time in microseconds.
+    pub max_batch_micros: u64,
+}
+
+impl PoolStats {
+    /// Mean completed-batch wall time in microseconds (0 with no
+    /// completed batches).
+    #[must_use]
+    pub fn mean_batch_micros(&self) -> u64 {
+        self.total_batch_micros
+            .checked_div(self.batches_executed)
+            .unwrap_or(0)
+    }
 }
 
 /// A pool of persistent worker threads executing dynamically scheduled
@@ -223,6 +268,10 @@ impl WorkerPool {
             registry: Mutex::new(VecDeque::new()),
             work_available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            items_executed: AtomicU64::new(0),
+            batches_executed: AtomicU64::new(0),
+            total_batch_micros: AtomicU64::new(0),
+            max_batch_micros: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|index| {
@@ -245,6 +294,31 @@ impl WorkerPool {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Observability snapshot: queue depth, items executed and batch
+    /// wall-time totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool registry mutex was poisoned by a panicking
+    /// thread.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let queued_batches = self
+            .shared
+            .registry
+            .lock()
+            .expect("pool registry poisoned")
+            .len();
+        PoolStats {
+            workers: self.threads,
+            queued_batches,
+            items_executed: self.shared.items_executed.load(Ordering::Relaxed),
+            batches_executed: self.shared.batches_executed.load(Ordering::Relaxed),
+            total_batch_micros: self.shared.total_batch_micros.load(Ordering::Relaxed),
+            max_batch_micros: self.shared.max_batch_micros.load(Ordering::Relaxed),
+        }
     }
 
     /// Run `task` once per item of `items`, claiming items dynamically
@@ -282,9 +356,11 @@ impl WorkerPool {
         // protocol guarantees no dereference after this frame returns.
         let runner_ptr: *const (dyn BatchRunner + 'static) =
             unsafe { std::mem::transmute(runner_ptr) };
+        let started = Instant::now();
         let batch = Arc::new(Batch {
             runner: RunnerPtr(runner_ptr),
             max_active: max_active.max(1),
+            items: AtomicU64::new(0),
             // The caller is registered from the start.
             state: Mutex::new(BatchState {
                 active: 1,
@@ -318,6 +394,20 @@ impl WorkerPool {
             let mut registry = self.shared.registry.lock().expect("pool registry poisoned");
             registry.retain(|entry| !Arc::ptr_eq(entry, &batch));
         }
+
+        // Flush this batch into the pool-wide observability totals
+        // (panicking batches count too: their wall time was spent).
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.shared
+            .items_executed
+            .fetch_add(batch.items.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.shared.batches_executed.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .total_batch_micros
+            .fetch_add(micros, Ordering::Relaxed);
+        self.shared
+            .max_batch_micros
+            .fetch_max(micros, Ordering::Relaxed);
 
         let panic = batch
             .state
@@ -608,6 +698,31 @@ mod tests {
         let a = global() as *const WorkerPool;
         let b = global() as *const WorkerPool;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_count_items_batches_and_wall_time() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                workers: 2,
+                ..PoolStats::default()
+            }
+        );
+        pool.for_each(0..100, |_| {
+            std::thread::sleep(std::time::Duration::from_micros(10));
+        });
+        pool.for_each(0..28, |_| {});
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.queued_batches, 0, "no batch in flight at snapshot");
+        assert_eq!(stats.items_executed, 128);
+        assert_eq!(stats.batches_executed, 2);
+        assert!(stats.total_batch_micros > 0, "the sleepy batch took time");
+        assert!(stats.max_batch_micros <= stats.total_batch_micros);
+        assert!(stats.mean_batch_micros() <= stats.max_batch_micros);
+        assert_eq!(PoolStats::default().mean_batch_micros(), 0);
     }
 
     #[test]

@@ -10,9 +10,9 @@
 
 use crate::json::Json;
 use an5d::{
-    suite, An5d, BatchOutcome, BlockConfig, CacheStats, CudaCode, DetectedStencil, FrameworkScheme,
-    GpuDevice, KernelPlan, ModelPrediction, Precision, RegisterCap, SearchSpace, StencilProblem,
-    TrafficCounters, TunedCandidate, TuningResult,
+    suite, An5d, BatchOutcome, BlockConfig, CacheStats, CudaCode, DetectedStencil, DeviceId,
+    DeviceRegistry, FrameworkScheme, GpuDevice, KernelPlan, ModelPrediction, PoolStats, Precision,
+    RegisterCap, SearchSpace, StencilProblem, TrafficCounters, TunedCandidate, TuningResult,
 };
 
 /// A request-level problem: maps to a 400 with `{"error": …}`.
@@ -186,20 +186,40 @@ pub fn config_from(body: &Json) -> Result<BlockConfig, ApiError> {
     BlockConfig::new(bt, &bs, hsn, precision).map_err(|e| ApiError::new(e.to_string()))
 }
 
-/// Extract the `"device"` field (`"v100"` / `"p100"`, default V100).
+/// Extract the optional `"device"` field, resolving any accepted
+/// spelling (canonical id or alias, case-insensitive) through the
+/// fleet's [`DeviceRegistry`]. `None` means the request named no device
+/// and the router picks the shard.
 ///
 /// # Errors
 ///
-/// Rejects unknown device names.
-pub fn device_from(body: &Json) -> Result<GpuDevice, ApiError> {
+/// Rejects names the registry does not know; the error message lists
+/// the accepted set, so registering a new profile makes it usable (and
+/// self-documenting) here with no code change.
+pub fn device_from(body: &Json, registry: &DeviceRegistry) -> Result<Option<DeviceId>, ApiError> {
     match body.get("device") {
-        None => Ok(GpuDevice::tesla_v100()),
-        Some(value) => match value.as_str().map(str::to_ascii_lowercase).as_deref() {
-            Some("v100" | "tesla_v100") => Ok(GpuDevice::tesla_v100()),
-            Some("p100" | "tesla_p100") => Ok(GpuDevice::tesla_p100()),
-            _ => Err(ApiError::new("\"device\" must be \"v100\" or \"p100\"")),
-        },
+        None => Ok(None),
+        Some(value) => {
+            let name = value
+                .as_str()
+                .ok_or_else(|| unknown_device_error(registry))?;
+            registry
+                .resolve_id(name)
+                .map(Some)
+                .ok_or_else(|| unknown_device_error(registry))
+        }
     }
+}
+
+/// The uniform unknown-device error, with the accepted set generated
+/// from the registry — the single source for this message, shared by
+/// request extraction and the fleet router.
+#[must_use]
+pub fn unknown_device_error(registry: &DeviceRegistry) -> ApiError {
+    ApiError::new(format!(
+        "\"device\" must be one of {}",
+        registry.accepted_names()
+    ))
 }
 
 /// Extract the `"space"` field (`"quick"` / `"paper"`, default quick)
@@ -415,6 +435,68 @@ pub fn cache_stats_json(stats: &CacheStats) -> Json {
     ])
 }
 
+/// One profile of the `/devices` listing.
+#[must_use]
+pub fn device_json(id: &DeviceId, device: &GpuDevice) -> Json {
+    Json::obj(vec![
+        ("id", Json::Str(id.to_string())),
+        ("name", Json::str(&device.name)),
+        ("sm_count", int(device.sm_count)),
+        ("peak_gflops_f32", Json::Num(device.peak_gflops_f32)),
+        ("peak_gflops_f64", Json::Num(device.peak_gflops_f64)),
+        ("peak_mem_bw", Json::Num(device.peak_mem_bw)),
+        ("measured_mem_bw_f32", Json::Num(device.measured_mem_bw_f32)),
+        ("measured_mem_bw_f64", Json::Num(device.measured_mem_bw_f64)),
+        ("shared_mem_per_sm", int(device.shared_mem_per_sm)),
+        ("max_threads_per_sm", int(device.max_threads_per_sm)),
+        ("registers_per_sm", int(device.registers_per_sm)),
+    ])
+}
+
+/// Response body for `/devices`: every registered profile, in id order,
+/// plus the default the router uses for device-defaulting endpoints.
+#[must_use]
+pub fn devices_response(registry: &DeviceRegistry) -> Json {
+    Json::obj(vec![
+        ("default", Json::Str(registry.default_id().to_string())),
+        (
+            "devices",
+            Json::Arr(
+                registry
+                    .devices()
+                    .map(|(id, device)| device_json(id, device))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `"pool"` object of `/stats`: shared worker-pool observability
+/// (queue depth, items executed, batch wall times).
+#[must_use]
+pub fn pool_stats_json(stats: &PoolStats) -> Json {
+    Json::obj(vec![
+        ("workers", int(stats.workers)),
+        ("queued_batches", int(stats.queued_batches)),
+        (
+            "items_executed",
+            Json::Int(i128::from(stats.items_executed)),
+        ),
+        (
+            "batches_executed",
+            Json::Int(i128::from(stats.batches_executed)),
+        ),
+        (
+            "mean_batch_us",
+            Json::Int(i128::from(stats.mean_batch_micros())),
+        ),
+        (
+            "max_batch_us",
+            Json::Int(i128::from(stats.max_batch_micros)),
+        ),
+    ])
+}
+
 /// Lookup of the benchmark suite for `/parse` of a known benchmark is
 /// not needed — `/parse` takes DSL source. Exposed for the handlers'
 /// convenience: `suite::by_name` with an API-shaped error.
@@ -469,15 +551,75 @@ mod tests {
 
     #[test]
     fn device_and_space_defaults() {
+        let registry = DeviceRegistry::standard();
         let empty = parse("{}").unwrap();
-        assert_eq!(device_from(&empty).unwrap().short_name(), "V100");
-        let p100 = parse(r#"{"device":"p100"}"#).unwrap();
-        assert_eq!(device_from(&p100).unwrap().short_name(), "P100");
-        assert!(device_from(&parse(r#"{"device":"a100"}"#).unwrap()).is_err());
+        assert_eq!(
+            device_from(&empty, &registry).unwrap(),
+            None,
+            "no device → router decides"
+        );
+        for (spelling, id) in [
+            ("p100", "p100"),
+            ("Tesla_V100", "v100"),
+            ("A100", "a100"),
+            ("small", "small"),
+        ] {
+            let body = Json::obj(vec![("device", Json::str(spelling))]);
+            assert_eq!(
+                device_from(&body, &registry).unwrap(),
+                Some(DeviceId::new(id))
+            );
+        }
+        // Unknown names are rejected with the registry-generated set: the
+        // message tracks registered profiles instead of a hardcoded pair.
+        let err = device_from(&parse(r#"{"device":"h100"}"#).unwrap(), &registry).unwrap_err();
+        assert_eq!(
+            err.0,
+            format!("\"device\" must be one of {}", registry.accepted_names())
+        );
+        assert!(
+            err.0.contains("\"a100\"") && err.0.contains("\"v100\""),
+            "{err}"
+        );
+        assert!(device_from(&parse(r#"{"device":7}"#).unwrap(), &registry).is_err());
 
         let space = space_from(&empty, 2, Precision::Single).unwrap();
         assert!(!space.is_empty());
         assert!(space_from(&parse(r#"{"space":"huge"}"#).unwrap(), 2, Precision::Single).is_err());
+    }
+
+    #[test]
+    fn devices_response_lists_the_fleet_in_id_order() {
+        let registry = DeviceRegistry::standard();
+        let rendered = devices_response(&registry).render();
+        assert!(rendered.starts_with(r#"{"default":"v100""#), "{rendered}");
+        let listing = &rendered[rendered.find("\"devices\"").unwrap()..];
+        let positions: Vec<usize> = ["\"a100\"", "\"p100\"", "\"small\"", "\"v100\""]
+            .iter()
+            .map(|id| listing.find(id).unwrap_or_else(|| panic!("{id} missing")))
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{rendered}");
+        assert_eq!(
+            devices_response(&registry).render(),
+            rendered,
+            "deterministic"
+        );
+    }
+
+    #[test]
+    fn pool_stats_render() {
+        let stats = PoolStats {
+            workers: 4,
+            queued_batches: 1,
+            items_executed: 10,
+            batches_executed: 2,
+            total_batch_micros: 300,
+            max_batch_micros: 200,
+        };
+        assert_eq!(
+            pool_stats_json(&stats).render(),
+            r#"{"workers":4,"queued_batches":1,"items_executed":10,"batches_executed":2,"mean_batch_us":150,"max_batch_us":200}"#
+        );
     }
 
     #[test]

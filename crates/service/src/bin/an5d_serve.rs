@@ -75,7 +75,8 @@ fn main() -> ExitCode {
             server.addr(),
             &server.state().backend().describe(),
             config.workers,
-            config.queue_depth
+            config.queue_depth,
+            server.state().fleet().len(),
         )
     );
     server.wait();

@@ -1,0 +1,432 @@
+//! The device-fleet routing layer: one cache/driver shard per
+//! registered GPU profile, plus the router that dispatches requests to
+//! shards.
+//!
+//! One `an5d-serve` deployment fronts a heterogeneous cluster: tuning
+//! and prediction results are device-specific, and tuned
+//! temporal-blocking configurations shift materially across GPU
+//! generations, so per-device state is correctness-relevant. The fleet
+//! gives every device in the [`DeviceRegistry`] its own
+//! [`PlanCache`] shard (backed by one [`ShardedPlanCache`], so a burst
+//! of traffic for one device can never evict another device's working
+//! set), its own [`BatchDriver`], and its own latency/load counters.
+//!
+//! Routing:
+//!
+//! * a request naming a `"device"` is dispatched to that device's shard
+//!   (names resolve through the registry — canonical ids and aliases,
+//!   case-insensitive);
+//! * a device-*agnostic* request (no `"device"` on `/plan`, `/codegen`,
+//!   `/execute`, whose responses do not depend on the device) goes to
+//!   the **least-loaded** shard by in-flight request count, ties broken
+//!   by id order so sequential traffic reuses one shard's cache;
+//! * `/predict` and `/tune` *results* depend on the device, so with no
+//!   `"device"` they go to the registry's **default** device (V100 in
+//!   the standard fleet) — keeping responses deterministic byte-for-byte.
+
+use crate::api::{unknown_device_error, ApiError};
+use crate::json::Json;
+use an5d::{
+    BatchDriver, CacheStats, DeviceId, DeviceRegistry, ExecutionBackend, GpuDevice, PlanCache,
+    ShardedPlanCache,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How to pick a shard when the request named no device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Any shard computes identical bytes: go to the least-loaded one
+    /// (`/plan`, `/codegen`, `/execute`).
+    LeastLoaded,
+    /// The response depends on the device: go to the registry default so
+    /// the bytes stay deterministic (`/predict`, `/tune`).
+    DefaultDevice,
+}
+
+/// Point-in-time load/latency snapshot of one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests dispatched to this shard (including failed ones).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Requests currently executing on this shard.
+    pub in_flight: u64,
+    /// Total handler latency in microseconds.
+    pub total_micros: u64,
+    /// Worst handler latency in microseconds.
+    pub max_micros: u64,
+}
+
+impl ShardStats {
+    /// Mean handler latency in microseconds (0 with no requests).
+    #[must_use]
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros.checked_div(self.requests).unwrap_or(0)
+    }
+}
+
+/// One device's slice of the fleet: its profile, its plan/tuning cache
+/// shard, its batch driver and its load counters.
+pub struct FleetShard {
+    id: DeviceId,
+    device: GpuDevice,
+    cache: Arc<PlanCache>,
+    driver: BatchDriver,
+    in_flight: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl std::fmt::Debug for FleetShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetShard")
+            .field("id", &self.id)
+            .field("device", &self.device.name)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl FleetShard {
+    /// The shard's canonical device id.
+    #[must_use]
+    pub fn id(&self) -> &DeviceId {
+        &self.id
+    }
+
+    /// The GPU profile this shard serves.
+    #[must_use]
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// The shard's plan/tuning cache (isolated from every other shard).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The shard's batch driver (planning through the shard cache).
+    #[must_use]
+    pub fn driver(&self) -> &BatchDriver {
+        &self.driver
+    }
+
+    /// Run one request on this shard, tracking in-flight load (what the
+    /// least-loaded router balances on) and latency.
+    ///
+    /// The in-flight gauge is restored by a drop guard, so a panicking
+    /// handler cannot leak a phantom in-flight request and permanently
+    /// bias the least-loaded router away from this shard.
+    pub fn observe<T>(&self, f: impl FnOnce() -> Result<T, ApiError>) -> Result<T, ApiError> {
+        struct InFlightGuard<'a>(&'a AtomicU64);
+        impl Drop for InFlightGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _guard = InFlightGuard(&self.in_flight);
+        let started = Instant::now();
+        let result = f();
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        result
+    }
+
+    /// Current load/latency counters.
+    #[must_use]
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::SeqCst),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The fleet: a [`DeviceRegistry`] with one [`FleetShard`] per profile
+/// and the routing described in the module docs.
+pub struct Fleet {
+    registry: DeviceRegistry,
+    cache: Arc<ShardedPlanCache>,
+    shards: BTreeMap<DeviceId, FleetShard>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("devices", &self.shards.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// A fleet with one shard per registry profile, each with its own
+    /// plan cache of `shard_capacity` and a single-worker batch driver
+    /// on `backend` (request-level parallelism comes from the server's
+    /// connection workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty registry — a fleet needs at least one device.
+    #[must_use]
+    pub fn new(
+        backend: &Arc<dyn ExecutionBackend>,
+        registry: DeviceRegistry,
+        shard_capacity: usize,
+    ) -> Self {
+        assert!(!registry.is_empty(), "a fleet needs at least one device");
+        let cache = Arc::new(ShardedPlanCache::new(shard_capacity));
+        let shards = registry
+            .devices()
+            .map(|(id, device)| {
+                let shard_cache = cache.shard(id);
+                let driver = BatchDriver::new(Arc::clone(backend))
+                    .with_cache(Arc::clone(&shard_cache))
+                    .with_workers(1);
+                (
+                    id.clone(),
+                    FleetShard {
+                        id: id.clone(),
+                        device: device.clone(),
+                        cache: shard_cache,
+                        driver,
+                        in_flight: AtomicU64::new(0),
+                        requests: AtomicU64::new(0),
+                        errors: AtomicU64::new(0),
+                        total_micros: AtomicU64::new(0),
+                        max_micros: AtomicU64::new(0),
+                    },
+                )
+            })
+            .collect();
+        Self {
+            registry,
+            cache,
+            shards,
+        }
+    }
+
+    /// The registry the fleet was built from (name resolution, default
+    /// device, accepted-name error messages).
+    #[must_use]
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// The underlying device-sharded plan cache.
+    #[must_use]
+    pub fn cache(&self) -> &Arc<ShardedPlanCache> {
+        &self.cache
+    }
+
+    /// Number of shards (= registered devices).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` is impossible for a constructed fleet, but the method
+    /// completes the `len` pair.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// All shards, in device-id order.
+    pub fn shards(&self) -> impl Iterator<Item = &FleetShard> {
+        self.shards.values()
+    }
+
+    /// The shard for an exact device id.
+    #[must_use]
+    pub fn shard(&self, id: &DeviceId) -> Option<&FleetShard> {
+        self.shards.get(id)
+    }
+
+    /// Dispatch: the requested device's shard, or — for device-agnostic
+    /// requests — the shard the policy selects.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ids without a shard (cannot happen for ids resolved
+    /// through [`Fleet::registry`], but the router guards anyway).
+    pub fn route(
+        &self,
+        requested: Option<&DeviceId>,
+        policy: RoutePolicy,
+    ) -> Result<&FleetShard, ApiError> {
+        match requested {
+            Some(id) => self
+                .shards
+                .get(id)
+                .ok_or_else(|| unknown_device_error(&self.registry)),
+            None => Ok(match policy {
+                RoutePolicy::DefaultDevice => self
+                    .shards
+                    .get(self.registry.default_id())
+                    .expect("the default device is registered"),
+                RoutePolicy::LeastLoaded => self.least_loaded(),
+            }),
+        }
+    }
+
+    /// The shard with the fewest in-flight requests; ties break in id
+    /// order, so idle-fleet traffic reuses one shard's cache instead of
+    /// spraying identical plans across shards.
+    #[must_use]
+    pub fn least_loaded(&self) -> &FleetShard {
+        self.shards
+            .values()
+            .min_by_key(|shard| shard.in_flight.load(Ordering::SeqCst))
+            .expect("a fleet has at least one shard")
+    }
+
+    /// Fleet-wide plan-cache totals (what the legacy top-level `"cache"`
+    /// object of `/stats` reports).
+    #[must_use]
+    pub fn aggregate_cache_stats(&self) -> CacheStats {
+        self.cache.aggregate_stats()
+    }
+
+    /// The `"devices"` object of `/stats`: per-device cache stats plus
+    /// shard load/latency, in id order.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        Json::Obj(
+            self.shards
+                .iter()
+                .map(|(id, shard)| {
+                    let stats = shard.stats();
+                    (
+                        id.to_string(),
+                        Json::obj(vec![
+                            ("profile", Json::str(&shard.device.name)),
+                            ("cache", crate::api::cache_stats_json(&shard.cache.stats())),
+                            ("requests", Json::Int(i128::from(stats.requests))),
+                            ("errors", Json::Int(i128::from(stats.errors))),
+                            ("in_flight", Json::Int(i128::from(stats.in_flight))),
+                            ("mean_us", Json::Int(i128::from(stats.mean_micros()))),
+                            ("max_us", Json::Int(i128::from(stats.max_micros))),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an5d::SerialBackend;
+
+    fn fleet() -> Fleet {
+        Fleet::new(
+            &(Arc::new(SerialBackend) as Arc<dyn ExecutionBackend>),
+            DeviceRegistry::standard(),
+            16,
+        )
+    }
+
+    #[test]
+    fn fleet_builds_one_shard_per_registered_device() {
+        let fleet = fleet();
+        assert_eq!(fleet.len(), 4);
+        let ids: Vec<&str> = fleet.shards().map(|s| s.id().as_str()).collect();
+        assert_eq!(ids, ["a100", "p100", "small", "v100"], "id order");
+        for shard in fleet.shards() {
+            assert_eq!(
+                shard.device().short_name().to_ascii_lowercase(),
+                shard.id().as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn named_routing_hits_the_named_shard() {
+        let fleet = fleet();
+        let p100 = DeviceId::new("p100");
+        let shard = fleet.route(Some(&p100), RoutePolicy::LeastLoaded).unwrap();
+        assert_eq!(shard.id(), &p100);
+        assert!(fleet
+            .route(Some(&DeviceId::new("h100")), RoutePolicy::LeastLoaded)
+            .is_err());
+    }
+
+    #[test]
+    fn default_policy_goes_to_the_registry_default() {
+        let fleet = fleet();
+        let shard = fleet.route(None, RoutePolicy::DefaultDevice).unwrap();
+        assert_eq!(shard.id().as_str(), "v100");
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_shards_and_breaks_ties_by_id() {
+        let fleet = fleet();
+        // Idle fleet: first id wins, deterministically.
+        assert_eq!(fleet.least_loaded().id().as_str(), "a100");
+        // Load the a100 shard: traffic must shift off it.
+        let a100 = fleet.shard(&DeviceId::new("a100")).unwrap();
+        a100.in_flight.fetch_add(2, Ordering::SeqCst);
+        assert_eq!(fleet.least_loaded().id().as_str(), "p100");
+        a100.in_flight.fetch_sub(2, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn observe_tracks_latency_errors_and_in_flight() {
+        let fleet = fleet();
+        let shard = fleet.shard(&DeviceId::new("v100")).unwrap();
+        let ok: Result<u32, ApiError> = shard.observe(|| {
+            assert_eq!(shard.stats().in_flight, 1, "counted while running");
+            Ok(7)
+        });
+        assert_eq!(ok.unwrap(), 7);
+        let err: Result<(), ApiError> = shard.observe(|| Err(ApiError("boom".to_string())));
+        assert!(err.is_err());
+        let stats = shard.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.max_micros >= stats.mean_micros());
+    }
+
+    #[test]
+    fn panicking_handlers_do_not_leak_the_in_flight_gauge() {
+        let fleet = fleet();
+        let shard = fleet.shard(&DeviceId::new("v100")).unwrap();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<(), ApiError> = shard.observe(|| panic!("handler blew up"));
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(
+            shard.stats().in_flight,
+            0,
+            "a panic must not bias the least-loaded router forever"
+        );
+        assert_eq!(fleet.least_loaded().id().as_str(), "a100", "routing intact");
+    }
+
+    #[test]
+    fn shard_caches_are_isolated() {
+        let fleet = fleet();
+        let v100 = fleet.shard(&DeviceId::new("v100")).unwrap();
+        let p100 = fleet.shard(&DeviceId::new("p100")).unwrap();
+        assert!(!Arc::ptr_eq(v100.cache(), p100.cache()));
+        assert!(Arc::ptr_eq(v100.cache(), v100.driver().cache()));
+    }
+}

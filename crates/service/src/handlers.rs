@@ -1,26 +1,30 @@
 //! Endpoint handlers: JSON request → `An5d` facade → JSON response.
 //!
-//! Every handler routes planning through the server's shared
-//! [`PlanCache`] (so concurrent identical requests coalesce onto one
-//! build) and blocked execution through the shared [`BatchDriver`], and
-//! records its latency in the shared [`Metrics`]. Handlers are plain
+//! Every handler routes through the server's [`Fleet`]: the request's
+//! `"device"` (resolved through the [`an5d::DeviceRegistry`]) picks a
+//! per-device shard whose plan/tuning cache coalesces concurrent
+//! identical requests onto one build, and device-agnostic requests go
+//! to the least-loaded shard. Latency is recorded per endpoint in the
+//! shared [`Metrics`] and per device in the shard. Handlers are plain
 //! functions over [`ServiceState`] — the integration tests and the
 //! `load_gen` harness call [`dispatch`] directly to compute the exact
 //! bytes the server must produce.
 
 use crate::api::{self, ApiError};
+use crate::fleet::{Fleet, FleetShard, RoutePolicy};
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use an5d::{
-    generate_cuda_for_plan, parse_stencil, predict, BatchDriver, BatchJob, ExecutionBackend,
-    GridInit, PlanCache,
+    generate_cuda_for_plan, parse_stencil, predict, BatchJob, DeviceRegistry, ExecutionBackend,
+    GridInit,
 };
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The endpoints served, with the method each accepts.
 pub const ENDPOINTS: &[(&str, &str)] = &[
+    ("GET", "/devices"),
     ("GET", "/stats"),
     ("POST", "/parse"),
     ("POST", "/plan"),
@@ -35,8 +39,7 @@ pub const ENDPOINTS: &[(&str, &str)] = &[
 /// connection worker.
 pub struct ServiceState {
     backend: Arc<dyn ExecutionBackend>,
-    cache: Arc<PlanCache>,
-    driver: BatchDriver,
+    fleet: Fleet,
     metrics: Metrics,
 }
 
@@ -44,33 +47,44 @@ impl std::fmt::Debug for ServiceState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceState")
             .field("backend", &self.backend.describe())
-            .field("cache", &self.cache)
+            .field("fleet", &self.fleet)
             .finish()
     }
 }
 
 impl ServiceState {
-    /// State executing on `backend` with a plan cache of `cache_capacity`.
+    /// State executing on `backend`, serving the standard device fleet
+    /// (V100, P100, A100, small) with a per-device plan cache of
+    /// `cache_capacity`.
     #[must_use]
     pub fn new(backend: Arc<dyn ExecutionBackend>, cache_capacity: usize) -> Self {
-        let cache = Arc::new(PlanCache::new(cache_capacity));
-        // One driver worker: each HTTP request is a single job, so
-        // request-level parallelism comes from the connection workers.
-        let driver = BatchDriver::new(Arc::clone(&backend))
-            .with_cache(Arc::clone(&cache))
-            .with_workers(1);
+        Self::with_registry(backend, cache_capacity, DeviceRegistry::standard())
+    }
+
+    /// State serving an explicit device fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty registry — the service needs at least one
+    /// device to route to.
+    #[must_use]
+    pub fn with_registry(
+        backend: Arc<dyn ExecutionBackend>,
+        cache_capacity: usize,
+        registry: DeviceRegistry,
+    ) -> Self {
+        let fleet = Fleet::new(&backend, registry, cache_capacity);
         Self {
             backend,
-            cache,
-            driver,
+            fleet,
             metrics: Metrics::new(),
         }
     }
 
-    /// The shared plan cache.
+    /// The device fleet (registry, per-device cache shards, router).
     #[must_use]
-    pub fn cache(&self) -> &Arc<PlanCache> {
-        &self.cache
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
     }
 
     /// The shared metrics registry.
@@ -124,6 +138,7 @@ pub fn dispatch(state: &ServiceState, request: &Request) -> Response {
 fn handle(state: &ServiceState, path: &str, body: &[u8]) -> Response {
     match path {
         "/stats" => stats(state),
+        "/devices" => ok(api::devices_response(state.fleet.registry())),
         "/shutdown" => ok(Json::obj(vec![("ok", Json::Bool(true))])),
         _ => {
             let parsed = match parse_body(body) {
@@ -159,7 +174,15 @@ fn parse_body(body: &[u8]) -> Result<Json, Response> {
 fn stats(state: &ServiceState) -> Response {
     ok(Json::obj(vec![
         ("backend", Json::Str(state.backend.describe())),
-        ("cache", api::cache_stats_json(&state.cache.stats())),
+        // Fleet-wide totals, kept at the top level for compatibility
+        // with pre-fleet consumers; per-device breakdowns live under
+        // "devices".
+        (
+            "cache",
+            api::cache_stats_json(&state.fleet.aggregate_cache_stats()),
+        ),
+        ("devices", state.fleet.stats_json()),
+        ("pool", api::pool_stats_json(&an5d::global_pool().stats())),
         ("endpoints", state.metrics.endpoints_json()),
         ("rejected", Json::Int(i128::from(state.metrics.rejected()))),
     ]))
@@ -178,69 +201,102 @@ fn parse_endpoint(body: &Json) -> Result<Json, ApiError> {
     Ok(api::parse_response(&detected))
 }
 
+/// Resolve the request's device (if any) and dispatch to a fleet shard.
+///
+/// `policy` decides where device-agnostic requests go: endpoints whose
+/// bytes do not depend on the device balance to the least-loaded shard;
+/// `/predict` and `/tune` default to the registry's default device so
+/// their responses stay deterministic.
+fn routed<'a>(
+    state: &'a ServiceState,
+    body: &Json,
+    policy: RoutePolicy,
+) -> Result<&'a FleetShard, ApiError> {
+    let requested = api::device_from(body, state.fleet.registry())?;
+    state.fleet.route(requested.as_ref(), policy)
+}
+
 /// The shared front half of `/plan`, `/predict` and `/codegen`: extract
-/// stencil + problem + config + scheme and plan through the shared cache.
+/// stencil + problem + config + scheme and plan through the shard's
+/// cache.
 fn planned(
-    state: &ServiceState,
+    shard: &FleetShard,
     body: &Json,
 ) -> Result<(an5d::StencilProblem, Arc<an5d::KernelPlan>), ApiError> {
     let pipeline = api::pipeline_from(body)?;
     let problem = api::problem_from(body, &pipeline)?;
     let config = api::config_from(body)?;
     let scheme = api::scheme_from(body)?;
-    let plan = state
-        .cache
+    let plan = shard
+        .cache()
         .get_or_build(pipeline.def(), &problem, &config, scheme)
         .map_err(|e| ApiError(e.to_string()))?;
     Ok((problem, plan))
 }
 
 fn plan_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
-    let (_, plan) = planned(state, body)?;
-    Ok(api::plan_response(&plan))
+    let shard = routed(state, body, RoutePolicy::LeastLoaded)?;
+    shard.observe(|| {
+        let (_, plan) = planned(shard, body)?;
+        Ok(api::plan_response(&plan))
+    })
 }
 
 fn predict_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
-    let device = api::device_from(body)?;
-    let (problem, plan) = planned(state, body)?;
-    Ok(api::predict_response(&predict(&plan, &problem, &device)))
+    let shard = routed(state, body, RoutePolicy::DefaultDevice)?;
+    shard.observe(|| {
+        let (problem, plan) = planned(shard, body)?;
+        Ok(api::predict_response(&predict(
+            &plan,
+            &problem,
+            shard.device(),
+        )))
+    })
 }
 
 fn tune_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
-    let pipeline = api::pipeline_from(body)?;
-    let problem = api::problem_from(body, &pipeline)?;
-    let device = api::device_from(body)?;
-    let precision = api::precision_from(body)?;
-    let space = api::space_from(body, pipeline.def().ndim(), precision)?;
-    let result = pipeline
-        .tune_with_cache(&problem, &device, &space, Arc::clone(&state.cache))
-        .map_err(|e| ApiError(e.to_string()))?;
-    Ok(api::tune_response(&result))
+    let shard = routed(state, body, RoutePolicy::DefaultDevice)?;
+    shard.observe(|| {
+        let pipeline = api::pipeline_from(body)?;
+        let problem = api::problem_from(body, &pipeline)?;
+        let precision = api::precision_from(body)?;
+        let space = api::space_from(body, pipeline.def().ndim(), precision)?;
+        let result = pipeline
+            .tune_with_cache(&problem, shard.device(), &space, Arc::clone(shard.cache()))
+            .map_err(|e| ApiError(e.to_string()))?;
+        Ok(api::tune_response(&result))
+    })
 }
 
 fn codegen_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
-    let (_, plan) = planned(state, body)?;
-    Ok(api::codegen_response(&generate_cuda_for_plan(&plan)))
+    let shard = routed(state, body, RoutePolicy::LeastLoaded)?;
+    shard.observe(|| {
+        let (_, plan) = planned(shard, body)?;
+        Ok(api::codegen_response(&generate_cuda_for_plan(&plan)))
+    })
 }
 
 fn execute_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
-    let pipeline = api::pipeline_from(body)?;
-    let problem = api::problem_from(body, &pipeline)?;
-    let config = api::config_from(body)?;
-    let seed = api::seed_from(body)?;
-    let job = BatchJob::new(
-        pipeline.def().clone(),
-        problem.interior(),
-        problem.time_steps(),
-        config,
-    )
-    .with_init(GridInit::Hash { seed });
-    let mut results = state.driver.run(&[job]);
-    let outcome = results
-        .pop()
-        .expect("one job in yields one result out")
-        .map_err(|e| ApiError(e.to_string()))?;
-    Ok(api::execute_response(&outcome))
+    let shard = routed(state, body, RoutePolicy::LeastLoaded)?;
+    shard.observe(|| {
+        let pipeline = api::pipeline_from(body)?;
+        let problem = api::problem_from(body, &pipeline)?;
+        let config = api::config_from(body)?;
+        let seed = api::seed_from(body)?;
+        let job = BatchJob::new(
+            pipeline.def().clone(),
+            problem.interior(),
+            problem.time_steps(),
+            config,
+        )
+        .with_init(GridInit::Hash { seed });
+        let mut results = shard.driver().run(&[job]);
+        let outcome = results
+            .pop()
+            .expect("one job in yields one result out")
+            .map_err(|e| ApiError(e.to_string()))?;
+        Ok(api::execute_response(&outcome))
+    })
 }
 
 #[cfg(test)]
@@ -282,15 +338,79 @@ mod tests {
         let body = r#"{"benchmark":"j2d5pt","interior":[64,64],"steps":8,
                        "config":{"bt":2,"bs":[32],"precision":"double"}}"#;
         assert_eq!(post(&state, "/plan", body).status, 200);
-        let misses = state.cache().stats().misses;
+        let misses = state.fleet().aggregate_cache_stats().misses;
         assert_eq!(misses, 1);
-        // Same key through a different endpoint: served from the cache.
+        // Same key through a different endpoint: both requests are
+        // device-agnostic, so the idle-fleet router sends them to the
+        // same shard and the second is served from its cache.
         let response = post(&state, "/codegen", body);
         assert_eq!(response.status, 200);
         assert!(response.body.contains("__global__"));
-        let stats = state.cache().stats();
+        let stats = state.fleet().aggregate_cache_stats();
         assert_eq!(stats.misses, misses);
         assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn named_devices_route_to_their_own_shard() {
+        let state = state();
+        let request = |device: &str| {
+            format!(
+                r#"{{"benchmark":"j2d5pt","interior":[64,64],"steps":8,"device":"{device}",
+                     "config":{{"bt":2,"bs":[32],"precision":"double"}}}}"#
+            )
+        };
+        assert_eq!(post(&state, "/predict", &request("v100")).status, 200);
+        assert_eq!(post(&state, "/predict", &request("p100")).status, 200);
+        let shard = |id: &str| {
+            state
+                .fleet()
+                .shard(&an5d::DeviceId::new(id))
+                .expect("registered")
+        };
+        // The identical plan key was built once per device shard — that
+        // is the per-device keying, not a shared flat cache.
+        assert_eq!(shard("v100").cache().stats().misses, 1);
+        assert_eq!(shard("p100").cache().stats().misses, 1);
+        assert_eq!(shard("v100").stats().requests, 1);
+        assert_eq!(shard("p100").stats().requests, 1);
+        assert_eq!(shard("a100").stats().requests, 0);
+        // Predictions differ across devices: the shard's profile was used.
+        let v = post(&state, "/predict", &request("v100"));
+        let p = post(&state, "/predict", &request("p100"));
+        assert_ne!(v.body, p.body, "device-specific predictions");
+    }
+
+    #[test]
+    fn unknown_devices_are_rejected_with_the_registry_set() {
+        let state = state();
+        let response = post(
+            &state,
+            "/predict",
+            r#"{"benchmark":"j2d5pt","interior":[64,64],"steps":8,"device":"h100",
+                "config":{"bt":2,"bs":[32],"precision":"double"}}"#,
+        );
+        assert_eq!(response.status, 400);
+        for id in ["a100", "p100", "small", "v100"] {
+            assert!(response.body.contains(id), "{}", response.body);
+        }
+    }
+
+    #[test]
+    fn devices_endpoint_lists_the_fleet() {
+        let state = state();
+        let response = dispatch(&state, &Request::new("GET", "/devices", b""));
+        assert_eq!(response.status, 200);
+        let parsed = json::parse(&response.body).unwrap();
+        assert_eq!(parsed.get("default").unwrap().as_str(), Some("v100"));
+        let devices = parsed.get("devices").unwrap().as_array().unwrap();
+        assert!(devices.len() >= 4, "fleet of {}", devices.len());
+        let first = &devices[0];
+        assert_eq!(first.get("id").unwrap().as_str(), Some("a100"));
+        assert!(first.get("sm_count").unwrap().as_usize().unwrap() > 0);
+        // POST is the wrong method.
+        let post_devices = Request::new("POST", "/devices", b"{}");
+        assert_eq!(dispatch(&state, &post_devices).status, 405);
     }
 
     #[test]
@@ -330,6 +450,23 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((hit_rate - 0.5).abs() < 1e-12, "hit rate {hit_rate}");
+        // The fleet breakdown and pool observability ride along.
+        let devices = parsed.get("devices").expect("per-device stats");
+        let busy: Vec<u64> = state
+            .fleet()
+            .shards()
+            .map(|s| {
+                devices
+                    .get(s.id().as_str())
+                    .and_then(|d| d.get("requests"))
+                    .and_then(Json::as_usize)
+                    .unwrap() as u64
+            })
+            .collect();
+        assert_eq!(busy.iter().sum::<u64>(), 2, "both /plan requests tracked");
+        let pool = parsed.get("pool").expect("pool stats");
+        assert!(pool.get("workers").is_some());
+        assert!(pool.get("queued_batches").is_some());
     }
 
     #[test]
@@ -356,6 +493,12 @@ mod tests {
         assert_eq!(response.status, 200, "{}", response.body);
         let parsed = json::parse(&response.body).unwrap();
         assert!(parsed.get("best").is_some());
-        assert!(state.cache().stats().misses > 0, "tuner planned via cache");
+        let v100 = state
+            .fleet()
+            .shard(&an5d::DeviceId::new("v100"))
+            .unwrap()
+            .cache()
+            .stats();
+        assert!(v100.misses > 0, "tuner planned via the v100 shard cache");
     }
 }

@@ -5,11 +5,16 @@
 //! traffic; this crate is that serving layer. Instead of every consumer
 //! linking the crates and driving the [`an5d::An5d`] facade in-process,
 //! a long-running `an5d-serve` process exposes the Section 6.3 flow as
-//! JSON-over-HTTP endpoints, with all requests flowing through one
-//! shared [`an5d::PlanCache`] (concurrent identical misses coalesce onto
-//! a single plan build) and one shared [`an5d::BatchDriver`]. Tuning
-//! results are device-specific, so repeated per-device tuning queries
-//! are exactly the traffic a shared cache-backed service absorbs.
+//! JSON-over-HTTP endpoints, sharded across a **device fleet**
+//! ([`fleet::Fleet`]): every GPU profile in the
+//! [`an5d::DeviceRegistry`] gets its own plan/tuning cache shard
+//! (concurrent identical misses coalesce onto a single plan build, and
+//! one device's traffic can never evict another device's working set)
+//! and its own [`an5d::BatchDriver`]; requests naming a `"device"` are
+//! dispatched to that shard, device-agnostic requests to the
+//! least-loaded one. Tuning results are device-specific, so repeated
+//! per-device tuning queries are exactly the traffic a fleet of
+//! cache-backed shards absorbs.
 //!
 //! Everything is std-only (TcpListener + a bounded worker pool): the
 //! build environment has no crates.io access, so the crate carries its
@@ -25,7 +30,8 @@
 //! | `/tune` | POST | Section 6.3 tuner over a search space |
 //! | `/codegen` | POST | CUDA kernel + host source |
 //! | `/execute` | POST | blocked run: checksum + traffic counters |
-//! | `/stats` | GET | cache hit rate + per-endpoint latencies |
+//! | `/devices` | GET | registered GPU profiles + routing default |
+//! | `/stats` | GET | fleet-wide + per-device cache stats, pool and endpoint latencies |
 //! | `/shutdown` | POST | graceful shutdown (drains the queue) |
 //!
 //! Responses are deterministic byte-for-byte: the same request always
@@ -73,12 +79,14 @@
 
 pub mod api;
 pub mod client;
+pub mod fleet;
 pub mod handlers;
 pub mod http;
 pub mod json;
 pub mod metrics;
 mod server;
 
+pub use fleet::{Fleet, FleetShard, RoutePolicy, ShardStats};
 pub use handlers::{dispatch, ServiceState, ENDPOINTS};
 pub use http::{Request, Response};
 pub use json::{parse as parse_json, Json, JsonError};

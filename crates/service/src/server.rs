@@ -45,7 +45,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue depth; connections beyond it are answered 503.
     pub queue_depth: usize,
-    /// Plan-cache capacity.
+    /// Per-device plan-cache shard capacity (each registered device gets
+    /// its own shard of this size).
     pub cache_capacity: usize,
     /// How long a persistent connection may sit idle between requests
     /// before the server closes it.
@@ -494,12 +495,19 @@ fn handle_connection(shared: &Shared, conn: QueuedConn) {
 /// Render the one-line startup banner used by the binary (and asserted
 /// by the CI smoke test).
 #[must_use]
-pub fn banner(addr: SocketAddr, backend: &str, workers: usize, queue_depth: usize) -> String {
+pub fn banner(
+    addr: SocketAddr,
+    backend: &str,
+    workers: usize,
+    queue_depth: usize,
+    devices: usize,
+) -> String {
     Json::obj(vec![
         ("listening", Json::Str(format!("http://{addr}"))),
         ("backend", Json::str(backend)),
         ("workers", Json::Int(workers as i128)),
         ("queue_depth", Json::Int(queue_depth as i128)),
+        ("devices", Json::Int(devices as i128)),
     ])
     .render()
 }

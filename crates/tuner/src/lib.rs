@@ -14,12 +14,13 @@
 //! ```
 //! use an5d_tuner::{SearchSpace, Tuner};
 //! use an5d_stencil::{suite, StencilProblem};
-//! use an5d_gpusim::GpuDevice;
+//! use an5d_gpusim::standard_registry;
 //! use an5d_grid::Precision;
 //!
 //! let def = suite::j2d5pt();
 //! let problem = StencilProblem::new(def.clone(), &[2048, 2048], 100).unwrap();
-//! let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+//! let device = standard_registry().profile("v100").unwrap();
+//! let tuner = Tuner::new(device, Precision::Single);
 //! let space = SearchSpace::paper(def.ndim(), Precision::Single);
 //! let result = tuner.tune(&def, &problem, &space).unwrap();
 //! assert!(result.best.measured_gflops > 0.0);

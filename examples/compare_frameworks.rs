@@ -5,9 +5,9 @@
 //! (default stencil: `j2d5pt`).
 
 use an5d::{
-    hybrid_measurement, loop_tiling_measurement, measure_best_cap, stencilgen_measurement, suite,
-    An5dError, BlockConfig, FrameworkScheme, GpuDevice, KernelPlan, Precision, SearchSpace,
-    StencilProblem, Tuner,
+    hybrid_measurement, loop_tiling_measurement, measure_best_cap, standard_registry,
+    stencilgen_measurement, suite, An5dError, BlockConfig, FrameworkScheme, KernelPlan, Precision,
+    SearchSpace, StencilProblem, Tuner,
 };
 
 fn main() -> Result<(), An5dError> {
@@ -27,7 +27,7 @@ fn main() -> Result<(), An5dError> {
         problem.time_steps()
     );
 
-    for device in GpuDevice::paper_devices() {
+    for device in standard_registry().paper_devices() {
         println!("{device}:");
         let report = |framework: &str, gflops: Option<f64>| match gflops {
             Some(v) => println!("  {framework:<22} {v:>9.0} GFLOP/s"),

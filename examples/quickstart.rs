@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use an5d::{An5d, An5dError, BlockConfig, GpuDevice, Precision, SearchSpace};
+use an5d::{standard_registry, An5d, An5dError, BlockConfig, Precision, SearchSpace};
 
 fn main() -> Result<(), An5dError> {
     // 1. The paper's Fig. 4 input: a 5-point Jacobi stencil in plain C.
@@ -35,9 +35,10 @@ fn main() -> Result<(), An5dError> {
         report.counters.redundancy_ratio() * 100.0
     );
 
-    // 3. Tune the blocking parameters for Tesla V100 with the Section 5
-    //    performance model guiding the search (quick search space).
-    let device = GpuDevice::tesla_v100();
+    // 3. Tune the blocking parameters for Tesla V100 (resolved through
+    //    the device registry) with the Section 5 performance model
+    //    guiding the search (quick search space).
+    let device = standard_registry().profile("v100").expect("registered");
     let tuning_problem = an5d.problem(&[4096, 4096], 500)?;
     let space = SearchSpace::quick(2, Precision::Single);
     let tuning = an5d.tune(&tuning_problem, &device, &space)?;

@@ -3,11 +3,11 @@
 //!
 //! Run with `cargo run --release --example tune_and_codegen`.
 
-use an5d::{An5d, An5dError, GpuDevice, Precision, SearchSpace};
+use an5d::{standard_registry, An5d, An5dError, Precision, SearchSpace};
 
 fn main() -> Result<(), An5dError> {
     let an5d = An5d::benchmark("star3d1r")?;
-    let device = GpuDevice::tesla_v100();
+    let device = standard_registry().profile("v100").expect("registered");
     let problem = an5d.problem(&[256, 256, 256], 200)?;
     let space = SearchSpace::paper(3, Precision::Single);
 
