@@ -444,39 +444,73 @@ impl PlanCache {
         built.map(|plan| (plan, false))
     }
 
+    /// `true` when the key is already cached with this exact definition.
+    /// A read-only probe: no statistics are counted and the entry's LRU
+    /// recency is left untouched.
+    fn contains(&self, key: &PlanKey, def: &StencilDef) -> bool {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        matches!(inner.map.get(key), Some(entry) if entry.plan.def() == def)
+    }
+
     /// Pre-build a set of plans on the shared persistent worker pool
     /// ([`an5d_runtime::global`]), so later lookups (service startup
     /// traffic, tuner sweeps, batch runs) hit a warm cache instead of
     /// paying first-build latency.
     ///
-    /// Requests are claimed dynamically, one at a time; duplicates and
-    /// already-cached keys are answered from the cache (counted in
-    /// [`WarmStats::already_cached`]), and invalid configurations are
+    /// The request list is deduplicated *before* dispatch: repeated keys
+    /// and keys already resident (e.g. a DB-warmed entry, or the tuning
+    /// winner appearing in both the `best` and `measured` lists of a
+    /// stored result) are counted in [`WarmStats::already_cached`]
+    /// without ever reaching the pool — they used to take a pool slot
+    /// and a counted cache lookup each, polluting the hit/coalesce
+    /// statistics warm-path regression tests observe. Only genuinely
+    /// new keys are claimed by the pool; invalid configurations are
     /// tallied in [`WarmStats::failed`] without aborting the pass.
     ///
     /// # Panics
     ///
     /// Panics if the cache mutex was poisoned by a panicking thread.
     pub fn warm(&self, requests: &[WarmRequest]) -> WarmStats {
+        use std::collections::HashSet;
         use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let mut seen: HashSet<PlanKey> = HashSet::new();
+        let mut already_cached = 0usize;
+        let mut pending: Vec<&WarmRequest> = Vec::new();
+        for request in requests {
+            let key = PlanKey::new(
+                &request.def,
+                &request.problem,
+                &request.config,
+                request.scheme,
+            );
+            if !seen.insert(key.clone()) || self.contains(&key, &request.def) {
+                already_cached += 1;
+                continue;
+            }
+            pending.push(request);
+        }
+
         let built = AtomicUsize::new(0);
-        let already_cached = AtomicUsize::new(0);
+        let raced = AtomicUsize::new(0);
         let failed = AtomicUsize::new(0);
-        an5d_runtime::global().for_each(requests, |request| {
+        an5d_runtime::global().for_each(pending, |request| {
             match self.get_or_build_traced(
                 &request.def,
                 &request.problem,
                 &request.config,
                 request.scheme,
             ) {
-                Ok((_, true)) => already_cached.fetch_add(1, Ordering::Relaxed),
+                // Another thread (a concurrent warm pass or live lookup)
+                // cached the key between the pre-check and the build.
+                Ok((_, true)) => raced.fetch_add(1, Ordering::Relaxed),
                 Ok((_, false)) => built.fetch_add(1, Ordering::Relaxed),
                 Err(_) => failed.fetch_add(1, Ordering::Relaxed),
             };
         });
         WarmStats {
             built: built.into_inner(),
-            already_cached: already_cached.into_inner(),
+            already_cached: already_cached + raced.into_inner(),
             failed: failed.into_inner(),
         }
     }
@@ -837,6 +871,46 @@ mod tests {
         let again = cache.warm(&requests[..4]);
         assert_eq!(again.built, 0);
         assert_eq!(again.already_cached, 4);
+    }
+
+    #[test]
+    fn warming_dedupes_duplicates_before_the_pool_sees_them() {
+        // Regression: a warm list full of duplicates (a DB-warmed shard
+        // submits each stored winner via both `best` and `measured`)
+        // used to push every copy through a counted cache lookup — one
+        // miss plus N−1 hits, skewing the hit-rate the service reports
+        // and burning pool slots. Deduped, the cache sees exactly one
+        // lookup per distinct key.
+        let cache = PlanCache::new(16);
+        let def = suite::j2d5pt();
+        let problem = problem(&def);
+        let request = WarmRequest::new(
+            def.clone(),
+            problem.clone(),
+            BlockConfig::new(2, &[16], None, Precision::Double).unwrap(),
+            FrameworkScheme::an5d(),
+        );
+        let requests = vec![request; 8];
+
+        let stats = cache.warm(&requests);
+        assert_eq!(stats.built, 1);
+        assert_eq!(stats.already_cached, 7);
+        let cache_stats = cache.stats();
+        assert_eq!(cache_stats.misses, 1, "one build per distinct key");
+        assert_eq!(
+            cache_stats.hits, 0,
+            "duplicates must be deduped before dispatch, not served as hits"
+        );
+        assert_eq!(cache_stats.coalesced, 0);
+
+        // Re-warming an already-resident key is also invisible to the
+        // hit/miss counters: the pre-check is a read-only probe.
+        let again = cache.warm(&requests[..1]);
+        assert_eq!(again.built, 0);
+        assert_eq!(again.already_cached, 1);
+        let cache_stats = cache.stats();
+        assert_eq!(cache_stats.misses, 1);
+        assert_eq!(cache_stats.hits, 0);
     }
 
     #[test]

@@ -6,7 +6,16 @@
 //! ```text
 //! load_gen [--requests N] [--clients N] [--server-workers N]
 //!          [--device NAME] [--keep-alive | --no-keep-alive]
+//!          [--tune-db PATH]
 //! ```
+//!
+//! With `--tune-db` the in-process server persists tuning results to
+//! `PATH`: a first run against a fresh file seeds it (and asserts
+//! records were written); a rerun against the same file asserts a
+//! **warm start** — nonzero per-device warm counts, `/tune` answered
+//! from the DB, and zero tuner invocations on warmed devices — while
+//! the byte-identity assertion against direct facade calls keeps
+//! holding for every DB-served response.
 //!
 //! Device-parameterized traffic (`/tune`, `/predict`) exercises the
 //! service's fleet routing layer: with `--device` every such request
@@ -203,12 +212,13 @@ struct Args {
     server_workers: usize,
     keep_alive: bool,
     device: Option<String>,
+    tune_db: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: load_gen [--requests N] [--clients N] [--server-workers N] \
-         [--device NAME] [--keep-alive | --no-keep-alive]"
+         [--device NAME] [--keep-alive | --no-keep-alive] [--tune-db PATH]"
     );
     std::process::exit(2);
 }
@@ -220,6 +230,7 @@ fn parse_args() -> Args {
         server_workers: 4,
         keep_alive: true,
         device: None,
+        tune_db: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -229,6 +240,10 @@ fn parse_args() -> Args {
             "--device" => {
                 let Some(value) = iter.next() else { usage() };
                 args.device = Some(value);
+            }
+            "--tune-db" => {
+                let Some(value) = iter.next() else { usage() };
+                args.tune_db = Some(value);
             }
             "--requests" | "--clients" | "--server-workers" => {
                 let Some(value) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
@@ -307,12 +322,31 @@ fn main() {
     println!("load_gen: computing expected responses via direct facade calls…");
     let templates = Arc::new(templates(&targets));
 
+    // A pre-existing DB means this is the warm (second) run of a
+    // round-trip: the server must warm-start from it.
+    let warm_start = args.tune_db.as_deref().is_some_and(|path| {
+        std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+    });
+    if let Some(path) = &args.tune_db {
+        println!(
+            "load_gen: tune DB at {path} ({})",
+            if warm_start {
+                "warm start"
+            } else {
+                "cold, seeding"
+            }
+        );
+    }
+
     let server = Server::start_with_backend(
         &ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: args.server_workers,
             queue_depth: 256,
             cache_capacity: 256,
+            tune_db: args.tune_db.clone(),
             ..ServerConfig::default()
         },
         Arc::new(SerialBackend),
@@ -445,8 +479,10 @@ fn main() {
         .expect("cache hit rate present");
     println!("load_gen: fleet-wide plan-cache hit rate {hit_rate:.3}");
     // Hits require repeats: only meaningful once the schedule has
-    // cycled the template mix at least twice.
-    if args.requests >= 2 * templates.len() {
+    // cycled the template mix at least twice — and only without a tune
+    // DB, which (by design) short-circuits repeated `/tune` queries
+    // before they generate any plan-cache traffic at all.
+    if args.requests >= 2 * templates.len() && args.tune_db.is_none() {
         assert!(
             hit_rate > 0.5,
             "repeated mixed traffic should mostly hit the per-device plan caches"
@@ -469,6 +505,62 @@ fn main() {
         println!("load_gen: device {id}: {requests} requests on its shard");
         if exercised.contains(id.as_str()) {
             assert!(requests > 0, "device {id} saw no routed traffic");
+        }
+    }
+
+    // Tune-DB round-trip accounting: on a cold run the traffic must have
+    // seeded records; on a warm run every device whose `/tune` template
+    // ran must have been answered from the DB without a tuner search.
+    if args.tune_db.is_some() {
+        let top = stats.get("tunedb").expect("top-level tunedb stats");
+        assert_eq!(
+            top.get("enabled").and_then(an5d_service::Json::as_bool),
+            Some(true)
+        );
+        let records = top
+            .get("records")
+            .and_then(an5d_service::Json::as_usize)
+            .unwrap_or(0);
+        println!("load_gen: tune DB holds {records} records");
+
+        let tuned_devices: std::collections::BTreeSet<&str> = (0..args.requests)
+            .map(|index| index % templates.len())
+            .filter(|&t| templates[t].path == "/tune")
+            .filter_map(|t| templates[t].device.as_deref())
+            .collect();
+        assert!(
+            tuned_devices.is_empty() || records > 0,
+            "tuned traffic must leave persisted records"
+        );
+        let mut total_warmed = 0usize;
+        for device in &tuned_devices {
+            let tunedb = device_stats
+                .get(device)
+                .and_then(|d| d.get("tunedb"))
+                .expect("per-device tunedb stats");
+            let get = |key: &str| {
+                tunedb
+                    .get(key)
+                    .and_then(an5d_service::Json::as_usize)
+                    .unwrap()
+            };
+            let (warmed, hits, runs) = (get("warmed"), get("hits"), get("tuner_runs"));
+            println!(
+                "load_gen: device {device}: warmed {warmed}, DB hits {hits}, tuner runs {runs}"
+            );
+            total_warmed += warmed;
+            if warm_start {
+                assert!(warmed > 0, "device {device} must warm-start from the DB");
+                assert!(hits > 0, "device {device} must answer /tune from the DB");
+                assert_eq!(
+                    runs, 0,
+                    "device {device} must not re-run the tuner for a stored key"
+                );
+            }
+        }
+        if warm_start {
+            assert!(total_warmed > 0, "warm run must report nonzero warm counts");
+            println!("load_gen: warm start verified — zero tuner invocations");
         }
     }
 

@@ -23,6 +23,8 @@ pub enum An5dError {
     Infeasible(InfeasibleConfig),
     /// The tuner found no feasible configuration.
     Tuner(TunerError),
+    /// The persisted tuning database could not be read or written.
+    TuneDb(String),
 }
 
 impl fmt::Display for An5dError {
@@ -33,6 +35,7 @@ impl fmt::Display for An5dError {
             An5dError::Plan(e) => write!(f, "planning error: {e}"),
             An5dError::Infeasible(e) => write!(f, "infeasible configuration: {e}"),
             An5dError::Tuner(e) => write!(f, "tuning error: {e}"),
+            An5dError::TuneDb(e) => write!(f, "tuning database error: {e}"),
         }
     }
 }
@@ -45,6 +48,7 @@ impl Error for An5dError {
             An5dError::Plan(e) => Some(e),
             An5dError::Infeasible(e) => Some(e),
             An5dError::Tuner(e) => Some(e),
+            An5dError::TuneDb(_) => None,
         }
     }
 }

@@ -53,7 +53,7 @@ mod error;
 mod pipeline;
 
 pub use error::An5dError;
-pub use pipeline::{An5d, VerificationReport};
+pub use pipeline::{An5d, DbTuneOutcome, VerificationReport};
 
 // Re-exports: the complete toolkit, grouped by layer.
 pub use an5d_grid::{
@@ -91,7 +91,14 @@ pub use an5d_model::{
     ModelPrediction, ThreadClasses,
 };
 
-pub use an5d_tuner::{CandidateIter, SearchSpace, TunedCandidate, Tuner, TunerError, TuningResult};
+pub use an5d_tuner::{
+    problem_fingerprint, stencil_fingerprint, CandidateIter, SearchSpace, TunedCandidate, Tuner,
+    TunerError, TuningResult,
+};
+
+pub use an5d_tunedb::{
+    CompactionPolicy, Record as TuneRecord, TuneDb, TuneDbStats, TuneKey, TUNE_DB_ENV,
+};
 
 pub use an5d_codegen::{generate as generate_cuda_for_plan, kernel_name_for, CudaCode};
 

@@ -4,13 +4,26 @@ use crate::An5dError;
 use an5d_backend::{backend_from_env, ExecutionBackend, PlanCache};
 use an5d_codegen::CudaCode;
 use an5d_frontend::{emit_c_source, parse_stencil};
-use an5d_gpusim::{GpuDevice, TrafficCounters};
+use an5d_gpusim::{DeviceId, GpuDevice, TrafficCounters};
 use an5d_grid::{default_tolerance, Grid, GridDiff, GridInit, Precision};
 use an5d_model::{measure_best_cap, predict, Measurement, ModelPrediction};
 use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan};
 use an5d_stencil::{exec::run_reference, suite, StencilDef, StencilProblem};
+use an5d_tunedb::{TuneDb, TuneKey};
 use an5d_tuner::{SearchSpace, Tuner, TuningResult};
 use std::sync::Arc;
+
+/// Result of a read-through tuning query against a persisted
+/// [`TuneDb`]: the tuning result plus where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbTuneOutcome {
+    /// The tuning result (bit-identical whether freshly tuned or read
+    /// from the database).
+    pub result: TuningResult,
+    /// `true` when the result was answered from the database without
+    /// invoking the tuner.
+    pub from_db: bool,
+}
 
 /// Result of verifying a blocked execution against the naive reference.
 #[derive(Debug, Clone, PartialEq)]
@@ -274,6 +287,76 @@ impl An5d {
         Ok(tuner.tune(&self.def, problem, space)?)
     }
 
+    /// The persistence key a tuning query of this pipeline maps to:
+    /// canonical stencil/space fingerprints plus the problem descriptor,
+    /// the device id and the scheme's canonical name.
+    #[must_use]
+    pub fn tune_key(
+        &self,
+        problem: &StencilProblem,
+        device: &DeviceId,
+        space: &SearchSpace,
+    ) -> TuneKey {
+        TuneKey::for_query(
+            &self.def,
+            problem,
+            device,
+            space,
+            self.scheme.canonical_name(),
+        )
+    }
+
+    /// Like [`An5d::tune_with_cache`], but *read-through* a persisted
+    /// [`TuneDb`]: a stored result for this exact
+    /// `(stencil, problem, device, precision, space, scheme)` key is
+    /// returned without invoking the tuner; a miss runs the tuner and
+    /// appends the fresh result. With `refresh` the database is bypassed
+    /// and the fresh result *overwrites* the stored one
+    /// (`/tune?refresh=true` in `an5d-serve`).
+    ///
+    /// Stored and freshly-tuned results are bit-identical — tuning is
+    /// deterministic and the record codec round-trips every `f64`
+    /// exactly — so read-through never changes response bytes, only
+    /// whether the search ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`An5dError::Tuner`] when no feasible candidate exists
+    /// and [`An5dError::TuneDb`] when appending to the database fails
+    /// (the tuning result itself is lost with it — callers must see
+    /// persistence failures, not silently lose durability).
+    // One parameter per independent axis of the persisted key plus the
+    // two collaborators (cache, db) — bundling them into a struct would
+    // only move the eight names one level down.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tune_with_db(
+        &self,
+        problem: &StencilProblem,
+        device_id: &DeviceId,
+        device: &GpuDevice,
+        space: &SearchSpace,
+        cache: Arc<PlanCache>,
+        db: &TuneDb,
+        refresh: bool,
+    ) -> Result<DbTuneOutcome, An5dError> {
+        let key = self.tune_key(problem, device_id, space);
+        if !refresh {
+            if let Some(result) = db.get(&key) {
+                return Ok(DbTuneOutcome {
+                    result,
+                    from_db: true,
+                });
+            }
+        }
+        let result = self.tune_with_cache(problem, device, space, cache)?;
+        db.put(&key, Some(self.def.name()), &result)
+            .map_err(|e| An5dError::TuneDb(e.to_string()))?;
+        Ok(DbTuneOutcome {
+            result,
+            from_db: false,
+        })
+    }
+
     /// Generate the CUDA host and kernel sources for a configuration.
     ///
     /// # Errors
@@ -368,6 +451,60 @@ mod tests {
         let reparsed = An5d::from_c_source(&source, "j2d9pt").unwrap();
         assert_eq!(reparsed.def().radius(), 2);
         assert_eq!(reparsed.def().flops_per_cell(), an5d.def().flops_per_cell());
+    }
+
+    #[test]
+    fn tuning_reads_through_and_writes_back_the_db() {
+        let path =
+            std::env::temp_dir().join(format!("an5d-facade-tunedb-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let db = an5d_tunedb::TuneDb::open(&path).unwrap();
+
+        let an5d = An5d::benchmark("j2d5pt").unwrap();
+        let problem = an5d.problem(&[512, 512], 50).unwrap();
+        let space = SearchSpace::quick(2, Precision::Single);
+        let device_id = DeviceId::new("v100");
+        let device = GpuDevice::tesla_v100();
+        let cache = Arc::new(PlanCache::new(64));
+
+        let cold = an5d
+            .tune_with_db(
+                &problem,
+                &device_id,
+                &device,
+                &space,
+                Arc::clone(&cache),
+                &db,
+                false,
+            )
+            .unwrap();
+        assert!(!cold.from_db, "first query must run the tuner");
+        assert_eq!(db.len(), 1, "the fresh result was appended");
+
+        let warm = an5d
+            .tune_with_db(
+                &problem,
+                &device_id,
+                &device,
+                &space,
+                Arc::clone(&cache),
+                &db,
+                false,
+            )
+            .unwrap();
+        assert!(warm.from_db, "second query must come from the DB");
+        assert_eq!(warm.result, cold.result, "bit-identical results");
+
+        // refresh=true bypasses the stored record and overwrites it.
+        let refreshed = an5d
+            .tune_with_db(&problem, &device_id, &device, &space, cache, &db, true)
+            .unwrap();
+        assert!(!refreshed.from_db);
+        assert_eq!(refreshed.result, cold.result);
+        assert_eq!(db.stats().appends, 2, "refresh re-appended");
+        assert_eq!(db.len(), 1, "still one live key");
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -188,6 +188,37 @@ impl FrameworkScheme {
     pub fn classify(&self, def: &StencilDef) -> OptimizationClass {
         OptimizationClass::classify(def, self.allow_associative)
     }
+
+    /// The canonical machine id of this scheme — unlike
+    /// [`FrameworkScheme::name`] (a display label shared by the AN5D
+    /// variants) this distinguishes every constructor, so it is safe to
+    /// use as a persistence key and round-trips through
+    /// [`FrameworkScheme::by_name`].
+    #[must_use]
+    pub fn canonical_name(&self) -> &'static str {
+        if *self == Self::an5d() {
+            "an5d"
+        } else if *self == Self::an5d_no_associative() {
+            "an5d_no_associative"
+        } else if *self == Self::stencilgen() {
+            "stencilgen"
+        } else {
+            "custom"
+        }
+    }
+
+    /// Resolve a canonical scheme id (as produced by
+    /// [`FrameworkScheme::canonical_name`], and as accepted by the
+    /// service API's `"scheme"` field) back to the scheme.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "an5d" => Some(Self::an5d()),
+            "an5d_no_associative" => Some(Self::an5d_no_associative()),
+            "stencilgen" => Some(Self::stencilgen()),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FrameworkScheme {
@@ -273,6 +304,28 @@ mod tests {
             FrameworkScheme::an5d().classify(&suite::j2d9pt_gol()),
             OptimizationClass::Associative
         );
+    }
+
+    #[test]
+    fn canonical_names_round_trip_and_distinguish_the_an5d_variants() {
+        for scheme in [
+            FrameworkScheme::an5d(),
+            FrameworkScheme::an5d_no_associative(),
+            FrameworkScheme::stencilgen(),
+        ] {
+            assert_eq!(
+                FrameworkScheme::by_name(scheme.canonical_name()),
+                Some(scheme)
+            );
+        }
+        // The display name cannot tell the AN5D variants apart (both say
+        // "AN5D"); the canonical id must.
+        assert_ne!(
+            FrameworkScheme::an5d().canonical_name(),
+            FrameworkScheme::an5d_no_associative().canonical_name()
+        );
+        assert_eq!(FrameworkScheme::by_name("AN5D"), None);
+        assert_eq!(FrameworkScheme::by_name("nope"), None);
     }
 
     #[test]

@@ -471,6 +471,20 @@ pub fn devices_response(registry: &DeviceRegistry) -> Json {
     ])
 }
 
+/// The per-device `"tunedb"` object of `/stats`: read-through hit/miss
+/// counters, warm-start counts and tuner invocations for one shard.
+#[must_use]
+pub fn shard_tunedb_json(stats: &crate::fleet::ShardTuneDbStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::Int(i128::from(stats.hits))),
+        ("misses", Json::Int(i128::from(stats.misses))),
+        ("refreshes", Json::Int(i128::from(stats.refreshes))),
+        ("warmed", Json::Int(i128::from(stats.warmed))),
+        ("warmed_plans", Json::Int(i128::from(stats.warmed_plans))),
+        ("tuner_runs", Json::Int(i128::from(stats.tuner_runs))),
+    ])
+}
+
 /// The `"pool"` object of `/stats`: shared worker-pool observability
 /// (queue depth, items executed, batch wall times).
 #[must_use]

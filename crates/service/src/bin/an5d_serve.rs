@@ -4,12 +4,15 @@
 //! ```text
 //! an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!            [--keep-alive-timeout SECS] [--max-requests N]
+//!            [--tune-db PATH]
 //! ```
 //!
 //! The execution backend for `/execute` is selected by the standard
 //! `AN5D_BACKEND` environment variable (`serial`, `parallel`,
 //! `parallel:<threads>`); invalid specs fall back to serial with a note
-//! on stderr, exactly as in the library.
+//! on stderr, exactly as in the library. The persisted tuning database
+//! defaults to the `AN5D_TUNE_DB` environment variable; `--tune-db`
+//! overrides it (and `--tune-db ""` disables persistence).
 
 use an5d_service::{banner, Server, ServerConfig};
 use std::process::ExitCode;
@@ -18,15 +21,25 @@ fn usage() -> ! {
     eprintln!(
         "usage: an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
          \x20                 [--keep-alive-timeout SECS] [--max-requests N]\n\
+         \x20                 [--tune-db PATH]\n\
          defaults: --addr 127.0.0.1:7845 --workers 4 --queue 64 --cache 256\n\
          \x20         --keep-alive-timeout 5 --max-requests 1000\n\
+         \x20         --tune-db $AN5D_TUNE_DB (unset: no persistence)\n\
          stop with: curl -X POST http://HOST:PORT/shutdown"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> ServerConfig {
-    let mut config = ServerConfig::default();
+    // The env-var default is resolved here at the binary boundary (the
+    // library default is None so embedders never pick up a DB
+    // implicitly); --tune-db overrides it below.
+    let mut config = ServerConfig {
+        tune_db: std::env::var(an5d_service::TUNE_DB_ENV)
+            .ok()
+            .filter(|path| !path.trim().is_empty()),
+        ..ServerConfig::default()
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let Some(value) = args.next() else { usage() };
@@ -54,6 +67,9 @@ fn parse_args() -> ServerConfig {
                 Ok(n) if n > 0 => config.max_requests_per_connection = n,
                 _ => usage(),
             },
+            "--tune-db" => {
+                config.tune_db = Some(value).filter(|path| !path.trim().is_empty());
+            }
             _ => usage(),
         }
     }
@@ -77,6 +93,7 @@ fn main() -> ExitCode {
             config.workers,
             config.queue_depth,
             server.state().fleet().len(),
+            config.tune_db.as_deref(),
         )
     );
     server.wait();

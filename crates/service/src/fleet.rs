@@ -27,8 +27,9 @@
 use crate::api::{unknown_device_error, ApiError};
 use crate::json::Json;
 use an5d::{
-    BatchDriver, CacheStats, DeviceId, DeviceRegistry, ExecutionBackend, GpuDevice, PlanCache,
-    ShardedPlanCache,
+    stencil_fingerprint, suite, BatchDriver, CacheStats, DeviceId, DeviceRegistry,
+    ExecutionBackend, FrameworkScheme, GpuDevice, PlanCache, ShardedPlanCache, StencilProblem,
+    TuneDb, WarmRequest,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,6 +70,29 @@ impl ShardStats {
     }
 }
 
+/// Point-in-time tune-DB counters of one shard.
+///
+/// `hits`/`misses` observe the read-through path of `/tune`; `warmed`
+/// counts the DB entries this shard warmed from at startup;
+/// `refreshes` counts `/tune?refresh=true` overwrites; `tuner_runs`
+/// counts actual Section 6.3 search invocations — the number the warm
+/// start exists to drive to zero for repeated queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTuneDbStats {
+    /// `/tune` queries answered from the persisted DB.
+    pub hits: u64,
+    /// `/tune` queries that missed the DB (and ran the tuner).
+    pub misses: u64,
+    /// `/tune?refresh=true` queries that bypassed and overwrote the DB.
+    pub refreshes: u64,
+    /// DB entries this shard warm-started from.
+    pub warmed: u64,
+    /// Plans pre-built into the shard's cache from warmed entries.
+    pub warmed_plans: u64,
+    /// Tuner search invocations (misses + refreshes + DB-less tunes).
+    pub tuner_runs: u64,
+}
+
 /// One device's slice of the fleet: its profile, its plan/tuning cache
 /// shard, its batch driver and its load counters.
 pub struct FleetShard {
@@ -81,6 +105,12 @@ pub struct FleetShard {
     errors: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
+    db_hits: AtomicU64,
+    db_misses: AtomicU64,
+    db_refreshes: AtomicU64,
+    db_warmed: AtomicU64,
+    db_warmed_plans: AtomicU64,
+    tuner_runs: AtomicU64,
 }
 
 impl std::fmt::Debug for FleetShard {
@@ -156,6 +186,39 @@ impl FleetShard {
             max_micros: self.max_micros.load(Ordering::Relaxed),
         }
     }
+
+    /// Current tune-DB counters.
+    #[must_use]
+    pub fn tunedb_stats(&self) -> ShardTuneDbStats {
+        ShardTuneDbStats {
+            hits: self.db_hits.load(Ordering::Relaxed),
+            misses: self.db_misses.load(Ordering::Relaxed),
+            refreshes: self.db_refreshes.load(Ordering::Relaxed),
+            warmed: self.db_warmed.load(Ordering::Relaxed),
+            warmed_plans: self.db_warmed_plans.load(Ordering::Relaxed),
+            tuner_runs: self.tuner_runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record the outcome of one `/tune` query on this shard.
+    pub(crate) fn record_tune(&self, from_db: bool, refresh: bool) {
+        if refresh {
+            self.db_refreshes.fetch_add(1, Ordering::Relaxed);
+        } else if from_db {
+            self.db_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.db_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if !from_db {
+            self.tuner_runs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a `/tune` served without a configured DB (always a tuner
+    /// invocation).
+    pub(crate) fn record_dbless_tune(&self) {
+        self.tuner_runs.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// The fleet: a [`DeviceRegistry`] with one [`FleetShard`] per profile
@@ -164,6 +227,7 @@ pub struct Fleet {
     registry: DeviceRegistry,
     cache: Arc<ShardedPlanCache>,
     shards: BTreeMap<DeviceId, FleetShard>,
+    tune_db: Option<Arc<TuneDb>>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -210,6 +274,12 @@ impl Fleet {
                         errors: AtomicU64::new(0),
                         total_micros: AtomicU64::new(0),
                         max_micros: AtomicU64::new(0),
+                        db_hits: AtomicU64::new(0),
+                        db_misses: AtomicU64::new(0),
+                        db_refreshes: AtomicU64::new(0),
+                        db_warmed: AtomicU64::new(0),
+                        db_warmed_plans: AtomicU64::new(0),
+                        tuner_runs: AtomicU64::new(0),
                     },
                 )
             })
@@ -218,7 +288,75 @@ impl Fleet {
             registry,
             cache,
             shards,
+            tune_db: None,
         }
+    }
+
+    /// Attach a persisted tuning database and warm every device shard
+    /// from it: each shard counts its stored entries (served from memory
+    /// by the read-through path from the first request on) and
+    /// pre-builds the plans of every stored winner into its plan-cache
+    /// shard, so the first `/tune`, `/plan` or `/codegen` for a
+    /// previously-tuned key pays neither a tuner search nor a first
+    /// plan build.
+    ///
+    /// Warming is keyed strictly: a record's benchmark-name *hint* is
+    /// only trusted when the named suite stencil's canonical fingerprint
+    /// matches the stored key (a renamed or re-defined benchmark skips
+    /// plan warming rather than warming wrong plans), and entries are
+    /// deduplicated by the plan cache's warm path, so a winner appearing
+    /// as both `best` and in `measured` is built once.
+    #[must_use]
+    pub fn with_tune_db(self, db: Arc<TuneDb>) -> Self {
+        for shard in self.shards.values() {
+            let entries = db.entries_for_device(&shard.id);
+            shard
+                .db_warmed
+                .store(entries.len() as u64, Ordering::Relaxed);
+            let mut requests: Vec<WarmRequest> = Vec::new();
+            for entry in &entries {
+                let Some(def) = entry.hint.as_deref().and_then(suite::by_name) else {
+                    continue;
+                };
+                if stencil_fingerprint(&def) != entry.key.stencil {
+                    continue; // the hint no longer names this stencil
+                }
+                let Some(scheme) = FrameworkScheme::by_name(&entry.key.scheme) else {
+                    continue;
+                };
+                let Ok(problem) =
+                    StencilProblem::new(def.clone(), &entry.key.interior, entry.key.time_steps)
+                else {
+                    continue;
+                };
+                requests.extend(
+                    std::iter::once(&entry.result.best)
+                        .chain(entry.result.measured.iter())
+                        .map(|candidate| {
+                            WarmRequest::new(
+                                def.clone(),
+                                problem.clone(),
+                                candidate.config.clone(),
+                                scheme,
+                            )
+                        }),
+                );
+            }
+            let warm_stats = shard.cache.warm(&requests);
+            shard
+                .db_warmed_plans
+                .store(warm_stats.built as u64, Ordering::Relaxed);
+        }
+        Self {
+            tune_db: Some(db),
+            ..self
+        }
+    }
+
+    /// The attached tuning database, if any.
+    #[must_use]
+    pub fn tune_db(&self) -> Option<&Arc<TuneDb>> {
+        self.tune_db.as_ref()
     }
 
     /// The registry the fleet was built from (name resolution, default
@@ -317,6 +455,10 @@ impl Fleet {
                         Json::obj(vec![
                             ("profile", Json::str(&shard.device.name)),
                             ("cache", crate::api::cache_stats_json(&shard.cache.stats())),
+                            (
+                                "tunedb",
+                                crate::api::shard_tunedb_json(&shard.tunedb_stats()),
+                            ),
                             ("requests", Json::Int(i128::from(stats.requests))),
                             ("errors", Json::Int(i128::from(stats.errors))),
                             ("in_flight", Json::Int(i128::from(stats.in_flight))),
@@ -327,6 +469,29 @@ impl Fleet {
                 })
                 .collect(),
         )
+    }
+
+    /// The top-level `"tunedb"` object of `/stats`: whether persistence
+    /// is on, and the database-wide record/log counters.
+    #[must_use]
+    pub fn tunedb_json(&self) -> Json {
+        match &self.tune_db {
+            None => Json::obj(vec![("enabled", Json::Bool(false))]),
+            Some(db) => {
+                let stats = db.stats();
+                Json::obj(vec![
+                    ("enabled", Json::Bool(true)),
+                    ("path", Json::Str(db.path().display().to_string())),
+                    ("records", Json::Int(stats.live as i128)),
+                    ("stale", Json::Int(stats.stale as i128)),
+                    ("appends", Json::Int(i128::from(stats.appends))),
+                    ("compactions", Json::Int(i128::from(stats.compactions))),
+                    ("recovered", Json::Int(stats.recovered as i128)),
+                    ("skipped_corrupt", Json::Int(stats.skipped_corrupt as i128)),
+                    ("truncated_bytes", Json::Int(stats.truncated_bytes as i128)),
+                ])
+            }
+        }
     }
 }
 
@@ -419,6 +584,74 @@ mod tests {
             "a panic must not bias the least-loaded router forever"
         );
         assert_eq!(fleet.least_loaded().id().as_str(), "a100", "routing intact");
+    }
+
+    #[test]
+    fn attaching_a_tune_db_warms_each_shard_from_its_own_entries() {
+        use an5d::{An5d, PlanCache, Precision, SearchSpace, TuneDb};
+
+        let path = std::env::temp_dir().join(format!("an5d-fleet-warm-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let db = TuneDb::open(&path).unwrap();
+
+        // Tune for two devices directly and persist the results.
+        let an5d = An5d::benchmark("j2d5pt").unwrap();
+        let problem = an5d.problem(&[512, 512], 50).unwrap();
+        let space = SearchSpace::quick(2, Precision::Single);
+        let registry = DeviceRegistry::standard();
+        for name in ["v100", "p100"] {
+            let (id, device) = registry.resolve(name).unwrap();
+            an5d.tune_with_db(
+                &problem,
+                &id,
+                device,
+                &space,
+                Arc::new(PlanCache::new(64)),
+                &db,
+                false,
+            )
+            .unwrap();
+        }
+        drop(db);
+
+        // A fresh fleet warm-starts from the reopened DB.
+        let db = Arc::new(TuneDb::open(&path).unwrap());
+        let fleet = Fleet::new(
+            &(Arc::new(SerialBackend) as Arc<dyn ExecutionBackend>),
+            DeviceRegistry::standard(),
+            64,
+        )
+        .with_tune_db(Arc::clone(&db));
+
+        for (name, expect) in [("v100", 1), ("p100", 1), ("a100", 0), ("small", 0)] {
+            let shard = fleet.shard(&DeviceId::new(name)).unwrap();
+            let stats = shard.tunedb_stats();
+            assert_eq!(stats.warmed, expect, "{name} warm count");
+            if expect > 0 {
+                assert!(
+                    stats.warmed_plans > 0,
+                    "{name} must pre-build its stored winners' plans"
+                );
+                assert!(shard.cache().stats().entries > 0);
+            } else {
+                assert_eq!(shard.cache().stats().entries, 0, "{name} stays cold");
+            }
+        }
+        assert!(fleet.tune_db().is_some());
+        let rendered = fleet.tunedb_json().render();
+        assert!(rendered.contains("\"enabled\":true"), "{rendered}");
+        assert!(rendered.contains("\"records\":2"), "{rendered}");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_fleet_without_a_db_reports_persistence_disabled() {
+        let fleet = fleet();
+        assert!(fleet.tune_db().is_none());
+        assert_eq!(fleet.tunedb_json().render(), r#"{"enabled":false}"#);
+        let shard = fleet.shard(&DeviceId::new("v100")).unwrap();
+        assert_eq!(shard.tunedb_stats(), ShardTuneDbStats::default());
     }
 
     #[test]

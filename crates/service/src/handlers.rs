@@ -81,6 +81,17 @@ impl ServiceState {
         }
     }
 
+    /// Attach a persisted tuning database: every device shard warms its
+    /// plan cache and read-through state from it (see
+    /// [`Fleet::with_tune_db`]), `/tune` reads through it and appends
+    /// fresh results, and `/stats` reports per-device hit/miss/warm
+    /// counts plus the database-wide log counters.
+    #[must_use]
+    pub fn with_tune_db(mut self, db: Arc<an5d::TuneDb>) -> Self {
+        self.fleet = self.fleet.with_tune_db(db);
+        self
+    }
+
     /// The device fleet (registry, per-device cache shards, router).
     #[must_use]
     pub fn fleet(&self) -> &Fleet {
@@ -128,20 +139,20 @@ pub fn dispatch(state: &ServiceState, request: &Request) -> Response {
         );
     }
     let started = Instant::now();
-    let response = handle(state, path, &request.body);
+    let response = handle(state, path, request);
     state
         .metrics
         .record(path, started.elapsed(), response.status < 300);
     response
 }
 
-fn handle(state: &ServiceState, path: &str, body: &[u8]) -> Response {
+fn handle(state: &ServiceState, path: &str, request: &Request) -> Response {
     match path {
         "/stats" => stats(state),
         "/devices" => ok(api::devices_response(state.fleet.registry())),
         "/shutdown" => ok(Json::obj(vec![("ok", Json::Bool(true))])),
         _ => {
-            let parsed = match parse_body(body) {
+            let parsed = match parse_body(&request.body) {
                 Ok(parsed) => parsed,
                 Err(response) => return response,
             };
@@ -149,7 +160,7 @@ fn handle(state: &ServiceState, path: &str, body: &[u8]) -> Response {
                 "/parse" => parse_endpoint(&parsed),
                 "/plan" => plan_endpoint(state, &parsed),
                 "/predict" => predict_endpoint(state, &parsed),
-                "/tune" => tune_endpoint(state, &parsed),
+                "/tune" => tune_endpoint(state, &parsed, request.query_flag("refresh")),
                 "/codegen" => codegen_endpoint(state, &parsed),
                 "/execute" => execute_endpoint(state, &parsed),
                 _ => unreachable!("ENDPOINTS and handle() cover the same paths"),
@@ -182,6 +193,7 @@ fn stats(state: &ServiceState) -> Response {
             api::cache_stats_json(&state.fleet.aggregate_cache_stats()),
         ),
         ("devices", state.fleet.stats_json()),
+        ("tunedb", state.fleet.tunedb_json()),
         ("pool", api::pool_stats_json(&an5d::global_pool().stats())),
         ("endpoints", state.metrics.endpoints_json()),
         ("rejected", Json::Int(i128::from(state.metrics.rejected()))),
@@ -254,16 +266,41 @@ fn predict_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError>
     })
 }
 
-fn tune_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
+/// `/tune`: read-through the persisted tuning DB when one is attached —
+/// a stored result for the exact key is answered without invoking the
+/// tuner (and byte-identically, since tuning is deterministic and the
+/// record codec round-trips every `f64`); a miss tunes and appends.
+/// `?refresh=true` bypasses the stored record and overwrites it.
+fn tune_endpoint(state: &ServiceState, body: &Json, refresh: bool) -> Result<Json, ApiError> {
     let shard = routed(state, body, RoutePolicy::DefaultDevice)?;
     shard.observe(|| {
         let pipeline = api::pipeline_from(body)?;
         let problem = api::problem_from(body, &pipeline)?;
         let precision = api::precision_from(body)?;
         let space = api::space_from(body, pipeline.def().ndim(), precision)?;
-        let result = pipeline
-            .tune_with_cache(&problem, shard.device(), &space, Arc::clone(shard.cache()))
-            .map_err(|e| ApiError(e.to_string()))?;
+        let result = match state.fleet.tune_db() {
+            Some(db) => {
+                let outcome = pipeline
+                    .tune_with_db(
+                        &problem,
+                        shard.id(),
+                        shard.device(),
+                        &space,
+                        Arc::clone(shard.cache()),
+                        db,
+                        refresh,
+                    )
+                    .map_err(|e| ApiError(e.to_string()))?;
+                shard.record_tune(outcome.from_db, refresh);
+                outcome.result
+            }
+            None => {
+                shard.record_dbless_tune();
+                pipeline
+                    .tune_with_cache(&problem, shard.device(), &space, Arc::clone(shard.cache()))
+                    .map_err(|e| ApiError(e.to_string()))?
+            }
+        };
         Ok(api::tune_response(&result))
     })
 }

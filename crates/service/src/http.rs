@@ -27,6 +27,8 @@ pub struct Request {
     pub method: String,
     /// Request path without query string (e.g. `/tune`).
     pub path: String,
+    /// Raw query string (without the `?`; empty when none was sent).
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open after this
@@ -37,15 +39,41 @@ pub struct Request {
 
 impl Request {
     /// A keep-alive request — the HTTP/1.1 default — for tests and
-    /// direct `dispatch` callers.
+    /// direct `dispatch` callers. `path` may carry a query string
+    /// (`/tune?refresh=true`), which is split off exactly as the wire
+    /// parser would.
     #[must_use]
     pub fn new(method: &str, path: &str, body: &[u8]) -> Self {
+        let (path, query) = split_target(path);
         Self {
             method: method.to_ascii_uppercase(),
-            path: path.to_string(),
+            path,
+            query,
             body: body.to_vec(),
             keep_alive: true,
         }
+    }
+
+    /// `true` when the query string carries `name` as a truthy flag:
+    /// bare (`?refresh`), `=true` or `=1`. Any other value — including
+    /// `=false` — is off, so a typo never silently forces a re-tune.
+    #[must_use]
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query.split('&').any(|pair| {
+            let (key, value) = match pair.split_once('=') {
+                Some((key, value)) => (key, value),
+                None => (pair, ""),
+            };
+            key == name && matches!(value, "" | "true" | "1")
+        })
+    }
+}
+
+/// Split a request target into path and query string.
+fn split_target(target: &str) -> (String, String) {
+    match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
     }
 }
 
@@ -161,8 +189,9 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Result<Request, Htt
     if !version.starts_with("HTTP/1.") {
         return Ok(Err(HttpError::bad_request("unsupported HTTP version")));
     }
-    // Strip any query string; the API is JSON-body based.
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    // Split off the query string: the API is JSON-body based, but a few
+    // endpoints take behaviour flags in the query (`/tune?refresh=true`).
+    let (path, query) = split_target(target);
     // Persistent connections are the HTTP/1.1 default; 1.0 must opt in.
     let mut keep_alive = version != "HTTP/1.0";
     // RFC 9112: once any Connection header says close, close wins — a
@@ -180,6 +209,7 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Result<Request, Htt
             return Ok(Ok(Request {
                 method: method.to_ascii_uppercase(),
                 path,
+                query,
                 body,
                 keep_alive,
             }));
@@ -265,8 +295,30 @@ mod tests {
                 .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/tune");
+        assert_eq!(req.query, "x=1");
         assert_eq!(req.body, b"abcd");
         assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn query_flags_parse_truthy_spellings_only() {
+        let req = |target: &str| {
+            parse(&format!("POST {target} HTTP/1.1\r\n\r\n"))
+                .unwrap()
+                .unwrap()
+        };
+        assert!(req("/tune?refresh=true").query_flag("refresh"));
+        assert!(req("/tune?refresh=1").query_flag("refresh"));
+        assert!(req("/tune?refresh").query_flag("refresh"));
+        assert!(req("/tune?a=b&refresh=true").query_flag("refresh"));
+        assert!(!req("/tune?refresh=false").query_flag("refresh"));
+        assert!(!req("/tune?refresh=yes").query_flag("refresh"));
+        assert!(!req("/tune").query_flag("refresh"));
+        assert!(!req("/tune?refreshx=true").query_flag("refresh"));
+        // The constructor splits targets exactly like the wire parser.
+        let direct = Request::new("POST", "/tune?refresh=true", b"{}");
+        assert_eq!(direct.path, "/tune");
+        assert!(direct.query_flag("refresh"));
     }
 
     #[test]

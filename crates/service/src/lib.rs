@@ -82,11 +82,15 @@ pub mod client;
 pub mod fleet;
 pub mod handlers;
 pub mod http;
-pub mod json;
 pub mod metrics;
 mod server;
 
-pub use fleet::{Fleet, FleetShard, RoutePolicy, ShardStats};
+/// The deterministic JSON layer — owned by `an5d-tunedb` (the lowest
+/// crate that persists JSON) and re-exported here for the HTTP API.
+pub use an5d_tunedb::json;
+pub use an5d_tunedb::TUNE_DB_ENV;
+
+pub use fleet::{Fleet, FleetShard, RoutePolicy, ShardStats, ShardTuneDbStats};
 pub use handlers::{dispatch, ServiceState, ENDPOINTS};
 pub use http::{Request, Response};
 pub use json::{parse as parse_json, Json, JsonError};

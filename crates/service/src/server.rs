@@ -54,6 +54,13 @@ pub struct ServerConfig {
     /// Maximum requests served on one connection before the server
     /// closes it (bounds worker monopolisation by a single client).
     pub max_requests_per_connection: usize,
+    /// Path of the persisted tuning database: `/tune` reads through it,
+    /// fresh results are appended, and every device shard warms its
+    /// caches from it at startup. `None` (the default) disables
+    /// persistence. The `an5d-serve` binary resolves the `AN5D_TUNE_DB`
+    /// environment variable into this field; the library default stays
+    /// `None` so embedders and tests never pick up a DB implicitly.
+    pub tune_db: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +72,7 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             keep_alive_timeout: Duration::from_secs(5),
             max_requests_per_connection: 1000,
+            tune_db: None,
         }
     }
 }
@@ -202,15 +210,22 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures, and tune-DB open failures when
+    /// [`ServerConfig::tune_db`] names a file that exists but is not a
+    /// tune DB — starting *without* the operator's requested persistence
+    /// (silently re-tuning everything) would be worse than not starting.
     pub fn start_with_backend(
         config: &ServerConfig,
         backend: Arc<dyn ExecutionBackend>,
     ) -> io::Result<Server> {
+        let mut state = ServiceState::new(backend, config.cache_capacity.max(1));
+        if let Some(path) = &config.tune_db {
+            state = state.with_tune_db(Arc::new(an5d::TuneDb::open(path)?));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            state: ServiceState::new(backend, config.cache_capacity.max(1)),
+            state,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -501,6 +516,7 @@ pub fn banner(
     workers: usize,
     queue_depth: usize,
     devices: usize,
+    tune_db: Option<&str>,
 ) -> String {
     Json::obj(vec![
         ("listening", Json::Str(format!("http://{addr}"))),
@@ -508,6 +524,7 @@ pub fn banner(
         ("workers", Json::Int(workers as i128)),
         ("queue_depth", Json::Int(queue_depth as i128)),
         ("devices", Json::Int(devices as i128)),
+        ("tune_db", tune_db.map_or(Json::Null, Json::str)),
     ])
     .render()
 }

@@ -2,18 +2,23 @@
 //! deterministic writer.
 //!
 //! The vendored `serde` stand-in is a marker-trait shim with no real
-//! serialisation (the build has no crates.io access), so the service
-//! carries its own JSON layer. Two properties matter here:
+//! serialisation (the build has no crates.io access), so this workspace
+//! carries its own JSON layer. It lives in `an5d-tunedb` — the lowest
+//! crate that persists JSON (the tuning record log) — and is re-exported
+//! by `an5d-service` for the HTTP API. Two properties matter here:
 //!
 //! * **Determinism** — objects keep insertion order and `f64`s render via
-//!   Rust's shortest-round-trip formatting, so the same response value
-//!   always renders to the same bytes. The `load_gen` harness and the
-//!   integration tests rely on this to assert that server responses are
-//!   *bit-identical* to direct facade calls.
+//!   Rust's shortest-round-trip formatting (which parses back to the
+//!   exact same bit pattern), so the same value always renders to the
+//!   same bytes and a tuning result survives a disk round-trip
+//!   bit-identically. The `load_gen` harness and the integration tests
+//!   rely on this to assert that server responses are *bit-identical* to
+//!   direct facade calls — including responses served from the tune DB.
 //! * **Robustness** — the parser is a recursive-descent parser over bytes
 //!   with a depth limit, full string-escape handling (including surrogate
-//!   pairs) and precise error positions, so malformed request bodies turn
-//!   into clean 400s instead of panics.
+//!   pairs) and precise error positions, so malformed request bodies (or
+//!   corrupted database records) turn into clean errors instead of
+//!   panics.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -475,7 +480,10 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("number bytes are ASCII by construction");
-        if !is_float {
+        // "-0" must stay a float: parsing it as Int(0) would drop the
+        // sign bit and re-render as "0", breaking the bit-identical
+        // f64 round-trip the persisted-record codec relies on.
+        if !is_float && text != "-0" {
             if let Ok(i) = text.parse::<i128>() {
                 return Ok(Json::Int(i));
             }
@@ -511,6 +519,21 @@ mod tests {
         // u128 counters survive without float truncation.
         let big = u64::MAX as i128 * 3;
         assert_eq!(parse(&big.to_string()).unwrap(), Json::Int(big));
+    }
+
+    #[test]
+    fn negative_zero_round_trips_with_its_sign_bit() {
+        // Json::Num(-0.0) renders as "-0"; parsing that back must
+        // preserve the sign bit (and therefore re-render identically),
+        // not collapse to Int(0) → "0".
+        let rendered = Json::Num(-0.0_f64).render();
+        assert_eq!(rendered, "-0");
+        let parsed = parse(&rendered).unwrap();
+        let value = parsed.as_f64().expect("-0 stays numeric");
+        assert_eq!(value.to_bits(), (-0.0_f64).to_bits(), "sign preserved");
+        assert_eq!(parsed.render(), rendered, "byte-stable round trip");
+        // A plain 0 is still an integer.
+        assert_eq!(parse("0").unwrap(), Json::Int(0));
     }
 
     #[test]

@@ -29,8 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 mod space;
 mod tuner;
 
+pub use fingerprint::{fnv1a64, problem_fingerprint, stencil_fingerprint, Fnv1a};
 pub use space::{CandidateIter, SearchSpace};
 pub use tuner::{TunedCandidate, Tuner, TunerError, TuningResult};

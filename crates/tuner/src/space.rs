@@ -157,6 +157,58 @@ impl SearchSpace {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Canonical, order-insensitive fingerprint of the space.
+    ///
+    /// Two spaces that yield the same candidate *set* — the same axis
+    /// values in any order, with duplicates — digest identically, so a
+    /// persisted tuning key survives cosmetic reorderings of the axis
+    /// lists. Built on the pinned [`crate::fingerprint::Fnv1a`] (not
+    /// `DefaultHasher`), so the digest is stable across processes and
+    /// Rust releases, as an on-disk key must be.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use crate::fingerprint::Fnv1a;
+        let mut bt: Vec<usize> = self.bt_values.clone();
+        bt.sort_unstable();
+        bt.dedup();
+        let mut bs: Vec<Vec<usize>> = self.bs_values.clone();
+        bs.sort_unstable();
+        bs.dedup();
+        // `None` (no explicit hS_N) sorts before every explicit value.
+        let mut hsn: Vec<Option<usize>> = self.hsn_values.clone();
+        hsn.sort_unstable();
+        hsn.dedup();
+
+        let mut hasher = Fnv1a::new();
+        hasher.write(b"an5d-space-fp-v1|");
+        hasher.write_usize(bt.len());
+        for value in bt {
+            hasher.write_usize(value);
+        }
+        hasher.write_usize(bs.len());
+        for values in bs {
+            hasher.write_usize(values.len());
+            for value in values {
+                hasher.write_usize(value);
+            }
+        }
+        hasher.write_usize(hsn.len());
+        for value in hsn {
+            match value {
+                None => hasher.write_u64(u64::MAX),
+                Some(v) => {
+                    hasher.write_u64(0);
+                    hasher.write_usize(v);
+                }
+            }
+        }
+        hasher.write(match self.precision {
+            Precision::Single => b"single",
+            Precision::Double => b"double",
+        });
+        hasher.finish()
+    }
 }
 
 impl<'a> IntoIterator for &'a SearchSpace {
@@ -340,5 +392,45 @@ mod tests {
             assert_eq!(space.len(), space.raw_len());
             assert_eq!(space.len(), space.iter().count());
         }
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_but_value_sensitive() {
+        let base = SearchSpace::new(
+            vec![1, 2, 4],
+            vec![vec![128], vec![256]],
+            vec![None, Some(256)],
+            Precision::Single,
+        );
+        let shuffled = SearchSpace::new(
+            vec![4, 1, 2, 2],
+            vec![vec![256], vec![128], vec![128]],
+            vec![Some(256), None],
+            Precision::Single,
+        );
+        assert_eq!(base.fingerprint(), shuffled.fingerprint());
+
+        let other_bt = SearchSpace::new(
+            vec![1, 2, 8],
+            vec![vec![128], vec![256]],
+            vec![None, Some(256)],
+            Precision::Single,
+        );
+        assert_ne!(base.fingerprint(), other_bt.fingerprint());
+
+        let other_precision = SearchSpace::new(
+            vec![1, 2, 4],
+            vec![vec![128], vec![256]],
+            vec![None, Some(256)],
+            Precision::Double,
+        );
+        assert_ne!(base.fingerprint(), other_precision.fingerprint());
+
+        // Stable across calls (and — by construction — processes).
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        assert_eq!(
+            SearchSpace::paper(2, Precision::Single).fingerprint(),
+            SearchSpace::paper(2, Precision::Single).fingerprint()
+        );
     }
 }

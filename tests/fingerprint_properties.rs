@@ -1,0 +1,102 @@
+//! Property-based tests of the canonical stencil fingerprint the
+//! persisted tuning DB keys on: reordering the terms of a randomly
+//! generated stencil never changes its fingerprint, while changing any
+//! coefficient, offset or the name-independent structure does.
+
+use an5d::{stencil_fingerprint, Expr, StencilDef};
+use proptest::prelude::*;
+
+/// Strategy: a random 2D star stencil as a list of (coefficient, offset)
+/// terms.
+fn random_terms() -> impl Strategy<Value = Vec<(f64, [i32; 2])>> {
+    (1usize..=3).prop_flat_map(|radius| {
+        let count = 4 * radius + 1;
+        prop::collection::vec(0.05f64..4.0, count).prop_map(move |coeffs| {
+            let mut terms = vec![(coeffs[0], [0, 0])];
+            let mut k = 1;
+            for d in 1..=radius as i32 {
+                for off in [[d, 0], [-d, 0], [0, d], [0, -d]] {
+                    terms.push((coeffs[k], off));
+                    k += 1;
+                }
+            }
+            terms
+        })
+    })
+}
+
+fn def_of(name: &str, terms: &[(f64, [i32; 2])]) -> StencilDef {
+    let exprs = terms
+        .iter()
+        .map(|(c, o)| Expr::constant(*c) * Expr::cell(o))
+        .collect();
+    StencilDef::new(name, Expr::sum(exprs)).expect("weighted star stencils are valid")
+}
+
+/// Deterministic in-place shuffle (SplitMix64-driven Fisher–Yates).
+fn shuffle<T>(items: &mut [T], mut state: u64) {
+    for i in (1..items.len()).rev() {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let j = ((z ^ (z >> 31)) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fingerprint_is_invariant_under_term_reordering_and_renaming(
+        terms in random_terms(),
+        seed in any::<u64>(),
+    ) {
+        let baseline = def_of("baseline", &terms);
+        let mut reordered = terms.clone();
+        shuffle(&mut reordered, seed);
+        let permuted = def_of("permuted-and-renamed", &reordered);
+        prop_assert_eq!(
+            stencil_fingerprint(&baseline),
+            stencil_fingerprint(&permuted),
+            "field order and name must not affect the fingerprint"
+        );
+    }
+
+    #[test]
+    fn distinct_stencils_have_distinct_fingerprints(
+        terms in random_terms(),
+        bump_index in 0usize..32,
+        bump in 0.125f64..2.0,
+    ) {
+        let baseline = def_of("s", &terms);
+
+        // Perturb one coefficient: a different computation.
+        let mut changed = terms.clone();
+        let index = bump_index % changed.len();
+        changed[index].0 += bump;
+        let changed = def_of("s", &changed);
+        prop_assert_ne!(
+            stencil_fingerprint(&baseline),
+            stencil_fingerprint(&changed),
+            "a changed coefficient must change the fingerprint"
+        );
+
+        // Drop one non-centre term: a different access pattern.
+        if terms.len() > 5 {
+            let truncated = def_of("s", &terms[..terms.len() - 4]);
+            prop_assert_ne!(
+                stencil_fingerprint(&baseline),
+                stencil_fingerprint(&truncated)
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_across_rebuilds(terms in random_terms()) {
+        let a = def_of("a", &terms);
+        let b = def_of("a", &terms);
+        prop_assert_eq!(stencil_fingerprint(&a), stencil_fingerprint(&b));
+    }
+}
