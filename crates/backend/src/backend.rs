@@ -99,6 +99,7 @@ impl ExecutionBackend for SerialBackend {
         problem: &StencilProblem,
         initial: Grid<f32>,
     ) -> BlockedRun<f32> {
+        let _span = an5d_obs::Span::enter("backend.execute");
         execute_plan_on(plan, problem, initial)
     }
 
@@ -108,6 +109,7 @@ impl ExecutionBackend for SerialBackend {
         problem: &StencilProblem,
         initial: Grid<f64>,
     ) -> BlockedRun<f64> {
+        let _span = an5d_obs::Span::enter("backend.execute");
         execute_plan_on(plan, problem, initial)
     }
 }
@@ -171,6 +173,7 @@ impl ParallelCpuBackend {
         problem: &StencilProblem,
         initial: Grid<T>,
     ) -> BlockedRun<T> {
+        let _span = an5d_obs::Span::enter("backend.execute");
         assert_eq!(
             initial.shape(),
             problem.grid_shape().as_slice(),

@@ -226,6 +226,7 @@ impl BatchDriver {
     /// Panics if a job panics on a pool thread (propagating the original
     /// panic).
     pub fn run(&self, jobs: &[BatchJob]) -> Vec<Result<BatchOutcome, BatchError>> {
+        let _span = an5d_obs::Span::enter("batch.run");
         if jobs.is_empty() {
             return Vec::new();
         }

@@ -378,6 +378,7 @@ impl PlanCache {
         };
 
         if let Some(slot) = in_flight {
+            let _span = an5d_obs::Span::enter("plan.coalesce_wait");
             return match slot.wait() {
                 Some(Ok(plan)) if plan.def() == def => Ok((plan, true)),
                 // Fingerprint collision raced in flight: the finished
@@ -407,7 +408,10 @@ impl PlanCache {
             cache: self,
             key: &key,
         };
-        let built = KernelPlan::build(def, problem, config, scheme).map(Arc::new);
+        let built = {
+            let _span = an5d_obs::Span::enter("plan.build");
+            KernelPlan::build(def, problem, config, scheme).map(Arc::new)
+        };
         std::mem::forget(guard);
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         let slot = inner

@@ -6,8 +6,15 @@
 //! ```text
 //! load_gen [--requests N] [--clients N] [--server-workers N]
 //!          [--device NAME] [--keep-alive | --no-keep-alive]
-//!          [--tune-db PATH]
+//!          [--tune-db PATH] [--json PATH]
 //! ```
+//!
+//! `--json PATH` writes a machine-readable run report (per-endpoint
+//! client-side p50/p95/p99 latency, request rate, server-side error
+//! counts) and cross-checks the client-observed percentiles against the
+//! server's `/metrics` latency histograms: the server-side quantile
+//! (which excludes network and queueing time) must not exceed the
+//! client-side one by more than the histogram's bucket resolution.
 //!
 //! With `--tune-db` the in-process server persists tuning results to
 //! `PATH`: a first run against a fresh file seeds it (and asserts
@@ -213,12 +220,14 @@ struct Args {
     keep_alive: bool,
     device: Option<String>,
     tune_db: Option<String>,
+    json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: load_gen [--requests N] [--clients N] [--server-workers N] \
-         [--device NAME] [--keep-alive | --no-keep-alive] [--tune-db PATH]"
+         [--device NAME] [--keep-alive | --no-keep-alive] [--tune-db PATH] \
+         [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -231,6 +240,7 @@ fn parse_args() -> Args {
         keep_alive: true,
         device: None,
         tune_db: None,
+        json: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -244,6 +254,10 @@ fn parse_args() -> Args {
             "--tune-db" => {
                 let Some(value) = iter.next() else { usage() };
                 args.tune_db = Some(value);
+            }
+            "--json" => {
+                let Some(value) = iter.next() else { usage() };
+                args.json = Some(value);
             }
             "--requests" | "--clients" | "--server-workers" => {
                 let Some(value) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
@@ -269,6 +283,23 @@ fn percentile(sorted: &[Duration], pct: usize) -> Duration {
     assert!(!sorted.is_empty());
     let rank = (pct * sorted.len()).div_ceil(100).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// Nearest-rank percentile of an ascending-sorted microsecond series —
+/// the same rule the server's histogram quantile uses, so the two sides
+/// are comparable.
+fn percentile_us(sorted: &[u64], pct: usize) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = (pct * sorted.len()).div_ceil(100).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The value of one Prometheus sample line, `name{labels} value`.
+fn metric_value(text: &str, name: &str, labels: &str) -> Option<u64> {
+    let needle = format!("{name}{{{labels}}} ");
+    text.lines()
+        .find_map(|line| line.strip_prefix(&needle))
+        .and_then(|value| value.trim().parse().ok())
 }
 
 fn print_percentile_row(label: &str, series: &mut [Duration]) {
@@ -562,6 +593,122 @@ fn main() {
             assert!(total_warmed > 0, "warm run must report nonzero warm counts");
             println!("load_gen: warm start verified — zero tuner invocations");
         }
+    }
+
+    // Server-side histograms: fetch /metrics, cross-check the
+    // client-observed percentiles against the server's, and optionally
+    // emit the machine-readable JSON report.
+    let (status, metrics_text) = client::get(addr, "/metrics").expect("/metrics reachable");
+    assert_eq!(status, 200);
+    assert!(
+        metrics_text.contains("# TYPE an5d_request_latency_us histogram"),
+        "/metrics must expose latency histograms"
+    );
+
+    // Client-side latency in microseconds, grouped by endpoint path
+    // (matching the server's per-endpoint histograms).
+    let mut per_path: std::collections::BTreeMap<&str, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    for &(template_index, elapsed) in &latencies {
+        per_path
+            .entry(templates[template_index].path)
+            .or_default()
+            .push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+    for series in per_path.values_mut() {
+        series.sort_unstable();
+    }
+
+    let mut endpoint_reports: Vec<(String, an5d_service::Json)> = Vec::new();
+    let mut total_errors = 0u64;
+    for (path, series) in &per_path {
+        let label = format!("endpoint=\"{path}\"");
+        let server_count = metric_value(&metrics_text, "an5d_requests_total", &label)
+            .unwrap_or_else(|| panic!("/metrics has no request counter for {path}"));
+        assert_eq!(
+            server_count as usize,
+            series.len(),
+            "{path}: server-side request count must match the client's"
+        );
+        let errors = metric_value(&metrics_text, "an5d_request_errors_total", &label).unwrap_or(0);
+        total_errors += errors;
+        // The server-side quantile excludes network and connection
+        // queueing, so it can only sit *below* the client-observed one —
+        // up to the histogram's bucket resolution (1/32) plus timing
+        // noise on the boundary.
+        for (quantile, pct) in [("0.5", 50), ("0.95", 95), ("0.99", 99)] {
+            let server_q = metric_value(
+                &metrics_text,
+                "an5d_request_latency_us_quantile",
+                &format!("endpoint=\"{path}\",quantile=\"{quantile}\""),
+            )
+            .unwrap_or_else(|| panic!("/metrics has no q{quantile} for {path}"));
+            let client_q = percentile_us(series, pct);
+            let bound = client_q + client_q / 32 + 128;
+            assert!(
+                server_q <= bound,
+                "{path} p{pct}: server {server_q}us exceeds client {client_q}us \
+                 beyond bucket resolution"
+            );
+        }
+        endpoint_reports.push((
+            (*path).to_string(),
+            an5d_service::Json::obj(vec![
+                ("count", an5d_service::Json::Int(i128::from(server_count))),
+                ("errors", an5d_service::Json::Int(i128::from(errors))),
+                (
+                    "p50_us",
+                    an5d_service::Json::Int(i128::from(percentile_us(series, 50))),
+                ),
+                (
+                    "p95_us",
+                    an5d_service::Json::Int(i128::from(percentile_us(series, 95))),
+                ),
+                (
+                    "p99_us",
+                    an5d_service::Json::Int(i128::from(percentile_us(series, 99))),
+                ),
+                (
+                    "max_us",
+                    an5d_service::Json::Int(i128::from(*series.last().unwrap())),
+                ),
+            ]),
+        ));
+    }
+    println!(
+        "load_gen: client percentiles agree with the server's /metrics histograms \
+         ({} endpoints cross-checked)",
+        per_path.len()
+    );
+
+    if let Some(path) = &args.json {
+        let report = an5d_service::Json::obj(vec![
+            ("requests", an5d_service::Json::Int(args.requests as i128)),
+            ("clients", an5d_service::Json::Int(args.clients as i128)),
+            ("keep_alive", an5d_service::Json::Bool(args.keep_alive)),
+            ("wall_seconds", an5d_service::Json::Num(wall.as_secs_f64())),
+            (
+                "requests_per_sec",
+                an5d_service::Json::Num(requests_per_sec),
+            ),
+            ("errors", an5d_service::Json::Int(i128::from(total_errors))),
+            (
+                "rejected",
+                an5d_service::Json::Int(i128::from(
+                    metrics_text
+                        .lines()
+                        .find_map(|line| {
+                            line.strip_prefix("an5d_rejected_connections_total ")
+                                .and_then(|v| v.trim().parse::<u64>().ok())
+                        })
+                        .unwrap_or(0),
+                )),
+            ),
+            ("endpoints", an5d_service::Json::Obj(endpoint_reports)),
+        ]);
+        std::fs::write(path, report.render() + "\n")
+            .unwrap_or_else(|e| panic!("load_gen: cannot write --json {path}: {e}"));
+        println!("load_gen: wrote JSON report to {path}");
     }
 
     let (status, _) = client::post(addr, "/shutdown", "").expect("shutdown reachable");

@@ -86,6 +86,10 @@ pub use an5d_backend::{
 
 pub use an5d_runtime::{global as global_pool, PoolStats, WorkerPool, POOL_THREADS_ENV};
 
+/// Observability primitives (histograms, spans, trace ring) re-exported
+/// for facade users; see the `an5d-obs` crate docs.
+pub use an5d_obs as obs;
+
 pub use an5d_model::{
     analytic_counters, measure, measure_best_cap, predict, thread_classes, Measurement,
     ModelPrediction, ThreadClasses,

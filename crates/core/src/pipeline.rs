@@ -79,6 +79,7 @@ impl An5d {
     /// Returns [`An5dError::Frontend`] if the source cannot be parsed or
     /// does not match the supported stencil pattern.
     pub fn from_c_source(source: &str, name: &str) -> Result<Self, An5dError> {
+        let _span = an5d_obs::Span::enter("pipeline.parse");
         let detected = parse_stencil(source, name)?;
         Ok(Self::from_def(detected.def))
     }
@@ -173,6 +174,7 @@ impl An5d {
         problem: &StencilProblem,
         config: &BlockConfig,
     ) -> Result<KernelPlan, An5dError> {
+        let _span = an5d_obs::Span::enter("pipeline.plan");
         Ok(KernelPlan::build(&self.def, problem, config, self.scheme)?)
     }
 
@@ -187,6 +189,7 @@ impl An5d {
         problem: &StencilProblem,
         config: &BlockConfig,
     ) -> Result<VerificationReport, An5dError> {
+        let _span = an5d_obs::Span::enter("pipeline.verify");
         let plan = self.plan(problem, config)?;
         let init = GridInit::Hash { seed: 0x5EED };
         match config.precision() {
@@ -232,6 +235,7 @@ impl An5d {
         config: &BlockConfig,
         device: &GpuDevice,
     ) -> Result<ModelPrediction, An5dError> {
+        let _span = an5d_obs::Span::enter("pipeline.predict");
         let plan = self.plan(problem, config)?;
         Ok(predict(&plan, problem, device))
     }
@@ -248,6 +252,7 @@ impl An5d {
         config: &BlockConfig,
         device: &GpuDevice,
     ) -> Result<Measurement, An5dError> {
+        let _span = an5d_obs::Span::enter("pipeline.measure");
         let plan = self.plan(problem, config)?;
         Ok(measure_best_cap(&plan, problem, device)?)
     }
@@ -263,6 +268,7 @@ impl An5d {
         device: &GpuDevice,
         space: &SearchSpace,
     ) -> Result<TuningResult, An5dError> {
+        let _span = an5d_obs::Span::enter("pipeline.tune");
         let tuner = Tuner::new(device.clone(), space.precision()).with_scheme(self.scheme);
         Ok(tuner.tune(&self.def, problem, space)?)
     }
@@ -281,6 +287,7 @@ impl An5d {
         space: &SearchSpace,
         cache: Arc<PlanCache>,
     ) -> Result<TuningResult, An5dError> {
+        let _span = an5d_obs::Span::enter("pipeline.tune");
         let tuner = Tuner::new(device.clone(), space.precision())
             .with_scheme(self.scheme)
             .with_plan_cache(cache);
@@ -297,6 +304,7 @@ impl An5d {
         device: &DeviceId,
         space: &SearchSpace,
     ) -> TuneKey {
+        let _span = an5d_obs::Span::enter("tune.key");
         TuneKey::for_query(
             &self.def,
             problem,
@@ -367,6 +375,7 @@ impl An5d {
         problem: &StencilProblem,
         config: &BlockConfig,
     ) -> Result<CudaCode, An5dError> {
+        let _span = an5d_obs::Span::enter("pipeline.codegen");
         let plan = self.plan(problem, config)?;
         Ok(an5d_codegen::generate(&plan))
     }

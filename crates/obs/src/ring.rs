@@ -1,0 +1,123 @@
+//! Bounded FIFO ring of recently completed traces.
+
+use crate::trace::{FinishedTrace, TraceId};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A thread-safe bounded buffer of [`FinishedTrace`]s.
+///
+/// Pushing beyond capacity evicts the oldest trace (FIFO order); lookups
+/// by [`TraceId`] back the service's `GET /trace?id=` endpoint. The lock
+/// recovers from poisoning, so a panicking handler can never take the
+/// trace store down with it.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    traces: Mutex<VecDeque<Arc<FinishedTrace>>>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` traces (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            traces: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Maximum number of traces retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of traces currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the ring holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a completed trace, evicting the oldest if full.
+    pub fn push(&self, trace: FinishedTrace) {
+        let mut traces = self.traces.lock().unwrap_or_else(PoisonError::into_inner);
+        if traces.len() == self.capacity {
+            traces.pop_front();
+        }
+        traces.push_back(Arc::new(trace));
+    }
+
+    /// Look up a retained trace by ID.
+    #[must_use]
+    pub fn get(&self, id: TraceId) -> Option<Arc<FinishedTrace>> {
+        self.traces
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|t| t.id == id)
+            .cloned()
+    }
+
+    /// The retained traces, most recent last (FIFO order).
+    #[must_use]
+    pub fn recent(&self) -> Vec<Arc<FinishedTrace>> {
+        self.traces
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(total_us: u64) -> FinishedTrace {
+        FinishedTrace {
+            id: TraceId::next(),
+            total_us,
+            dropped: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_first_and_keeps_fifo_order() {
+        let ring = TraceRing::new(3);
+        let traces: Vec<FinishedTrace> = (0..5).map(|i| trace(i * 10)).collect();
+        let ids: Vec<TraceId> = traces.iter().map(|t| t.id).collect();
+        for t in traces {
+            ring.push(t);
+        }
+        assert_eq!(ring.len(), 3);
+        // The two oldest were evicted, in push order.
+        assert!(ring.get(ids[0]).is_none());
+        assert!(ring.get(ids[1]).is_none());
+        let retained: Vec<TraceId> = ring.recent().iter().map(|t| t.id).collect();
+        assert_eq!(retained, vec![ids[2], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn lookup_by_id_returns_the_exact_trace() {
+        let ring = TraceRing::new(8);
+        let t = trace(123);
+        let id = t.id;
+        ring.push(t);
+        assert_eq!(ring.get(id).unwrap().total_us, 123);
+        assert!(ring.get(TraceId::next()).is_none());
+        assert!(!ring.is_empty());
+        assert_eq!(ring.capacity(), 8);
+    }
+}

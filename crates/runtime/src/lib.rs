@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+use an5d_obs::{Histogram, HistogramSnapshot, TraceContext};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -139,6 +140,14 @@ struct Batch {
     state: Mutex<BatchState>,
     /// Signalled when `active` drops to zero on an exhausted batch.
     done: Condvar,
+    /// Trace active on the submitting thread, if any; helpers install it
+    /// so spans they open nest under the submitting span.
+    context: Option<TraceContext>,
+    /// Submission time, for the queue-wait histogram.
+    submitted: Instant,
+    /// Set by the first helper to claim the batch (gates the queue-wait
+    /// sample: batches the caller drains alone never waited in queue).
+    claimed: AtomicBool,
 }
 
 impl Batch {
@@ -165,6 +174,9 @@ impl Batch {
         // the `RunnerPtr` protocol the runner is alive until `serve`
         // deregisters below.
         let runner = unsafe { &*self.runner.0 };
+        // Adopt the submitter's trace so spans opened by items attach
+        // under the submitting span (a no-op re-install on the caller).
+        let _trace_guard = self.context.as_ref().map(TraceContext::install);
         loop {
             if self.is_exhausted() {
                 break;
@@ -208,6 +220,11 @@ struct PoolShared {
     batches_executed: AtomicU64,
     total_batch_micros: AtomicU64,
     max_batch_micros: AtomicU64,
+    /// Wall time of completed batches (submission to completion), µs.
+    batch_wall: Histogram,
+    /// Time between a batch's publication and its first helper claim, µs.
+    /// Batches fully drained by their caller contribute no sample.
+    queue_wait: Histogram,
 }
 
 /// Point-in-time observability snapshot of a [`WorkerPool`] — surfaced
@@ -272,6 +289,8 @@ impl WorkerPool {
             batches_executed: AtomicU64::new(0),
             total_batch_micros: AtomicU64::new(0),
             max_batch_micros: AtomicU64::new(0),
+            batch_wall: Histogram::new(),
+            queue_wait: Histogram::new(),
         });
         let handles = (0..threads)
             .map(|index| {
@@ -321,6 +340,19 @@ impl WorkerPool {
         }
     }
 
+    /// Histogram snapshot of completed-batch wall times, microseconds.
+    #[must_use]
+    pub fn batch_wall_snapshot(&self) -> HistogramSnapshot {
+        self.shared.batch_wall.snapshot()
+    }
+
+    /// Histogram snapshot of batch queue waits (publication to first
+    /// helper claim), microseconds.
+    #[must_use]
+    pub fn queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.shared.queue_wait.snapshot()
+    }
+
     /// Run `task` once per item of `items`, claiming items dynamically
     /// across the calling thread and every free pool worker. Returns
     /// when every item has run; panics (after all helpers have stopped)
@@ -368,6 +400,9 @@ impl WorkerPool {
                 panic: None,
             }),
             done: Condvar::new(),
+            context: an5d_obs::current_context(),
+            submitted: started,
+            claimed: AtomicBool::new(false),
         });
 
         let published = self.threads > 0 && batch.max_active > 1;
@@ -408,6 +443,7 @@ impl WorkerPool {
         self.shared
             .max_batch_micros
             .fetch_max(micros, Ordering::Relaxed);
+        self.shared.batch_wall.record(micros);
 
         let panic = batch
             .state
@@ -489,6 +525,9 @@ fn worker_loop(shared: &PoolShared) {
                 while index < registry.len() {
                     let entry = &registry[index];
                     if entry.register() {
+                        if !entry.claimed.swap(true, Ordering::Relaxed) {
+                            shared.queue_wait.record_duration(entry.submitted.elapsed());
+                        }
                         picked = Some(Arc::clone(entry));
                         break;
                     }
@@ -723,6 +762,45 @@ mod tests {
         assert!(stats.max_batch_micros <= stats.total_batch_micros);
         assert!(stats.mean_batch_micros() <= stats.max_batch_micros);
         assert_eq!(PoolStats::default().mean_batch_micros(), 0);
+    }
+
+    #[test]
+    fn batches_record_wall_and_queue_histograms() {
+        let pool = WorkerPool::new(2);
+        pool.for_each(0..64, |_| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        let wall = pool.batch_wall_snapshot();
+        assert_eq!(wall.count(), 1);
+        assert!(wall.max() > 0);
+        assert_eq!(wall.sum(), pool.stats().total_batch_micros);
+        // Queue wait only samples batches a helper actually claimed.
+        assert!(pool.queue_wait_snapshot().count() <= 1);
+    }
+
+    #[test]
+    fn pool_items_attach_spans_under_the_submitting_trace() {
+        let pool = WorkerPool::new(3);
+        let trace = an5d_obs::ActiveTrace::begin();
+        {
+            let _sweep = an5d_obs::Span::enter("sweep");
+            pool.for_each(0..32, |_| {
+                let _span = an5d_obs::Span::enter("item");
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            });
+        }
+        let finished = trace.finish();
+        let sweep_index = finished
+            .spans
+            .iter()
+            .position(|s| s.name == "sweep")
+            .expect("sweep span") as u32;
+        let items: Vec<_> = finished.spans.iter().filter(|s| s.name == "item").collect();
+        assert_eq!(items.len(), 32);
+        assert!(
+            items.iter().all(|s| s.parent == Some(sweep_index)),
+            "every pool item span must nest under the submitting span"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! ```text
 //! an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!            [--keep-alive-timeout SECS] [--max-requests N]
-//!            [--tune-db PATH]
+//!            [--tune-db PATH] [--slow-threshold-ms N] [--trace-capacity N]
 //! ```
 //!
 //! The execution backend for `/execute` is selected by the standard
@@ -21,10 +21,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
          \x20                 [--keep-alive-timeout SECS] [--max-requests N]\n\
-         \x20                 [--tune-db PATH]\n\
+         \x20                 [--tune-db PATH] [--slow-threshold-ms N] [--trace-capacity N]\n\
          defaults: --addr 127.0.0.1:7845 --workers 4 --queue 64 --cache 256\n\
          \x20         --keep-alive-timeout 5 --max-requests 1000\n\
          \x20         --tune-db $AN5D_TUNE_DB (unset: no persistence)\n\
+         \x20         --slow-threshold-ms 1000 --trace-capacity 256\n\
          stop with: curl -X POST http://HOST:PORT/shutdown"
     );
     std::process::exit(2);
@@ -70,6 +71,16 @@ fn parse_args() -> ServerConfig {
             "--tune-db" => {
                 config.tune_db = Some(value).filter(|path| !path.trim().is_empty());
             }
+            "--slow-threshold-ms" => match value.parse() {
+                Ok(n) if n > 0 => {
+                    config.slow_request_threshold = std::time::Duration::from_millis(n);
+                }
+                _ => usage(),
+            },
+            "--trace-capacity" => match value.parse() {
+                Ok(n) if n > 0 => config.trace_capacity = n,
+                _ => usage(),
+            },
             _ => usage(),
         }
     }

@@ -30,6 +30,8 @@ struct ResponseHead {
     status: u16,
     content_length: Option<usize>,
     close: bool,
+    /// The `x-an5d-trace` request id, when the server sent one.
+    trace: Option<String>,
 }
 
 fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
@@ -48,6 +50,7 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
 
     let mut content_length: Option<usize> = None;
     let mut close = false;
+    let mut trace = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -70,6 +73,8 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
                 && value.trim().eq_ignore_ascii_case("close")
             {
                 close = true;
+            } else if name.eq_ignore_ascii_case("x-an5d-trace") {
+                trace = Some(value.trim().to_string());
             }
         }
     }
@@ -77,6 +82,7 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
         status,
         content_length,
         close,
+        trace,
     })
 }
 
@@ -86,6 +92,17 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
 ///
 /// Propagates connect/IO failures and malformed responses.
 pub fn raw(addr: SocketAddr, request: &str) -> io::Result<(u16, String)> {
+    let (status, body, _) = raw_traced(addr, request)?;
+    Ok((status, body))
+}
+
+/// Like [`raw`], also returning the `x-an5d-trace` response header
+/// (the id to feed `GET /trace?id=`), when the server sent one.
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses.
+pub fn raw_traced(addr: SocketAddr, request: &str) -> io::Result<(u16, String, Option<String>)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -107,11 +124,16 @@ pub fn raw(addr: SocketAddr, request: &str) -> io::Result<(u16, String)> {
             body
         }
     };
-    Ok((head.status, body))
+    Ok((head.status, body, head.trace))
 }
 
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
-    raw(
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String, Option<String>)> {
+    raw_traced(
         addr,
         &format!(
             "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -126,7 +148,8 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Result
 ///
 /// Propagates connect/IO failures and malformed responses.
 pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
-    request(addr, "GET", path, "")
+    let (status, body, _) = request(addr, "GET", path, "")?;
+    Ok((status, body))
 }
 
 /// `POST path` with a JSON body → `(status, body)` over a fresh
@@ -136,6 +159,21 @@ pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
 ///
 /// Propagates connect/IO failures and malformed responses.
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let (status, body, _) = request(addr, "POST", path, body)?;
+    Ok((status, body))
+}
+
+/// `POST path` returning `(status, body, trace id)` — the trace id is
+/// the `x-an5d-trace` header value, usable with `GET /trace?id=`.
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses.
+pub fn post_traced(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String, Option<String>)> {
     request(addr, "POST", path, body)
 }
 
@@ -150,6 +188,8 @@ pub struct KeepAliveClient {
     conn: Option<BufReader<TcpStream>>,
     /// Requests answered without opening a new connection.
     reused: u64,
+    /// `x-an5d-trace` header of the most recent response.
+    last_trace: Option<String>,
 }
 
 impl KeepAliveClient {
@@ -160,7 +200,15 @@ impl KeepAliveClient {
             addr,
             conn: None,
             reused: 0,
+            last_trace: None,
         }
+    }
+
+    /// The `x-an5d-trace` id of the most recent response, when the
+    /// server sent one (feed it to `GET /trace?id=`).
+    #[must_use]
+    pub fn last_trace(&self) -> Option<&str> {
+        self.last_trace.as_deref()
     }
 
     /// Requests served over an already-established connection (i.e. TCP
@@ -187,7 +235,7 @@ impl KeepAliveClient {
         method: &str,
         path: &str,
         body: &str,
-    ) -> io::Result<(u16, String, bool)> {
+    ) -> io::Result<(u16, String, bool, Option<String>)> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
             body.len()
@@ -216,7 +264,7 @@ impl KeepAliveClient {
         conn.read_exact(&mut bytes)
             .map_err(|e| invalid(&format!("truncated response body: {e}")))?;
         let body = String::from_utf8(bytes).map_err(|_| invalid("non-UTF-8 body"))?;
-        Ok((head.status, body, head.close))
+        Ok((head.status, body, head.close, head.trace))
     }
 
     /// `GET path` → `(status, body)`, reusing the connection.
@@ -245,13 +293,14 @@ impl KeepAliveClient {
             None => Self::connect(self.addr)?,
         };
         match Self::exchange(&mut conn, self.addr, method, path, body) {
-            Ok((status, response_body, close)) => {
+            Ok((status, response_body, close, trace)) => {
                 if had_conn {
                     self.reused += 1;
                 }
                 if !close {
                     self.conn = Some(conn);
                 }
+                self.last_trace = trace;
                 Ok((status, response_body))
             }
             Err(error)
@@ -269,11 +318,12 @@ impl KeepAliveClient {
                 // response had arrived (the API is idempotent anyway), so
                 // retrying on a fresh connection is safe.
                 let mut conn = Self::connect(self.addr)?;
-                let (status, response_body, close) =
+                let (status, response_body, close, trace) =
                     Self::exchange(&mut conn, self.addr, method, path, body)?;
                 if !close {
                     self.conn = Some(conn);
                 }
+                self.last_trace = trace;
                 Ok((status, response_body))
             }
             Err(error) => Err(error),

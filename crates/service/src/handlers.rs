@@ -15,17 +15,27 @@ use crate::fleet::{Fleet, FleetShard, RoutePolicy};
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
+use crate::telemetry;
 use an5d::{
     generate_cuda_for_plan, parse_stencil, predict, BatchJob, DeviceRegistry, ExecutionBackend,
     GridInit,
 };
+use an5d_obs::{ActiveTrace, Span, TraceId, TraceRing};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Completed traces retained for `GET /trace` by default.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// Default latency above which a request is logged as slow.
+pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_secs(1);
 
 /// The endpoints served, with the method each accepts.
 pub const ENDPOINTS: &[(&str, &str)] = &[
     ("GET", "/devices"),
+    ("GET", "/metrics"),
     ("GET", "/stats"),
+    ("GET", "/trace"),
     ("POST", "/parse"),
     ("POST", "/plan"),
     ("POST", "/predict"),
@@ -41,6 +51,8 @@ pub struct ServiceState {
     backend: Arc<dyn ExecutionBackend>,
     fleet: Fleet,
     metrics: Metrics,
+    traces: TraceRing,
+    slow_threshold: Duration,
 }
 
 impl std::fmt::Debug for ServiceState {
@@ -78,7 +90,23 @@ impl ServiceState {
             backend,
             fleet,
             metrics: Metrics::new(),
+            traces: TraceRing::new(DEFAULT_TRACE_CAPACITY),
+            slow_threshold: DEFAULT_SLOW_THRESHOLD,
         }
+    }
+
+    /// Retain at most `capacity` completed traces for `GET /trace`.
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.traces = TraceRing::new(capacity);
+        self
+    }
+
+    /// Log requests slower than `threshold` (and tag them in `/trace`).
+    #[must_use]
+    pub fn with_slow_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_threshold = threshold;
+        self
     }
 
     /// Attach a persisted tuning database: every device shard warms its
@@ -109,6 +137,18 @@ impl ServiceState {
     pub fn backend(&self) -> &Arc<dyn ExecutionBackend> {
         &self.backend
     }
+
+    /// The ring of recently completed request traces.
+    #[must_use]
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// The slow-request log threshold.
+    #[must_use]
+    pub fn slow_threshold(&self) -> Duration {
+        self.slow_threshold
+    }
 }
 
 fn ok(body: Json) -> Response {
@@ -138,17 +178,40 @@ pub fn dispatch(state: &ServiceState, request: &Request) -> Response {
             api::error_body(&format!("{path} expects {method}, got {}", request.method)),
         );
     }
+    // Trace every pipeline request; the observability reads themselves
+    // (`/metrics`, `/trace`) are exempt so scrapes don't churn the ring.
+    let traced = !matches!(path, "/metrics" | "/trace");
+    let trace = traced.then(ActiveTrace::begin);
     let started = Instant::now();
-    let response = handle(state, path, request);
-    state
-        .metrics
-        .record(path, started.elapsed(), response.status < 300);
-    response
+    let response = {
+        let _span = Span::enter(path);
+        handle(state, path, request)
+    };
+    let elapsed = started.elapsed();
+    state.metrics.record(path, elapsed, response.status < 300);
+    match trace {
+        Some(trace) => {
+            let id = trace.id();
+            state.traces.push(trace.finish());
+            if elapsed >= state.slow_threshold {
+                eprintln!(
+                    "[an5d-serve] slow request: {method} {path} took {}us \
+                     (threshold {}us) trace={id}",
+                    elapsed.as_micros(),
+                    state.slow_threshold.as_micros(),
+                );
+            }
+            response.with_trace(id.to_string())
+        }
+        None => response,
+    }
 }
 
 fn handle(state: &ServiceState, path: &str, request: &Request) -> Response {
     match path {
         "/stats" => stats(state),
+        "/metrics" => Response::text(200, telemetry::render_prometheus(state)),
+        "/trace" => trace_endpoint(state, request),
         "/devices" => ok(api::devices_response(state.fleet.registry())),
         "/shutdown" => ok(Json::obj(vec![("ok", Json::Bool(true))])),
         _ => {
@@ -180,6 +243,27 @@ fn parse_body(body: &[u8]) -> Result<Json, Response> {
         return Err(bad_request("request body must be a JSON object"));
     }
     json::parse(text).map_err(|e| bad_request(&e.to_string()))
+}
+
+/// `GET /trace` lists the retained traces; `GET /trace?id=<hex>` (the
+/// value echoed in the `x-an5d-trace` response header) returns that
+/// trace's full span tree.
+fn trace_endpoint(state: &ServiceState, request: &Request) -> Response {
+    match request.query_param("id") {
+        None => ok(telemetry::traces_summary(state)),
+        Some(raw) => {
+            let Some(id) = TraceId::parse(raw) else {
+                return bad_request(&format!("malformed trace id {raw:?}"));
+            };
+            match state.traces.get(id) {
+                Some(trace) => ok(telemetry::trace_detail(&trace)),
+                None => Response::new(
+                    404,
+                    api::error_body(&format!("no retained trace with id {id}")),
+                ),
+            }
+        }
+    }
 }
 
 fn stats(state: &ServiceState) -> Response {

@@ -67,6 +67,19 @@ impl Request {
             key == name && matches!(value, "" | "true" | "1")
         })
     }
+
+    /// The value of query parameter `name` (`/trace?id=abc` → `"abc"`);
+    /// `None` when absent, `""` when bare or explicitly empty.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (key, value) = match pair.split_once('=') {
+                Some((key, value)) => (key, value),
+                None => (pair, ""),
+            };
+            (key == name).then_some(value)
+        })
+    }
 }
 
 /// Split a request target into path and query string.
@@ -77,20 +90,48 @@ fn split_target(target: &str) -> (String, String) {
     }
 }
 
-/// A response about to be written; the body is always JSON here.
+/// A response about to be written; the body is JSON unless built with
+/// [`Response::text`] (the Prometheus `/metrics` exposition).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Trace ID echoed in the `x-an5d-trace` header, when assigned.
+    pub trace: Option<String>,
 }
 
 impl Response {
     /// A response with the given status and JSON body.
     #[must_use]
     pub fn new(status: u16, body: String) -> Self {
-        Self { status, body }
+        Self {
+            status,
+            body,
+            content_type: "application/json",
+            trace: None,
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition format).
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            content_type: "text/plain; version=0.0.4",
+            trace: None,
+        }
+    }
+
+    /// Attach the request's trace ID, echoed as `x-an5d-trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: String) -> Self {
+        self.trace = Some(trace);
+        self
     }
 }
 
@@ -266,11 +307,17 @@ pub fn write_response(
     // One buffered write per response: on a kept-alive connection a
     // header segment followed by a separate body segment would trip
     // Nagle + delayed-ACK (~40 ms per request).
+    let trace_header = match &response.trace {
+        Some(id) => format!("x-an5d-trace: {id}\r\n"),
+        None => String::new(),
+    };
     let rendered = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n{}",
         response.status,
         reason_phrase(response.status),
+        response.content_type,
         response.body.len(),
+        trace_header,
         if keep_alive { "keep-alive" } else { "close" },
         response.body
     );
@@ -433,5 +480,37 @@ mod tests {
         assert!(String::from_utf8(out)
             .unwrap()
             .contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn trace_ids_and_content_types_are_framed() {
+        let mut out = Vec::new();
+        let response = Response::new(200, "{}".into()).with_trace("00c0ffee00c0ffee".into());
+        write_response(&mut out, &response, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("x-an5d-trace: 00c0ffee00c0ffee\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Type: application/json\r\n"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(200, "an5d_up 1\n".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(!text.contains("x-an5d-trace"), "{text}");
+        assert!(text.ends_with("an5d_up 1\n"));
+    }
+
+    #[test]
+    fn query_params_return_values_by_key() {
+        let req = Request::new("GET", "/trace?id=abc123&limit=5", b"");
+        assert_eq!(req.query_param("id"), Some("abc123"));
+        assert_eq!(req.query_param("limit"), Some("5"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(
+            Request::new("GET", "/trace?id", b"").query_param("id"),
+            Some("")
+        );
     }
 }

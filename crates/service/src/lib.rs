@@ -32,7 +32,14 @@
 //! | `/execute` | POST | blocked run: checksum + traffic counters |
 //! | `/devices` | GET | registered GPU profiles + routing default |
 //! | `/stats` | GET | fleet-wide + per-device cache stats, pool and endpoint latencies |
+//! | `/metrics` | GET | Prometheus text: latency histograms, cache/fleet/pool/tunedb series |
+//! | `/trace` | GET | recently completed request traces; `?id=` for one span tree |
 //! | `/shutdown` | POST | graceful shutdown (drains the queue) |
+//!
+//! Every pipeline response carries an `x-an5d-trace` header whose id can
+//! be fed back to `GET /trace?id=` to inspect the per-stage span tree
+//! (parse → plan → tune sweep → codegen → execute) recorded while the
+//! request ran.
 //!
 //! Responses are deterministic byte-for-byte: the same request always
 //! produces the same body, bit-identical to a direct facade call (the
@@ -84,6 +91,7 @@ pub mod handlers;
 pub mod http;
 pub mod metrics;
 mod server;
+pub mod telemetry;
 
 /// The deterministic JSON layer — owned by `an5d-tunedb` (the lowest
 /// crate that persists JSON) and re-exported here for the HTTP API.
@@ -91,7 +99,9 @@ pub use an5d_tunedb::json;
 pub use an5d_tunedb::TUNE_DB_ENV;
 
 pub use fleet::{Fleet, FleetShard, RoutePolicy, ShardStats, ShardTuneDbStats};
-pub use handlers::{dispatch, ServiceState, ENDPOINTS};
+pub use handlers::{
+    dispatch, ServiceState, DEFAULT_SLOW_THRESHOLD, DEFAULT_TRACE_CAPACITY, ENDPOINTS,
+};
 pub use http::{Request, Response};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{EndpointStats, Metrics};

@@ -1,9 +1,18 @@
-//! Per-endpoint latency and outcome metrics for `/stats`.
+//! Per-endpoint latency and outcome metrics for `/stats` and `/metrics`.
+//!
+//! Each endpoint owns an [`an5d_obs::Histogram`] plus atomic counters, so
+//! recording touches the registry mutex only to look the endpoint up —
+//! the hot path is wait-free atomics. Every lock recovers from poisoning
+//! with [`PoisonError::into_inner`]: a panicking handler thread must not
+//! take `/stats` or `/metrics` down with it (the map is only ever
+//! *inserted into* under the lock, so a poisoned guard still holds a
+//! structurally valid map).
 
 use crate::json::Json;
+use an5d_obs::{Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Aggregated statistics for one endpoint.
@@ -27,13 +36,44 @@ impl EndpointStats {
     }
 }
 
+/// One endpoint's recorder: exact counters plus a latency histogram.
+#[derive(Debug, Default)]
+struct EndpointRecorder {
+    count: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+    latency: Histogram,
+}
+
+impl EndpointRecorder {
+    fn record(&self, micros: u64, ok: bool) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        self.latency.record(micros);
+    }
+
+    fn stats(&self) -> EndpointStats {
+        EndpointStats {
+            count: self.count.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Thread-safe metrics registry shared by every connection worker.
 ///
-/// Endpoints are keyed by path; the map is a `BTreeMap` so `/stats`
-/// renders endpoints in a stable (sorted) order.
+/// Endpoints are keyed by path; the map is a `BTreeMap` so `/stats` and
+/// `/metrics` render endpoints in a stable (sorted) order.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    endpoints: Mutex<BTreeMap<String, EndpointStats>>,
+    endpoints: Mutex<BTreeMap<String, Arc<EndpointRecorder>>>,
     /// Connections turned away by admission control with a 503.
     rejected: AtomicU64,
 }
@@ -45,21 +85,18 @@ impl Metrics {
         Self::default()
     }
 
+    fn recorder(&self, endpoint: &str) -> Arc<EndpointRecorder> {
+        let mut endpoints = self
+            .endpoints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(endpoints.entry(endpoint.to_string()).or_default())
+    }
+
     /// Record one handled request for an endpoint.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry mutex was poisoned by a panicking thread.
     pub fn record(&self, endpoint: &str, latency: Duration, ok: bool) {
         let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let mut endpoints = self.endpoints.lock().expect("metrics poisoned");
-        let stats = endpoints.entry(endpoint.to_string()).or_default();
-        stats.count += 1;
-        if !ok {
-            stats.errors += 1;
-        }
-        stats.total_micros = stats.total_micros.saturating_add(micros);
-        stats.max_micros = stats.max_micros.max(micros);
+        self.recorder(endpoint).record(micros, ok);
     }
 
     /// Record one connection rejected by admission control.
@@ -74,39 +111,58 @@ impl Metrics {
     }
 
     /// Snapshot of one endpoint's stats (zeroes when never hit).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry mutex was poisoned by a panicking thread.
     #[must_use]
     pub fn endpoint(&self, endpoint: &str) -> EndpointStats {
         self.endpoints
             .lock()
-            .expect("metrics poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(endpoint)
-            .copied()
+            .map(|recorder| recorder.stats())
             .unwrap_or_default()
     }
 
+    /// Latency histogram snapshot of one endpoint (`None` when never hit).
+    #[must_use]
+    pub fn histogram(&self, endpoint: &str) -> Option<HistogramSnapshot> {
+        self.endpoints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(endpoint)
+            .map(|recorder| recorder.latency.snapshot())
+    }
+
+    /// Per-endpoint `(path, stats, latency histogram)` snapshots, sorted
+    /// by path — the data source for `/metrics`.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<(String, EndpointStats, HistogramSnapshot)> {
+        let endpoints = self
+            .endpoints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        endpoints
+            .iter()
+            .map(|(path, recorder)| (path.clone(), recorder.stats(), recorder.latency.snapshot()))
+            .collect()
+    }
+
     /// Render the `"endpoints"` object of `/stats`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry mutex was poisoned by a panicking thread.
     #[must_use]
     pub fn endpoints_json(&self) -> Json {
-        let endpoints = self.endpoints.lock().expect("metrics poisoned");
         Json::Obj(
-            endpoints
-                .iter()
-                .map(|(path, stats)| {
+            self.snapshots()
+                .into_iter()
+                .map(|(path, stats, histogram)| {
                     (
-                        path.clone(),
+                        path,
                         Json::obj(vec![
                             ("count", Json::Int(i128::from(stats.count))),
                             ("errors", Json::Int(i128::from(stats.errors))),
                             ("mean_us", Json::Int(i128::from(stats.mean_micros()))),
                             ("max_us", Json::Int(i128::from(stats.max_micros))),
+                            ("p50_us", Json::Int(i128::from(histogram.quantile(0.5)))),
+                            ("p95_us", Json::Int(i128::from(histogram.quantile(0.95)))),
+                            ("p99_us", Json::Int(i128::from(histogram.quantile(0.99)))),
+                            ("p999_us", Json::Int(i128::from(histogram.quantile(0.999)))),
                         ]),
                     )
                 })
@@ -141,5 +197,49 @@ mod tests {
         let stats_at = rendered.find("/stats").unwrap();
         let tune_at = rendered.find("/tune").unwrap();
         assert!(stats_at < tune_at, "{rendered}");
+    }
+
+    #[test]
+    fn endpoint_histograms_answer_percentiles() {
+        let metrics = Metrics::new();
+        for i in 1..=100u64 {
+            metrics.record("/plan", Duration::from_micros(i * 10), true);
+        }
+        let histogram = metrics.histogram("/plan").expect("recorded");
+        assert_eq!(histogram.count(), 100);
+        assert_eq!(histogram.max(), 1_000);
+        let p50 = histogram.quantile(0.5);
+        let p99 = histogram.quantile(0.99);
+        assert!((500..=520).contains(&p50), "p50 {p50}");
+        assert!((990..=1_000).contains(&p99), "p99 {p99}");
+        assert!(metrics.histogram("/nope").is_none());
+        let rendered = metrics.endpoints_json().render();
+        assert!(rendered.contains("\"p50_us\""), "{rendered}");
+        assert!(rendered.contains("\"p999_us\""), "{rendered}");
+    }
+
+    #[test]
+    fn poisoned_registry_keeps_serving() {
+        // Regression: a handler thread panicking while holding the
+        // registry lock used to poison it and 500 every later /stats.
+        let metrics = Arc::new(Metrics::new());
+        metrics.record("/plan", Duration::from_micros(70), true);
+        let poisoner = Arc::clone(&metrics);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.endpoints.lock().unwrap();
+            panic!("poison the registry lock");
+        })
+        .join();
+        assert!(metrics.endpoints.lock().is_err(), "lock must be poisoned");
+
+        // Every read and write path still works.
+        metrics.record("/plan", Duration::from_micros(30), false);
+        let plan = metrics.endpoint("/plan");
+        assert_eq!(plan.count, 2);
+        assert_eq!(plan.errors, 1);
+        assert_eq!(plan.max_micros, 70);
+        assert_eq!(metrics.histogram("/plan").unwrap().count(), 2);
+        let rendered = metrics.endpoints_json().render();
+        assert!(rendered.contains("/plan"), "{rendered}");
     }
 }

@@ -61,6 +61,11 @@ pub struct ServerConfig {
     /// environment variable into this field; the library default stays
     /// `None` so embedders and tests never pick up a DB implicitly.
     pub tune_db: Option<String>,
+    /// Requests slower than this are logged to stderr with their trace
+    /// id (see `GET /trace?id=`).
+    pub slow_request_threshold: Duration,
+    /// Completed request traces retained for `GET /trace`.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +78,8 @@ impl Default for ServerConfig {
             keep_alive_timeout: Duration::from_secs(5),
             max_requests_per_connection: 1000,
             tune_db: None,
+            slow_request_threshold: crate::handlers::DEFAULT_SLOW_THRESHOLD,
+            trace_capacity: crate::handlers::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -218,7 +225,9 @@ impl Server {
         config: &ServerConfig,
         backend: Arc<dyn ExecutionBackend>,
     ) -> io::Result<Server> {
-        let mut state = ServiceState::new(backend, config.cache_capacity.max(1));
+        let mut state = ServiceState::new(backend, config.cache_capacity.max(1))
+            .with_slow_threshold(config.slow_request_threshold)
+            .with_trace_capacity(config.trace_capacity);
         if let Some(path) = &config.tune_db {
             state = state.with_tune_db(Arc::new(an5d::TuneDb::open(path)?));
         }

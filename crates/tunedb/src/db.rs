@@ -202,6 +202,7 @@ impl TuneDb {
     /// Panics if the database mutex was poisoned by a panicking thread.
     #[must_use]
     pub fn get(&self, key: &TuneKey) -> Option<TuningResult> {
+        let _span = an5d_obs::Span::enter("tunedb.get");
         let inner = self.inner.lock().expect("tune DB poisoned");
         inner.map.get(key).map(|record| record.result.clone())
     }
@@ -219,6 +220,7 @@ impl TuneDb {
     ///
     /// Panics if the database mutex was poisoned by a panicking thread.
     pub fn put(&self, key: &TuneKey, hint: Option<&str>, result: &TuningResult) -> io::Result<()> {
+        let _span = an5d_obs::Span::enter("tunedb.append");
         let record = Record {
             key: key.clone(),
             hint: hint.map(str::to_string),
@@ -268,6 +270,7 @@ impl TuneDb {
     }
 
     fn compact_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        let _span = an5d_obs::Span::enter("tunedb.compact");
         let mut image = MAGIC.to_vec();
         for record in inner.map.values() {
             encode_record(&record.to_payload(), &mut image);

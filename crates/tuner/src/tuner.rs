@@ -236,6 +236,7 @@ impl Tuner {
         // so pruning there would serialise exactly the mostly-rejected
         // mega-sweeps the pre-prune exists for.
         let evaluated: Mutex<Vec<RankedCandidate>> = Mutex::new(Vec::new());
+        let sweep_span = an5d_obs::Span::enter("tuner.rank_sweep");
         an5d_runtime::global().for_each(space.iter().enumerate(), |(index, config)| {
             if !self.survives_analytic_pruning(def, &config) {
                 return;
@@ -253,6 +254,7 @@ impl Tuner {
                 .expect("tuner ranking buffer poisoned")
                 .push((index, config, plan, prediction.gflops));
         });
+        drop(sweep_span);
         let mut ranked = evaluated
             .into_inner()
             .expect("tuner ranking buffer poisoned");
@@ -267,10 +269,17 @@ impl Tuner {
         // Step 2: "run" the model-ranked top-k with every register cap and
         // keep the best measured performance per candidate.
         let mut measured: Vec<TunedCandidate> = Vec::new();
+        let _measure_span = an5d_obs::Span::enter("tuner.measure_topk");
         for (_, config, plan, predicted_gflops) in ranked.into_iter().take(self.top_k) {
             let mut best_for_candidate: Option<TunedCandidate> = None;
             for cap in RegisterCap::tuning_candidates() {
-                let Ok(m) = measure(&plan, problem, &self.device, cap) else {
+                // The simulated stand-in for executing the candidate on
+                // the backend device (see `an5d_model::measure`).
+                let measured_run = {
+                    let _span = an5d_obs::Span::enter("tuner.measure");
+                    measure(&plan, problem, &self.device, cap)
+                };
+                let Ok(m) = measured_run else {
                     continue;
                 };
                 let candidate = TunedCandidate {
