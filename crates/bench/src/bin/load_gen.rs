@@ -7,7 +7,20 @@
 //! load_gen [--requests N] [--clients N] [--server-workers N]
 //!          [--device NAME] [--keep-alive | --no-keep-alive]
 //!          [--tune-db PATH] [--json PATH]
+//!          [--connections N [--soak SECS]]
 //! ```
+//!
+//! `--connections N` adds an **open-connection soak** after the mixed
+//! workload: against a fresh server, a low-connection baseline of
+//! `/parse` round-trips is measured, then N keep-alive connections are
+//! opened and parked idle (each completes one request) while a small
+//! active subset keeps hammering `/parse` for `--soak SECS`. Mid-soak
+//! the run greps `/metrics` for the `an5d_connections_{open,parked,
+//! active}` gauges and asserts parked ≥ connections − workers — the
+//! reactor, not the worker pool, is holding the idle mass — and that the
+//! active p99 stays within a bound of the baseline p99 (idle parked
+//! connections must be nearly free). The `--json` report grows a
+//! `"soak"` object with both percentile sets and the observed gauges.
 //!
 //! `--json PATH` writes a machine-readable run report (per-endpoint
 //! client-side p50/p95/p99 latency, request rate, server-side error
@@ -221,13 +234,18 @@ struct Args {
     device: Option<String>,
     tune_db: Option<String>,
     json: Option<String>,
+    /// Open-connection soak: how many keep-alive connections to hold
+    /// open concurrently (0 disables the soak phase).
+    connections: usize,
+    /// Soak duration in seconds.
+    soak: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: load_gen [--requests N] [--clients N] [--server-workers N] \
          [--device NAME] [--keep-alive | --no-keep-alive] [--tune-db PATH] \
-         [--json PATH]"
+         [--json PATH] [--connections N [--soak SECS]]"
     );
     std::process::exit(2);
 }
@@ -241,6 +259,8 @@ fn parse_args() -> Args {
         device: None,
         tune_db: None,
         json: None,
+        connections: 0,
+        soak: 10,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -259,14 +279,16 @@ fn parse_args() -> Args {
                 let Some(value) = iter.next() else { usage() };
                 args.json = Some(value);
             }
-            "--requests" | "--clients" | "--server-workers" => {
+            "--requests" | "--clients" | "--server-workers" | "--connections" | "--soak" => {
                 let Some(value) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
                     usage();
                 };
                 match flag.as_str() {
                     "--requests" => args.requests = value.max(1),
                     "--clients" => args.clients = value.max(1),
-                    _ => args.server_workers = value.max(1),
+                    "--server-workers" => args.server_workers = value.max(1),
+                    "--connections" => args.connections = value,
+                    _ => args.soak = (value as u64).max(1),
                 }
             }
             _ => {
@@ -313,6 +335,227 @@ fn print_percentile_row(label: &str, series: &mut [Duration]) {
         percentile(series, 99),
         series.last().unwrap(),
     );
+}
+
+/// The value of one unlabelled Prometheus sample line, `name value`.
+fn gauge_value(text: &str, name: &str) -> Option<u64> {
+    let needle = format!("{name} ");
+    text.lines()
+        .find_map(|line| line.strip_prefix(&needle))
+        .and_then(|value| value.trim().parse().ok())
+}
+
+fn us(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Percentile summary of an ascending-sorted microsecond series as a
+/// JSON object for the `--json` report.
+fn percentile_report(sorted: &[u64]) -> an5d_service::Json {
+    an5d_service::Json::obj(vec![
+        (
+            "p50_us",
+            an5d_service::Json::Int(i128::from(percentile_us(sorted, 50))),
+        ),
+        (
+            "p95_us",
+            an5d_service::Json::Int(i128::from(percentile_us(sorted, 95))),
+        ),
+        (
+            "p99_us",
+            an5d_service::Json::Int(i128::from(percentile_us(sorted, 99))),
+        ),
+    ])
+}
+
+/// The open-connection soak: hold `--connections` keep-alive connections
+/// parked idle in the reactor while a small active subset keeps issuing
+/// `/parse` requests, and prove the idle mass is (nearly) free — the
+/// active p99 must stay within a bound of a low-connection baseline, and
+/// `/metrics` must show the reactor (not the worker pool) holding it.
+fn run_soak(args: &Args, template: &Template) -> an5d_service::Json {
+    println!(
+        "load_gen: soak — {} keep-alive connections, {} active clients, {}s",
+        args.connections, args.clients, args.soak
+    );
+    let server = Server::start_with_backend(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: args.server_workers,
+            queue_depth: 1024,
+            cache_capacity: 64,
+            // Parked connections must survive the whole soak: only the
+            // final shutdown may close them.
+            keep_alive_timeout: Duration::from_secs(args.soak + 60),
+            max_requests_per_connection: 1_000_000,
+            ..ServerConfig::default()
+        },
+        Arc::new(SerialBackend),
+    )
+    .expect("bind soak server");
+    let addr = server.addr();
+
+    // Baseline: /parse round-trip percentiles with almost no
+    // connections open.
+    let mut baseline: Vec<u64> = Vec::with_capacity(200);
+    {
+        let mut conn = client::KeepAliveClient::new(addr);
+        for _ in 0..200 {
+            let sent = Instant::now();
+            let (status, body) = conn
+                .post(template.path, &template.body)
+                .expect("baseline request");
+            assert_eq!(status, 200);
+            assert_eq!(body, template.expected, "baseline response diverged");
+            baseline.push(us(sent.elapsed()));
+        }
+    }
+    baseline.sort_unstable();
+    println!(
+        "load_gen: baseline /parse p50 {}us p95 {}us p99 {}us",
+        percentile_us(&baseline, 50),
+        percentile_us(&baseline, 95),
+        percentile_us(&baseline, 99),
+    );
+
+    // Ramp: every connection completes one request (byte-identical) and
+    // then sits idle — the reactor must park it for the duration.
+    let mut parked: Vec<client::KeepAliveClient> = Vec::with_capacity(args.connections);
+    let ramp_started = Instant::now();
+    for index in 0..args.connections {
+        let mut conn = client::KeepAliveClient::new(addr);
+        let (status, body) = conn
+            .post(template.path, &template.body)
+            .unwrap_or_else(|e| panic!("ramp connection {index}: {e}"));
+        assert_eq!(status, 200, "ramp connection {index}");
+        assert_eq!(body, template.expected, "ramp connection {index}");
+        parked.push(conn);
+    }
+    println!(
+        "load_gen: {} connections opened and parked in {:.2}s",
+        parked.len(),
+        ramp_started.elapsed().as_secs_f64()
+    );
+
+    // Soak: active clients hammer /parse until the deadline while the
+    // main thread samples /metrics mid-soak.
+    let deadline = Instant::now() + Duration::from_secs(args.soak);
+    let soak_latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let mut observed = (0u64, 0u64, 0u64); // open, parked, active
+    std::thread::scope(|scope| {
+        for client_id in 0..args.clients {
+            let soak_latencies = &soak_latencies;
+            scope.spawn(move || {
+                let mut conn = client::KeepAliveClient::new(addr);
+                let mut series = Vec::new();
+                while Instant::now() < deadline {
+                    let sent = Instant::now();
+                    let (status, body) = conn
+                        .post(template.path, &template.body)
+                        .unwrap_or_else(|e| panic!("soak client {client_id}: {e}"));
+                    assert_eq!(status, 200, "soak client {client_id}");
+                    assert_eq!(
+                        body, template.expected,
+                        "soak client {client_id}: response diverged under {} open connections",
+                        args.connections
+                    );
+                    series.push(us(sent.elapsed()));
+                }
+                soak_latencies.lock().unwrap().append(&mut series);
+            });
+        }
+
+        // Mid-soak: the connection gauges must show the idle mass parked
+        // in the reactor, not occupying workers.
+        std::thread::sleep(Duration::from_secs((args.soak / 2).max(1)));
+        let (status, metrics_text) = client::get(addr, "/metrics").expect("/metrics mid-soak");
+        assert_eq!(status, 200);
+        for line in metrics_text
+            .lines()
+            .filter(|l| l.starts_with("an5d_connections_") && !l.starts_with('#'))
+        {
+            println!("load_gen:   {line}");
+        }
+        let open = gauge_value(&metrics_text, "an5d_connections_open").expect("open gauge");
+        let parked_now =
+            gauge_value(&metrics_text, "an5d_connections_parked").expect("parked gauge");
+        let active = gauge_value(&metrics_text, "an5d_connections_active").expect("active gauge");
+        assert!(
+            open >= args.connections as u64,
+            "mid-soak only {open} connections open, expected at least {}",
+            args.connections
+        );
+        assert!(
+            parked_now >= (args.connections as u64).saturating_sub(args.server_workers as u64),
+            "mid-soak only {parked_now} connections parked: the reactor, not the worker \
+             pool, must hold the idle mass (connections {}, workers {})",
+            args.connections,
+            args.server_workers
+        );
+        observed = (open, parked_now, active);
+    });
+
+    let mut soak_series = soak_latencies.into_inner().unwrap();
+    assert!(!soak_series.is_empty(), "soak produced no requests");
+    soak_series.sort_unstable();
+    let (p99_base, p99_soak) = (
+        percentile_us(&baseline, 99),
+        percentile_us(&soak_series, 99),
+    );
+    println!(
+        "load_gen: soak /parse p50 {}us p95 {}us p99 {}us over {} requests",
+        percentile_us(&soak_series, 50),
+        percentile_us(&soak_series, 95),
+        p99_soak,
+        soak_series.len(),
+    );
+    // Idle parked connections must be nearly free: generous headroom for
+    // scheduler noise, but a reactor that scans or wakes per-connection
+    // blows straight through this bound.
+    let p99_bound = (10 * p99_base).max(p99_base + 25_000);
+    assert!(
+        p99_soak <= p99_bound,
+        "soak p99 {p99_soak}us exceeds bound {p99_bound}us (baseline p99 {p99_base}us): \
+         {} parked connections are not free",
+        args.connections
+    );
+    println!(
+        "load_gen: soak p99 {p99_soak}us within bound {p99_bound}us of baseline p99 {p99_base}us"
+    );
+
+    let (status, _) = client::post(addr, "/shutdown", "").expect("soak shutdown");
+    assert_eq!(status, 200);
+    server.wait();
+    drop(parked);
+
+    an5d_service::Json::obj(vec![
+        (
+            "connections",
+            an5d_service::Json::Int(args.connections as i128),
+        ),
+        (
+            "soak_seconds",
+            an5d_service::Json::Int(i128::from(args.soak)),
+        ),
+        (
+            "requests",
+            an5d_service::Json::Int(soak_series.len() as i128),
+        ),
+        (
+            "open_observed",
+            an5d_service::Json::Int(i128::from(observed.0)),
+        ),
+        (
+            "parked_observed",
+            an5d_service::Json::Int(i128::from(observed.1)),
+        ),
+        (
+            "active_observed",
+            an5d_service::Json::Int(i128::from(observed.2)),
+        ),
+        ("baseline", percentile_report(&baseline)),
+        ("soak", percentile_report(&soak_series)),
+    ])
 }
 
 fn main() {
@@ -681,8 +924,19 @@ fn main() {
         per_path.len()
     );
 
+    // Optional open-connection soak against a fresh server: prove the
+    // reactor holds `--connections` parked keep-alive connections while
+    // the active subset's latency stays near the baseline.
+    let soak_report = (args.connections > 0).then(|| {
+        let template = templates
+            .iter()
+            .find(|t| t.path == "/parse")
+            .expect("/parse template present");
+        run_soak(&args, template)
+    });
+
     if let Some(path) = &args.json {
-        let report = an5d_service::Json::obj(vec![
+        let mut fields = vec![
             ("requests", an5d_service::Json::Int(args.requests as i128)),
             ("clients", an5d_service::Json::Int(args.clients as i128)),
             ("keep_alive", an5d_service::Json::Bool(args.keep_alive)),
@@ -705,7 +959,11 @@ fn main() {
                 )),
             ),
             ("endpoints", an5d_service::Json::Obj(endpoint_reports)),
-        ]);
+        ];
+        if let Some(soak) = soak_report {
+            fields.push(("soak", soak));
+        }
+        let report = an5d_service::Json::obj(fields);
         std::fs::write(path, report.render() + "\n")
             .unwrap_or_else(|e| panic!("load_gen: cannot write --json {path}: {e}"));
         println!("load_gen: wrote JSON report to {path}");

@@ -1,0 +1,224 @@
+//! A fixed-slot hashed timer wheel with lazy cancellation.
+//!
+//! The reactor re-arms a connection's deadline on every state change
+//! (idle → reading → in-flight → writing), so cancellation has to be
+//! free: instead of removing stale entries, each connection carries a
+//! monotonically bumped *generation*, every scheduled entry snapshots it,
+//! and a fired entry whose generation no longer matches is simply
+//! ignored by the caller. Scheduling is O(1); firing pays only for the
+//! slots the clock actually crosses.
+//!
+//! All methods take `now: Instant` explicitly so unit tests advance a
+//! synthetic clock instead of sleeping.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: usize,
+    gen: u64,
+    deadline: Instant,
+}
+
+/// A hashed timer wheel (see the module docs).
+#[derive(Debug)]
+pub struct TimerWheel {
+    granularity: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// Slot index the wheel's clock hand points at.
+    cursor: usize,
+    /// Wheel-clock time: the start of the slot under the cursor.
+    now: Instant,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `granularity` wide, whose clock
+    /// starts at `start`. `granularity` must be nonzero and `slots` ≥ 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero granularity or fewer than two slots.
+    #[must_use]
+    pub fn new(granularity: Duration, slots: usize, start: Instant) -> Self {
+        assert!(!granularity.is_zero(), "granularity must be nonzero");
+        assert!(slots >= 2, "a wheel needs at least two slots");
+        Self {
+            granularity,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            now: start,
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled entries, stale generations included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `(token, gen)` to fire once the clock passes `deadline`.
+    /// Deadlines beyond the wheel's horizon park in the furthest slot and
+    /// re-insert on each lap until they come into range.
+    pub fn schedule(&mut self, token: usize, gen: u64, deadline: Instant) {
+        let delta = deadline.saturating_duration_since(self.now);
+        let ticks = (delta.as_nanos() / self.granularity.as_nanos()).max(1);
+        let ticks = usize::try_from(ticks)
+            .unwrap_or(usize::MAX)
+            .min(self.slots.len() - 1);
+        let slot = (self.cursor + ticks) % self.slots.len();
+        self.slots[slot].push(Entry {
+            token,
+            gen,
+            deadline,
+        });
+        self.len += 1;
+    }
+
+    /// Advance the wheel clock to `now`, appending every `(token, gen)`
+    /// whose deadline has passed to `expired`. Entries that merely
+    /// wrapped (deadline still ahead) are re-inserted.
+    pub fn expired(&mut self, now: Instant, expired: &mut Vec<(usize, u64)>) {
+        let mut wrapped = Vec::new();
+        while self.now + self.granularity <= now {
+            self.now += self.granularity;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            let batch = std::mem::take(&mut self.slots[self.cursor]);
+            self.len -= batch.len();
+            for entry in batch {
+                if entry.deadline <= now {
+                    expired.push((entry.token, entry.gen));
+                } else {
+                    wrapped.push(entry);
+                }
+            }
+        }
+        for entry in wrapped {
+            self.schedule(entry.token, entry.gen, entry.deadline);
+        }
+    }
+
+    /// Time until the next slot holding any entry comes due, measured
+    /// from `now`; `None` when the wheel is empty. The returned duration
+    /// is a lower bound rounded to slot boundaries — callers poll with
+    /// it and call [`TimerWheel::expired`] on wake.
+    #[must_use]
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        for ahead in 1..=self.slots.len() {
+            let slot = (self.cursor + ahead) % self.slots.len();
+            if !self.slots[slot].is_empty() {
+                let boundary = self.now + self.granularity * u32::try_from(ahead).unwrap_or(1);
+                return Some(
+                    boundary
+                        .saturating_duration_since(now)
+                        .max(Duration::from_millis(1)),
+                );
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRAN: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn fires_at_the_deadline_not_before() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 64, start);
+        wheel.schedule(1, 0, start + Duration::from_millis(50));
+        let mut fired = Vec::new();
+
+        wheel.expired(start + Duration::from_millis(40), &mut fired);
+        assert!(fired.is_empty(), "{fired:?}");
+        wheel.expired(start + Duration::from_millis(60), &mut fired);
+        assert_eq!(fired, vec![(1, 0)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn stale_generation_is_the_callers_problem() {
+        // The wheel fires every scheduled (token, gen); the caller drops
+        // entries whose gen no longer matches the connection's.
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 64, start);
+        wheel.schedule(7, 1, start + Duration::from_millis(20));
+        wheel.schedule(7, 2, start + Duration::from_millis(30));
+        let mut fired = Vec::new();
+        wheel.expired(start + Duration::from_millis(100), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, vec![(7, 1), (7, 2)]);
+    }
+
+    #[test]
+    fn beyond_horizon_deadlines_survive_wrapping() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 4, start); // horizon = 40ms
+        wheel.schedule(3, 0, start + Duration::from_millis(95));
+        let mut fired = Vec::new();
+        wheel.expired(start + Duration::from_millis(40), &mut fired);
+        assert!(fired.is_empty());
+        wheel.expired(start + Duration::from_millis(80), &mut fired);
+        assert!(fired.is_empty());
+        wheel.expired(start + Duration::from_millis(100), &mut fired);
+        assert_eq!(fired, vec![(3, 0)]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_earliest_slot() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 64, start);
+        assert_eq!(wheel.next_timeout(start), None);
+        wheel.schedule(1, 0, start + Duration::from_millis(200));
+        wheel.schedule(2, 0, start + Duration::from_millis(30));
+        let hint = wheel.next_timeout(start).unwrap();
+        assert!(hint <= Duration::from_millis(40), "{hint:?}");
+        assert!(hint >= Duration::from_millis(1), "{hint:?}");
+
+        // After the near entry fires, the hint stretches to the far one.
+        let mut fired = Vec::new();
+        wheel.expired(start + Duration::from_millis(50), &mut fired);
+        assert_eq!(fired, vec![(2, 0)]);
+        let hint = wheel
+            .next_timeout(start + Duration::from_millis(50))
+            .unwrap();
+        assert!(hint > Duration::from_millis(100), "{hint:?}");
+    }
+
+    #[test]
+    fn many_parked_deadlines_fire_in_one_sweep() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 1024, start);
+        for token in 0..5000 {
+            wheel.schedule(token, 0, start + Duration::from_millis(100));
+        }
+        assert_eq!(wheel.len(), 5000);
+        let mut fired = Vec::new();
+        wheel.expired(start + Duration::from_millis(120), &mut fired);
+        assert_eq!(fired.len(), 5000);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_tick() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 64, start);
+        wheel.schedule(9, 4, start); // already due
+        let mut fired = Vec::new();
+        wheel.expired(start + GRAN, &mut fired);
+        assert_eq!(fired, vec![(9, 4)]);
+    }
+}

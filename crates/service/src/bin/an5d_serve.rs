@@ -7,6 +7,12 @@
 //!            [--tune-db PATH] [--slow-threshold-ms N] [--trace-capacity N]
 //! ```
 //!
+//! `--workers` sizes the CPU-bound dispatch pool, not the connection
+//! count: a single reactor thread owns every connection (parking idle
+//! keep-alives for free), and `--queue` bounds the dispatch queue of
+//! complete parsed requests — when it is full the overflowing request
+//! is answered with an immediate 503.
+//!
 //! The execution backend for `/execute` is selected by the standard
 //! `AN5D_BACKEND` environment variable (`serial`, `parallel`,
 //! `parallel:<threads>`); invalid specs fall back to serial with a note

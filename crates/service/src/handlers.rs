@@ -280,6 +280,7 @@ fn stats(state: &ServiceState) -> Response {
         ("tunedb", state.fleet.tunedb_json()),
         ("pool", api::pool_stats_json(&an5d::global_pool().stats())),
         ("endpoints", state.metrics.endpoints_json()),
+        ("connections", state.metrics.connections_json()),
         ("rejected", Json::Int(i128::from(state.metrics.rejected()))),
     ]))
 }

@@ -10,6 +10,15 @@
 //! Responses always carry a `Content-Length` and an explicit
 //! `Connection:` header, so clients never need read-to-EOF framing to
 //! reuse a connection.
+//!
+//! Two parsers share one grammar: the blocking one-shot [`read_request`]
+//! (client side, and the historical server boundary) and the resumable
+//! [`RequestParser`] driven by the reactor, which consumes arbitrary
+//! byte chunks and yields [`Parse::NeedMore`] until a full request is
+//! buffered. Both delegate the request-line and header-field semantics
+//! to the same private helpers, so they cannot drift; the equivalence is
+//! additionally pinned by `tests/parser_incremental.rs`, which replays
+//! every fixture at every split point through both.
 
 use std::io::{self, BufRead, Write};
 
@@ -208,6 +217,92 @@ fn connection_header_has(value: &str, token: &str) -> bool {
         .any(|part| part.trim().eq_ignore_ascii_case(token))
 }
 
+/// The request-line fields both parsers agree on before headers begin.
+#[derive(Debug, Clone)]
+struct Head {
+    method: String,
+    path: String,
+    query: String,
+}
+
+/// Header-derived state accumulated while parsing one request head.
+#[derive(Debug, Clone)]
+struct HeadFields {
+    keep_alive: bool,
+    /// RFC 9112: once any Connection header says close, close wins — a
+    /// later keep-alive token must not re-enable persistence.
+    close_seen: bool,
+    content_length: usize,
+}
+
+/// Parse a request line into its head and the version-derived defaults.
+/// Shared verbatim by [`read_request`] and [`RequestParser`].
+fn parse_request_line(line: &str) -> Result<(Head, HeadFields), HttpError> {
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad_request("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad_request("unsupported HTTP version"));
+    }
+    // Split off the query string: the API is JSON-body based, but a few
+    // endpoints take behaviour flags in the query (`/tune?refresh=true`).
+    let (path, query) = split_target(target);
+    Ok((
+        Head {
+            method: method.to_ascii_uppercase(),
+            path,
+            query,
+        },
+        HeadFields {
+            // Persistent connections are the HTTP/1.1 default; 1.0 must
+            // opt in.
+            keep_alive: version != "HTTP/1.0",
+            close_seen: false,
+            content_length: 0,
+        },
+    ))
+}
+
+/// Fold one non-empty header line into `fields`. Shared verbatim by
+/// [`read_request`] and [`RequestParser`].
+fn apply_header_line(line: &str, fields: &mut HeadFields) -> Result<(), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::bad_request("malformed header"));
+    };
+    let name = name.trim();
+    if name.eq_ignore_ascii_case("content-length") {
+        let Ok(length) = value.trim().parse::<usize>() else {
+            return Err(HttpError::bad_request("invalid Content-Length"));
+        };
+        if length > MAX_BODY_BYTES {
+            return Err(HttpError {
+                status: 413,
+                message: format!("body larger than {MAX_BODY_BYTES} bytes"),
+            });
+        }
+        fields.content_length = length;
+    } else if name.eq_ignore_ascii_case("connection") {
+        if connection_header_has(value, "close") {
+            fields.close_seen = true;
+            fields.keep_alive = false;
+        } else if connection_header_has(value, "keep-alive") && !fields.close_seen {
+            fields.keep_alive = true;
+        }
+    } else if name.eq_ignore_ascii_case("transfer-encoding") {
+        // Only Content-Length framing is implemented. On a persistent
+        // connection a silently-ignored chunked body would be re-parsed
+        // as the next request (framing desync / request smuggling), so
+        // refuse outright — the error reply closes the connection.
+        return Err(HttpError {
+            status: 501,
+            message: "Transfer-Encoding is not supported; use Content-Length".to_string(),
+        });
+    }
+    Ok(())
+}
+
 /// Read one request from the stream.
 ///
 /// # Errors
@@ -222,74 +317,237 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Result<Request, Htt
             "connection closed before a request line",
         ));
     };
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Ok(Err(HttpError::bad_request("malformed request line")));
+    let (head, mut fields) = match parse_request_line(&request_line) {
+        Ok(parsed) => parsed,
+        Err(err) => return Ok(Err(err)),
     };
-    if !version.starts_with("HTTP/1.") {
-        return Ok(Err(HttpError::bad_request("unsupported HTTP version")));
-    }
-    // Split off the query string: the API is JSON-body based, but a few
-    // endpoints take behaviour flags in the query (`/tune?refresh=true`).
-    let (path, query) = split_target(target);
-    // Persistent connections are the HTTP/1.1 default; 1.0 must opt in.
-    let mut keep_alive = version != "HTTP/1.0";
-    // RFC 9112: once any Connection header says close, close wins — a
-    // later keep-alive token must not re-enable persistence.
-    let mut close_seen = false;
-
-    let mut content_length: usize = 0;
     for _ in 0..MAX_HEADERS {
         let Some(line) = read_line(reader)? else {
             return Ok(Err(HttpError::bad_request("truncated headers")));
         };
         if line.is_empty() {
-            let mut body = vec![0u8; content_length];
+            let mut body = vec![0u8; fields.content_length];
             io::Read::read_exact(reader, &mut body)?;
             return Ok(Ok(Request {
-                method: method.to_ascii_uppercase(),
-                path,
-                query,
+                method: head.method,
+                path: head.path,
+                query: head.query,
                 body,
-                keep_alive,
+                keep_alive: fields.keep_alive,
             }));
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Ok(Err(HttpError::bad_request("malformed header")));
-        };
-        let name = name.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            let Ok(length) = value.trim().parse::<usize>() else {
-                return Ok(Err(HttpError::bad_request("invalid Content-Length")));
-            };
-            if length > MAX_BODY_BYTES {
-                return Ok(Err(HttpError {
-                    status: 413,
-                    message: format!("body larger than {MAX_BODY_BYTES} bytes"),
-                }));
-            }
-            content_length = length;
-        } else if name.eq_ignore_ascii_case("connection") {
-            if connection_header_has(value, "close") {
-                close_seen = true;
-                keep_alive = false;
-            } else if connection_header_has(value, "keep-alive") && !close_seen {
-                keep_alive = true;
-            }
-        } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            // Only Content-Length framing is implemented. On a
-            // persistent connection a silently-ignored chunked body
-            // would be re-parsed as the next request (framing desync /
-            // request smuggling), so refuse outright — the error reply
-            // closes the connection.
-            return Ok(Err(HttpError {
-                status: 501,
-                message: "Transfer-Encoding is not supported; use Content-Length".to_string(),
-            }));
+        if let Err(err) = apply_header_line(&line, &mut fields) {
+            return Ok(Err(err));
         }
     }
     Ok(Err(HttpError::bad_request("too many headers")))
+}
+
+/// The outcome of one [`RequestParser::parse`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// The buffered bytes do not yet hold a complete request; feed more.
+    NeedMore,
+    /// One complete request was consumed from the buffer. Call
+    /// [`RequestParser::parse`] again — pipelined requests may follow in
+    /// the same buffer.
+    Ready(Request),
+    /// The stream is unframeable. Reply with the error and close: the
+    /// parser stays failed because resynchronizing inside an unframeable
+    /// byte stream is request smuggling by another name.
+    Failed(HttpError),
+}
+
+/// Where an in-progress request head stands between `parse` calls.
+#[derive(Debug)]
+enum Phase {
+    /// Between requests: the next line is a request line.
+    RequestLine,
+    /// Request line consumed; reading header lines. `seen` counts lines
+    /// consumed in this phase so the blank line must arrive within
+    /// `MAX_HEADERS` reads, exactly like the one-shot parser's loop.
+    Headers {
+        head: Head,
+        fields: HeadFields,
+        seen: usize,
+    },
+    /// Head complete; waiting for `content_length` body bytes.
+    Body { head: Head, fields: HeadFields },
+    /// Sticky terminal state after an unframeable stream.
+    Failed(HttpError),
+}
+
+/// A resumable incremental request parser for the reactor boundary.
+///
+/// Feed it whatever byte chunks `read` produced ([`RequestParser::feed`])
+/// and pull requests out ([`RequestParser::parse`]); the state machine
+/// suspends mid-request-line, mid-headers, or mid-body and resumes on
+/// the next chunk. Results are identical to running [`read_request`]
+/// over the same byte stream (pinned by `tests/parser_incremental.rs`),
+/// with one deliberate divergence: an over-long header line is reported
+/// as a `400` [`Parse::Failed`] here, where the blocking parser's
+/// `read_line` can only surface an opaque `io::Error` — the reactor can
+/// still answer the client, so it should.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes below `pos` are consumed (hidden from parsing).
+    pos: usize,
+    /// Line-scan resume point (`pos ≤ scan ≤ buf.len()`): the bytes in
+    /// `pos..scan` are known to hold no `\n`, so repeated `parse` calls
+    /// over a slowly-growing line stay linear overall.
+    scan: usize,
+    phase: Phase,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser positioned between requests with an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            scan: 0,
+            phase: Phase::RequestLine,
+        }
+    }
+
+    /// Append freshly-read bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            self.scan = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when the connection sits exactly between requests: no
+    /// partial bytes buffered and no request head in progress. An EOF
+    /// here is a clean keep-alive close; an EOF anywhere else is a
+    /// mid-request truncation (counted as an aborted connection).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        matches!(self.phase, Phase::RequestLine) && self.buffered() == 0
+    }
+
+    /// Take the next `\n`-terminated line off the buffer, stripping one
+    /// trailing `\r`. `None` means the buffer holds no complete line
+    /// yet. Mirrors the blocking `read_line`, including its length
+    /// accounting (the `\r` counts against `MAX_LINE_BYTES`).
+    fn take_line(&mut self) -> Option<Result<String, HttpError>> {
+        match self.buf[self.scan..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let newline = self.scan + rel;
+                if newline - self.pos > MAX_LINE_BYTES {
+                    return Some(Err(HttpError::bad_request("header line too long")));
+                }
+                let mut end = newline;
+                if end > self.pos && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                let line = String::from_utf8_lossy(&self.buf[self.pos..end]).into_owned();
+                self.pos = newline + 1;
+                self.scan = self.pos;
+                Some(Ok(line))
+            }
+            None => {
+                self.scan = self.buf.len();
+                if self.buffered() > MAX_LINE_BYTES {
+                    return Some(Err(HttpError::bad_request("header line too long")));
+                }
+                None
+            }
+        }
+    }
+
+    fn fail(&mut self, err: HttpError) -> Parse {
+        self.phase = Phase::Failed(err.clone());
+        Parse::Failed(err)
+    }
+
+    /// Drive the state machine as far as the buffered bytes allow.
+    pub fn parse(&mut self) -> Parse {
+        loop {
+            match std::mem::replace(&mut self.phase, Phase::RequestLine) {
+                Phase::RequestLine => match self.take_line() {
+                    None => return Parse::NeedMore,
+                    Some(Err(err)) => return self.fail(err),
+                    Some(Ok(line)) => match parse_request_line(&line) {
+                        Ok((head, fields)) => {
+                            self.phase = Phase::Headers {
+                                head,
+                                fields,
+                                seen: 0,
+                            };
+                        }
+                        Err(err) => return self.fail(err),
+                    },
+                },
+                Phase::Headers {
+                    head,
+                    mut fields,
+                    mut seen,
+                } => match self.take_line() {
+                    None => {
+                        self.phase = Phase::Headers { head, fields, seen };
+                        return Parse::NeedMore;
+                    }
+                    Some(Err(err)) => return self.fail(err),
+                    Some(Ok(line)) => {
+                        if line.is_empty() {
+                            self.phase = Phase::Body { head, fields };
+                            continue;
+                        }
+                        if let Err(err) = apply_header_line(&line, &mut fields) {
+                            return self.fail(err);
+                        }
+                        seen += 1;
+                        if seen >= MAX_HEADERS {
+                            return self.fail(HttpError::bad_request("too many headers"));
+                        }
+                        self.phase = Phase::Headers { head, fields, seen };
+                    }
+                },
+                Phase::Body { head, fields } => {
+                    if self.buffered() < fields.content_length {
+                        self.phase = Phase::Body { head, fields };
+                        return Parse::NeedMore;
+                    }
+                    let body = self.buf[self.pos..self.pos + fields.content_length].to_vec();
+                    self.pos += fields.content_length;
+                    // The body may contain `\n` bytes; line scanning for
+                    // the next request must restart at the new cursor.
+                    self.scan = self.pos;
+                    if self.pos == self.buf.len() {
+                        self.buf.clear();
+                        self.pos = 0;
+                        self.scan = 0;
+                    }
+                    return Parse::Ready(Request {
+                        method: head.method,
+                        path: head.path,
+                        query: head.query,
+                        body,
+                        keep_alive: fields.keep_alive,
+                    });
+                }
+                Phase::Failed(err) => return self.fail(err),
+            }
+        }
+    }
 }
 
 /// Write a JSON response and flush it, announcing whether the server
@@ -500,6 +758,94 @@ mod tests {
         assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
         assert!(!text.contains("x-an5d-trace"), "{text}");
         assert!(text.ends_with("an5d_up 1\n"));
+    }
+
+    #[test]
+    fn incremental_parser_suspends_and_resumes_at_any_boundary() {
+        let raw = b"POST /tune?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut parser = RequestParser::new();
+        assert!(parser.is_clean());
+        // One byte at a time: every intermediate call is NeedMore.
+        for &byte in &raw[..raw.len() - 1] {
+            parser.feed(&[byte]);
+            assert_eq!(parser.parse(), Parse::NeedMore);
+            assert!(!parser.is_clean(), "mid-request is not clean");
+        }
+        parser.feed(&raw[raw.len() - 1..]);
+        let Parse::Ready(req) = parser.parse() else {
+            panic!("complete request must be ready");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/tune");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+        assert!(parser.is_clean(), "between requests is clean");
+        assert_eq!(parser.parse(), Parse::NeedMore);
+    }
+
+    #[test]
+    fn incremental_parser_yields_pipelined_requests_from_one_chunk() {
+        let mut parser = RequestParser::new();
+        parser.feed(
+            b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+              GET /b HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let Parse::Ready(first) = parser.parse() else {
+            panic!("first pipelined request");
+        };
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"hi");
+        assert!(first.keep_alive);
+        let Parse::Ready(second) = parser.parse() else {
+            panic!("second pipelined request");
+        };
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive);
+        assert!(parser.is_clean());
+    }
+
+    #[test]
+    fn incremental_parser_failures_are_sticky() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / SPDY/3\r\n\r\n");
+        let Parse::Failed(err) = parser.parse() else {
+            panic!("unsupported version must fail");
+        };
+        assert_eq!(err.status, 400);
+        // Even a well-formed follow-up cannot resynchronize the stream.
+        parser.feed(b"GET /stats HTTP/1.1\r\n\r\n");
+        assert!(matches!(parser.parse(), Parse::Failed(e) if e.status == 400));
+        assert!(!parser.is_clean());
+    }
+
+    #[test]
+    fn incremental_parser_enforces_line_and_body_limits() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /stats HTTP/1.1\r\nX-Pad: ");
+        parser.feed(&vec![b'a'; MAX_LINE_BYTES + 1]);
+        assert!(matches!(parser.parse(), Parse::Failed(e) if e.status == 400));
+
+        let mut parser = RequestParser::new();
+        parser.feed(format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30).as_bytes());
+        assert!(matches!(parser.parse(), Parse::Failed(e) if e.status == 413));
+    }
+
+    #[test]
+    fn truncation_is_distinguishable_from_clean_eof() {
+        // Clean EOF: nothing buffered, between requests.
+        let parser = RequestParser::new();
+        assert!(parser.is_clean());
+        // Truncation: a request line arrived but the head never finished.
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST /tune HTTP/1.1\r\nContent-Le");
+        assert_eq!(parser.parse(), Parse::NeedMore);
+        assert!(!parser.is_clean());
+        // Truncation mid-body counts too.
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST /tune HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort");
+        assert_eq!(parser.parse(), Parse::NeedMore);
+        assert!(!parser.is_clean());
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! per-device tuning queries are exactly the traffic a fleet of
 //! cache-backed shards absorbs.
 //!
-//! Everything is std-only (TcpListener + a bounded worker pool): the
-//! build environment has no crates.io access, so the crate carries its
-//! own minimal [`json`] codec and [`http`] framing.
+//! Everything is std-only: the build environment has no crates.io
+//! access, so the crate carries its own minimal [`json`] codec and
+//! [`http`] framing, and the connection layer is a hand-rolled reactor
+//! over the `poll(2)` shim in `an5d-net` (the one crate in the
+//! workspace allowed `unsafe`; this one keeps `forbid(unsafe_code)`).
 //!
 //! # Endpoints
 //!
@@ -45,15 +47,22 @@
 //! produces the same body, bit-identical to a direct facade call (the
 //! `load_gen` harness in `an5d-bench` asserts this under concurrent
 //! mixed traffic). Overload is shed at admission: when the bounded
-//! connection queue is full, new connections get an immediate `503`.
+//! dispatch queue is full, the offending *request* gets an immediate
+//! `503` (idle connections are nearly free and are never shed).
 //!
-//! Connections are **persistent** (HTTP/1.1 keep-alive): a worker keeps
-//! serving requests off one connection until the client sends
+//! Connections are **persistent** (HTTP/1.1 keep-alive) and owned by a
+//! single reactor thread: an idle connection parks in the reactor's
+//! `poll(2)` set, costing no worker at all, until the client sends
 //! `Connection: close`, the keep-alive idle timeout expires, or the
 //! per-connection request bound is reached (both configurable through
-//! [`ServerConfig`]). The [`client::KeepAliveClient`] reuses one
-//! connection across requests — `load_gen --no-keep-alive` quantifies
-//! what that reuse is worth in requests/sec.
+//! [`ServerConfig`]). Only connections with a *complete parsed request*
+//! (see [`RequestParser`]) occupy a dispatch worker, which is what lets
+//! `workers = 4` sustain 10k open keep-alive connections (`load_gen
+//! --connections 10000 --soak 30` measures exactly that; `/metrics`
+//! gauges `an5d_connections_{open,parked,active}` watch it live). The
+//! [`client::KeepAliveClient`] reuses one connection across requests —
+//! `load_gen --no-keep-alive` quantifies what that reuse is worth in
+//! requests/sec.
 //!
 //! # Example
 //!
@@ -90,6 +99,7 @@ pub mod fleet;
 pub mod handlers;
 pub mod http;
 pub mod metrics;
+mod reactor;
 mod server;
 pub mod telemetry;
 
@@ -102,7 +112,7 @@ pub use fleet::{Fleet, FleetShard, RoutePolicy, ShardStats, ShardTuneDbStats};
 pub use handlers::{
     dispatch, ServiceState, DEFAULT_SLOW_THRESHOLD, DEFAULT_TRACE_CAPACITY, ENDPOINTS,
 };
-pub use http::{Request, Response};
+pub use http::{Parse, Request, RequestParser, Response};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use metrics::{EndpointStats, Metrics};
+pub use metrics::{ConnectionSnapshot, ConnectionStats, EndpointStats, Metrics};
 pub use server::{banner, Server, ServerConfig};

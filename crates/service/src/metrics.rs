@@ -67,6 +67,99 @@ impl EndpointRecorder {
     }
 }
 
+/// A point-in-time copy of the connection-layer gauges and counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionSnapshot {
+    /// Connections accepted since startup.
+    pub accepted: u64,
+    /// Connections closed since startup (any reason).
+    pub closed: u64,
+    /// Connections that died mid-request (peer EOF or transport error
+    /// while a request head or body was partially buffered).
+    pub aborted: u64,
+    /// Connections currently open.
+    pub open: u64,
+    /// Open connections idle between requests (no buffered bytes, no
+    /// request in flight) — the cheap majority under C10K load.
+    pub parked: u64,
+}
+
+impl ConnectionSnapshot {
+    /// Open connections actively reading, executing, or writing.
+    #[must_use]
+    pub fn active(&self) -> u64 {
+        self.open.saturating_sub(self.parked)
+    }
+}
+
+/// Connection-layer gauges maintained by the reactor thread.
+///
+/// Only the reactor mutates these (single-threaded), but `/metrics` and
+/// `/stats` render them from worker threads, so they are atomics rather
+/// than plain fields.
+#[derive(Debug, Default)]
+pub struct ConnectionStats {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    aborted: AtomicU64,
+    open: AtomicU64,
+    parked: AtomicU64,
+    /// Busy time of one reactor loop iteration (poll-return to
+    /// poll-entry), microseconds. A growing tail here means the reactor
+    /// itself — not the workers — is the bottleneck.
+    loop_busy: Histogram,
+}
+
+impl ConnectionStats {
+    /// One connection accepted (opens it).
+    pub fn on_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection closed; `aborted` marks a mid-request death.
+    pub fn on_closed(&self, aborted: bool) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        if aborted {
+            self.aborted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A connection entered the parked (idle keep-alive) state.
+    pub fn on_parked(&self) {
+        self.parked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A parked connection became active again (or closed).
+    pub fn on_unparked(&self) {
+        self.parked.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record the busy time of one reactor loop iteration.
+    pub fn record_loop(&self, busy: Duration) {
+        self.loop_busy.record_duration(busy);
+    }
+
+    /// Copy of the counters for rendering.
+    #[must_use]
+    pub fn snapshot(&self) -> ConnectionSnapshot {
+        ConnectionSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            open: self.open.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the reactor-loop busy-time histogram.
+    #[must_use]
+    pub fn loop_snapshot(&self) -> HistogramSnapshot {
+        self.loop_busy.snapshot()
+    }
+}
+
 /// Thread-safe metrics registry shared by every connection worker.
 ///
 /// Endpoints are keyed by path; the map is a `BTreeMap` so `/stats` and
@@ -74,8 +167,10 @@ impl EndpointRecorder {
 #[derive(Debug, Default)]
 pub struct Metrics {
     endpoints: Mutex<BTreeMap<String, Arc<EndpointRecorder>>>,
-    /// Connections turned away by admission control with a 503.
+    /// Requests turned away by admission control with a 503.
     rejected: AtomicU64,
+    /// Connection-layer gauges, fed by the reactor.
+    connections: ConnectionStats,
 }
 
 impl Metrics {
@@ -108,6 +203,26 @@ impl Metrics {
     #[must_use]
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The connection-layer gauges (written by the reactor).
+    #[must_use]
+    pub fn connections(&self) -> &ConnectionStats {
+        &self.connections
+    }
+
+    /// Render the `"connections"` object of `/stats`.
+    #[must_use]
+    pub fn connections_json(&self) -> Json {
+        let snap = self.connections.snapshot();
+        Json::obj(vec![
+            ("open", Json::Int(i128::from(snap.open))),
+            ("parked", Json::Int(i128::from(snap.parked))),
+            ("active", Json::Int(i128::from(snap.active()))),
+            ("accepted", Json::Int(i128::from(snap.accepted))),
+            ("closed", Json::Int(i128::from(snap.closed))),
+            ("aborted", Json::Int(i128::from(snap.aborted))),
+        ])
     }
 
     /// Snapshot of one endpoint's stats (zeroes when never hit).
@@ -216,6 +331,39 @@ mod tests {
         let rendered = metrics.endpoints_json().render();
         assert!(rendered.contains("\"p50_us\""), "{rendered}");
         assert!(rendered.contains("\"p999_us\""), "{rendered}");
+    }
+
+    #[test]
+    fn connection_gauges_track_the_lifecycle() {
+        let metrics = Metrics::new();
+        let conns = metrics.connections();
+        for _ in 0..3 {
+            conns.on_accepted();
+            conns.on_parked();
+        }
+        conns.on_unparked(); // one connection goes active
+        let snap = conns.snapshot();
+        assert_eq!(snap.accepted, 3);
+        assert_eq!(snap.open, 3);
+        assert_eq!(snap.parked, 2);
+        assert_eq!(snap.active(), 1);
+
+        conns.on_closed(true); // the active one dies mid-request
+        conns.on_unparked();
+        conns.on_closed(false);
+        let snap = conns.snapshot();
+        assert_eq!(snap.closed, 2);
+        assert_eq!(snap.aborted, 1);
+        assert_eq!(snap.open, 1);
+        assert_eq!(snap.parked, 1);
+        assert_eq!(snap.active(), 0);
+
+        conns.record_loop(Duration::from_micros(120));
+        assert_eq!(conns.loop_snapshot().count(), 1);
+
+        let rendered = metrics.connections_json().render();
+        assert!(rendered.contains("\"aborted\":1"), "{rendered}");
+        assert!(rendered.contains("\"parked\":1"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! The reactor half of the server: one thread that owns every
+//! connection and never blocks on any of them.
+//!
+//! The pre-reactor server handed each accepted connection to a pooled
+//! worker for its whole lifetime, so `workers` — not the hardware —
+//! bounded concurrent clients. The reactor inverts that: connections
+//! live here as nonblocking sockets in an [`an5d_net::Poller`], and a
+//! worker is involved only between "a complete request is parsed" and
+//! "the response bytes are handed back" (see `server.rs` for the
+//! dispatch half). The same shape as AN5D's temporal blocking: the
+//! scarce resource (a worker thread / a register) is held exactly while
+//! useful work happens, and an idle keep-alive connection costs one
+//! `pollfd` entry plus one timer-wheel slot — which is what makes 10k
+//! parked connections with 4 workers a non-event.
+//!
+//! Per-connection lifecycle:
+//!
+//! ```text
+//!            accept                    bytes          complete request
+//!   listener ──────▶ Reading (first) ───────▶ Reading ───────────────▶ InFlight
+//!                       ▲                        ▲                        │
+//!                       │ first bytes            │                response│bytes
+//!                       │                        │ partial next           ▼
+//!                    Parked ◀──────────────── written ◀──────────── Writing
+//!                       keep-alive, no buffered bytes
+//! ```
+//!
+//! * **Parked** — idle between requests; read interest, keep-alive
+//!   deadline on the timer wheel. The cheap majority under C10K load.
+//! * **Reading** — partial request buffered in the [`RequestParser`];
+//!   read interest, I/O deadline.
+//! * **InFlight** — request dispatched to a worker; **no** poll interest
+//!   at all, so a client pipelining ahead is backpressured by TCP
+//!   rather than by server memory. No deadline (the worker owns the
+//!   clock); the connection's timer generation is bumped so a stale
+//!   deadline firing late is ignored.
+//! * **Writing** — response bytes draining; write interest, I/O
+//!   deadline. `close_after_write` carries the `Connection: close` /
+//!   request-bound / error / 503 decision.
+//!
+//! Closes distinguish *clean* ends (EOF while parked between requests,
+//! idle timeout, shutdown) from *aborted* ones (EOF, transport error,
+//! or deadline while a request head or body was partially buffered —
+//! `RequestParser::is_clean` is the oracle), feeding the
+//! `an5d_connections_aborted` counter.
+
+use crate::api;
+use crate::http::{Parse, Request, RequestParser, Response};
+use crate::server::{render_response, DispatchItem, Shared, IO_TIMEOUT};
+use an5d_net::{fd_of_listener, fd_of_stream, Event, Interest, Poller, TimerWheel, WakeReceiver};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll token of the listener.
+const LISTENER: usize = 0;
+/// Poll token of the wake channel.
+const WAKE: usize = 1;
+/// First token handed to a connection; tokens are never reused, so a
+/// stale timer or completion can never alias a new connection.
+const FIRST_CONN_TOKEN: usize = 2;
+
+/// Read syscall chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+/// Most bytes drained from one connection per loop iteration; a bulk
+/// sender yields to its neighbours and the level-triggered poll picks
+/// the remainder up next iteration.
+const READ_BURST: usize = 256 * 1024;
+
+/// Timer wheel slot width. Keep-alive and I/O deadlines fire up to one
+/// granule late — noise against the multi-second budgets involved.
+const TIMER_GRANULARITY: Duration = Duration::from_millis(10);
+/// Timer wheel slot count (horizon ≈ 10 s; later deadlines lap).
+const TIMER_SLOTS: usize = 1024;
+/// Upper bound on one poll wait: a safety heartbeat so a lost wake can
+/// stall the loop by at most this much.
+const MAX_POLL_WAIT: Duration = Duration::from_millis(500);
+
+/// What the reactor is doing with a connection right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Idle between requests (keep-alive deadline armed).
+    Parked,
+    /// Awaiting the first request, or holding a partial one.
+    Reading,
+    /// Request handed to a worker; no poll interest.
+    InFlight,
+    /// Response bytes draining to the socket.
+    Writing,
+}
+
+/// Everything the reactor holds per connection.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Pending response bytes (write-backpressure buffer).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Requests served on this connection.
+    served: usize,
+    state: ConnState,
+    close_after_write: bool,
+    /// Timer generation: bumped on every deadline (re)arm or disarm, so
+    /// a previously scheduled wheel entry firing late is ignored.
+    gen: u64,
+}
+
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    /// `Some` until shutdown stops accepting.
+    listener: Option<TcpListener>,
+    receiver: WakeReceiver,
+    poller: Poller,
+    wheel: TimerWheel,
+    conns: BTreeMap<usize, Conn>,
+    next_token: usize,
+    expired_scratch: Vec<(usize, u64)>,
+}
+
+impl Reactor {
+    /// Wire the listener and wake channel into a fresh poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to make the listener nonblocking.
+    pub(crate) fn new(
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        receiver: WakeReceiver,
+    ) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new();
+        poller.register(LISTENER, fd_of_listener(&listener), Interest::READABLE);
+        poller.register(WAKE, receiver.fd(), Interest::READABLE);
+        Ok(Self {
+            shared,
+            listener: Some(listener),
+            receiver,
+            poller,
+            wheel: TimerWheel::new(TIMER_GRANULARITY, TIMER_SLOTS, Instant::now()),
+            conns: BTreeMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            expired_scratch: Vec::new(),
+        })
+    }
+
+    /// The reactor thread body: poll → wakes → completions → accept →
+    /// socket events → timers, until shutdown has drained every
+    /// connection.
+    pub(crate) fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                self.sweep_for_shutdown();
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+            let now = Instant::now();
+            let timeout = self
+                .wheel
+                .next_timeout(now)
+                .map_or(MAX_POLL_WAIT, |hint| hint.min(MAX_POLL_WAIT));
+            if self.poller.poll(Some(timeout), &mut events).is_err() {
+                // Unrecoverable poll failure: back off instead of
+                // spinning; the heartbeat keeps shutdown responsive.
+                std::thread::sleep(TIMER_GRANULARITY);
+                continue;
+            }
+            let busy_start = Instant::now();
+            self.receiver.drain();
+            // Completions first: handing finished responses to their
+            // sockets is what frees workers for the dispatch queue.
+            self.apply_completions();
+            for event in events.iter().copied() {
+                match event.token {
+                    LISTENER => self.do_accept(),
+                    WAKE => {}
+                    token => self.on_socket_event(token, event),
+                }
+            }
+            self.fire_timers();
+            self.shared
+                .state
+                .metrics()
+                .connections()
+                .record_loop(busy_start.elapsed());
+        }
+    }
+
+    fn stats(&self) -> &crate::metrics::ConnectionStats {
+        self.shared.state.metrics().connections()
+    }
+
+    /// Arm (or re-arm) the connection's single deadline.
+    fn arm(&mut self, token: usize, budget: Duration) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.gen += 1;
+            let gen = conn.gen;
+            self.wheel.schedule(token, gen, Instant::now() + budget);
+        }
+    }
+
+    /// Invalidate any armed deadline (lazy cancellation).
+    fn disarm(&mut self, token: usize) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.gen += 1;
+        }
+    }
+
+    /// Decrement the parked gauge when leaving the parked state.
+    fn leave_parked(&mut self, token: usize) {
+        if let Some(conn) = self.conns.get(&token) {
+            if conn.state == ConnState::Parked {
+                self.stats().on_unparked();
+            }
+        }
+    }
+
+    /// Close and forget a connection. `aborted` marks a mid-request
+    /// death for the `an5d_connections_aborted` counter.
+    fn close(&mut self, token: usize, aborted: bool) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(token);
+            if conn.state == ConnState::Parked {
+                self.stats().on_unparked();
+            }
+            self.stats().on_closed(aborted);
+        }
+    }
+
+    /// Accept every connection the backlog holds right now.
+    fn do_accept(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // dropped: cannot safely poll it
+                    }
+                    // Responses are written as one segment each; disable
+                    // Nagle so one never waits on a delayed ACK.
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.poller
+                        .register(token, fd_of_stream(&stream), Interest::READABLE);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            parser: RequestParser::new(),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            served: 0,
+                            state: ConnState::Reading,
+                            close_after_write: false,
+                            gen: 0,
+                        },
+                    );
+                    self.stats().on_accepted();
+                    // The first request gets the full I/O budget, as the
+                    // pre-reactor server gave it.
+                    self.arm(token, IO_TIMEOUT);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE): yield so a
+                    // persistent error cannot become a hot loop.
+                    std::thread::sleep(Duration::from_millis(5));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_socket_event(&mut self, token: usize, event: Event) {
+        let Some(conn) = self.conns.get(&token) else {
+            return; // closed earlier this iteration
+        };
+        match conn.state {
+            ConnState::Parked | ConnState::Reading if event.readable => self.do_read(token),
+            ConnState::Writing => self.try_flush(token),
+            _ => {}
+        }
+    }
+
+    /// Drain readable bytes into the parser, then advance it.
+    fn do_read(&mut self, token: usize) {
+        let mut peer_gone = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut total = 0;
+            loop {
+                match (&conn.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        peer_gone = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.parser.feed(&chunk[..n]);
+                        total += n;
+                        if total >= READ_BURST {
+                            break; // fairness: poll re-reports the rest
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        peer_gone = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.advance_parser(token, peer_gone);
+    }
+
+    /// Pull at most one request out of the parser and act on it.
+    /// Pipelined successors stay buffered until this one's response is
+    /// written — requests on one connection are served in order.
+    fn advance_parser(&mut self, token: usize, peer_gone: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.parser.parse() {
+            Parse::Ready(request) => self.dispatch_request(token, request),
+            Parse::Failed(err) => {
+                // Framing errors poison the stream position; answer and
+                // close rather than guess where the next request starts.
+                let body = render_response(
+                    &Response::new(err.status, api::error_body(&err.message)),
+                    false,
+                );
+                self.start_write(token, body, true);
+            }
+            Parse::NeedMore => {
+                if peer_gone {
+                    // Clean EOF between requests is normal keep-alive
+                    // teardown; EOF mid-request is an abort.
+                    let aborted = !self.conns[&token].parser.is_clean();
+                    self.close(token, aborted);
+                } else if self.conns[&token].parser.is_clean() {
+                    self.park(token);
+                } else {
+                    // Mid-request (partial line buffered, or headers
+                    // done and body bytes outstanding): keep Reading
+                    // under the per-request I/O budget, not the
+                    // keep-alive idle timeout, and don't count it in
+                    // the parked gauge.
+                    self.resume_reading(token);
+                }
+            }
+        }
+    }
+
+    /// Idle between requests: cheap to hold, reaped after the keep-alive
+    /// budget.
+    fn park(&mut self, token: usize) {
+        self.leave_parked(token);
+        let keep_alive_timeout = self.shared.keep_alive_timeout;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.state = ConnState::Parked;
+            self.poller.set_interest(token, Interest::READABLE);
+            self.stats().on_parked();
+            self.arm(token, keep_alive_timeout);
+        }
+    }
+
+    /// A request is (still) arriving: full I/O budget per read, exactly
+    /// like the pre-reactor per-read socket timeout.
+    fn resume_reading(&mut self, token: usize) {
+        self.leave_parked(token);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.state = ConnState::Reading;
+            self.poller.set_interest(token, Interest::READABLE);
+            self.arm(token, IO_TIMEOUT);
+        }
+    }
+
+    /// Hand a parsed request to the dispatch queue — or shed it with a
+    /// 503 when the queue is at depth (admission control now sheds
+    /// *requests*, not connections: parked idle connections are nearly
+    /// free, so the bounded resource worth guarding is worker time).
+    fn dispatch_request(&mut self, token: usize, request: Request) {
+        let depth = self
+            .shared
+            .queue
+            .lock()
+            .expect("dispatch queue poisoned")
+            .len();
+        if depth >= self.shared.queue_depth {
+            self.shared.state.metrics().record_rejected();
+            let body = render_response(
+                &Response::new(503, api::error_body("server overloaded, retry later")),
+                false,
+            );
+            self.start_write(token, body, true);
+            return;
+        }
+        self.leave_parked(token);
+        let served = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.state = ConnState::InFlight;
+            conn.served += 1;
+            conn.served
+        };
+        if served > 1 {
+            self.shared.reused_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        // No poll interest while a worker owns the request: a client
+        // pipelining ahead is backpressured by TCP, not server memory.
+        self.poller.set_interest(token, Interest::NONE);
+        self.disarm(token);
+        let mut queue = self.shared.queue.lock().expect("dispatch queue poisoned");
+        queue.push_back(DispatchItem {
+            token,
+            request,
+            served,
+        });
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+
+    /// Take ownership of response bytes and start draining them.
+    fn start_write(&mut self, token: usize, bytes: Vec<u8>, close_after: bool) {
+        self.leave_parked(token);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.state = ConnState::Writing;
+            conn.out = bytes;
+            conn.out_pos = 0;
+            conn.close_after_write = close_after;
+            self.poller.set_interest(token, Interest::WRITABLE);
+            self.arm(token, IO_TIMEOUT);
+            // Optimistic first write: the send buffer is almost always
+            // open, so most responses never wait for a poll round.
+            self.try_flush(token);
+        }
+    }
+
+    fn try_flush(&mut self, token: usize) {
+        let mut failed = false;
+        let mut done = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            loop {
+                if conn.out_pos == conn.out.len() {
+                    done = true;
+                    break;
+                }
+                match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if failed {
+            let aborted = !self.conns[&token].parser.is_clean();
+            self.close(token, aborted);
+        } else if done {
+            self.on_response_written(token);
+        }
+        // Otherwise stay in Writing; poll reports writability later.
+    }
+
+    /// The response is fully on the wire: close, or look for the next
+    /// request (which may already be buffered, pipelined).
+    fn on_response_written(&mut self, token: usize) {
+        let close =
+            self.conns[&token].close_after_write || self.shared.shutdown.load(Ordering::Acquire);
+        if close {
+            self.close(token, false);
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.out = Vec::new();
+            conn.out_pos = 0;
+        }
+        self.advance_parser(token, false);
+    }
+
+    /// Hand each finished response back to its connection.
+    fn apply_completions(&mut self) {
+        let completed = std::mem::take(
+            &mut *self
+                .shared
+                .completions
+                .lock()
+                .expect("completion queue poisoned"),
+        );
+        for completion in completed {
+            if self.conns.contains_key(&completion.token) {
+                self.start_write(completion.token, completion.bytes, !completion.keep_alive);
+            }
+        }
+    }
+
+    /// Fire expired deadlines; stale generations are ignored.
+    fn fire_timers(&mut self) {
+        let mut due = std::mem::take(&mut self.expired_scratch);
+        due.clear();
+        self.wheel.expired(Instant::now(), &mut due);
+        for &(token, gen) in &due {
+            let Some(conn) = self.conns.get(&token) else {
+                continue;
+            };
+            if conn.gen != gen {
+                continue; // re-armed or in flight since scheduling
+            }
+            // Keep-alive expiry on a parked connection is a clean reap;
+            // a deadline mid-request or mid-response is an abort.
+            let aborted = !conn.parser.is_clean();
+            self.close(token, aborted);
+        }
+        self.expired_scratch = due;
+    }
+
+    /// On shutdown: stop accepting, drop every idle connection, and let
+    /// in-flight requests and draining responses finish — every admitted
+    /// request is answered.
+    fn sweep_for_shutdown(&mut self) {
+        if self.listener.take().is_some() {
+            self.poller.deregister(LISTENER);
+        }
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| matches!(conn.state, ConnState::Parked | ConnState::Reading))
+            .map(|(&token, _)| token)
+            .collect();
+        for token in idle {
+            // Server-initiated: never counted as a peer abort.
+            self.close(token, false);
+        }
+    }
+}

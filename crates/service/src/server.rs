@@ -1,49 +1,63 @@
-//! The `an5d-serve` server: TCP accept loop, bounded connection queue
-//! with admission control, a fixed worker pool, persistent (keep-alive)
+//! The `an5d-serve` server: a nonblocking reactor owning every
+//! connection, a bounded dispatch queue with admission control, a fixed
+//! worker pool for CPU-bound request handling, persistent (keep-alive)
 //! connections and graceful shutdown.
 //!
 //! Concurrency model (all std, no external runtime):
 //!
-//! * the **accept thread** owns the `TcpListener`. Each accepted
-//!   connection is pushed onto a bounded queue; when the queue is full
-//!   the connection is answered `503` immediately (admission control —
-//!   overload sheds load instead of growing an unbounded backlog);
-//! * **worker threads** pop connections and serve **multiple requests
-//!   per connection**: requests are read and dispatched through
-//!   [`crate::handlers::dispatch`] until the client sends
-//!   `Connection: close`, the keep-alive idle timeout expires, or the
-//!   per-connection request bound is reached (so one chatty client
-//!   cannot monopolise a worker forever);
+//! * the **reactor thread** (see [`crate::reactor`]) owns the
+//!   `TcpListener` and every connection as nonblocking sockets in a
+//!   `poll(2)`-backed readiness loop. Idle keep-alive connections park
+//!   there for the cost of one `pollfd` entry — connection count is
+//!   unbounded-but-gauged (`/metrics`: `an5d_connections_*`), and
+//!   [`ServerConfig::workers`] bounds CPU-bound concurrency, not
+//!   clients;
+//! * **worker threads** pop *complete parsed requests* from a bounded
+//!   dispatch queue, run [`crate::handlers::dispatch`], render the
+//!   response bytes, and hand them back to the reactor. When the queue
+//!   is at [`ServerConfig::queue_depth`] the reactor answers `503`
+//!   immediately (admission control sheds requests instead of growing
+//!   an unbounded backlog);
+//! * **keep-alive policy** is enforced by the reactor's timer wheel
+//!   ([`ServerConfig::keep_alive_timeout`] between requests, a fixed
+//!   I/O budget within one) and by the workers
+//!   ([`ServerConfig::max_requests_per_connection`], `Connection:
+//!   close`);
 //! * **graceful shutdown** — `POST /shutdown` (or [`Server::stop`]) sets
-//!   the shutdown flag, wakes the accept thread with a loopback
-//!   connection and wakes all workers; workers drain the queue before
-//!   exiting (closing each connection after its in-flight request), so
+//!   the shutdown flag and wakes both halves: workers drain the
+//!   dispatch queue before exiting, the reactor closes parked
+//!   connections immediately and keeps in-flight responses draining, so
 //!   every admitted request is answered.
 
 use crate::handlers::{dispatch, ServiceState};
-use crate::http::{read_request, write_response, Response};
-use crate::{api, json::Json};
+use crate::http::{write_response, Request, Response};
+use crate::json::Json;
+use crate::reactor::Reactor;
 use an5d::{backend_from_env, ExecutionBackend};
 use std::collections::VecDeque;
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Socket read timeout for the *first* request of a connection, and the
-/// write timeout throughout.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// I/O budget for one read or write step of a request/response cycle:
+/// the deadline the reactor arms while a request is arriving, a
+/// response is draining, or a fresh connection has yet to speak.
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address (use port 0 for an ephemeral port).
     pub addr: String,
-    /// Connection worker threads.
+    /// CPU-bound dispatch worker threads. Bounds concurrent request
+    /// *handling*; open connections are bounded only by file
+    /// descriptors (the reactor parks idle ones for free).
     pub workers: usize,
-    /// Bounded queue depth; connections beyond it are answered 503.
+    /// Bounded dispatch-queue depth; parsed requests beyond it are
+    /// answered 503.
     pub queue_depth: usize,
     /// Per-device plan-cache shard capacity (each registered device gets
     /// its own shard of this size).
@@ -52,7 +66,8 @@ pub struct ServerConfig {
     /// before the server closes it.
     pub keep_alive_timeout: Duration,
     /// Maximum requests served on one connection before the server
-    /// closes it (bounds worker monopolisation by a single client).
+    /// closes it (bounds how long a single client can hold one
+    /// connection's server-side state).
     pub max_requests_per_connection: usize,
     /// Path of the persisted tuning database: `/tune` reads through it,
     /// fresh results are appended, and every device shard warms its
@@ -84,86 +99,62 @@ impl Default for ServerConfig {
     }
 }
 
-/// A connection waiting for (or returning to) a worker, with the
-/// serving state that must survive fairness re-queueing.
-struct QueuedConn {
-    stream: TcpStream,
-    /// Requests already served on this connection.
-    served: usize,
-    /// Absolute idle deadline for the next request (`None` until the
-    /// connection first waits).
-    deadline: Option<std::time::Instant>,
+/// One complete parsed request travelling reactor → worker.
+pub(crate) struct DispatchItem {
+    /// The reactor's token for the owning connection.
+    pub(crate) token: usize,
+    pub(crate) request: Request,
+    /// Requests served on that connection including this one — the
+    /// worker folds it into the keep-alive decision.
+    pub(crate) served: usize,
 }
 
-struct Shared {
-    state: ServiceState,
-    queue: Mutex<VecDeque<QueuedConn>>,
-    available: Condvar,
-    shutdown: AtomicBool,
-    queue_depth: usize,
-    keep_alive_timeout: Duration,
-    max_requests_per_connection: usize,
+/// Rendered response bytes travelling worker → reactor.
+pub(crate) struct Completion {
+    pub(crate) token: usize,
+    pub(crate) bytes: Vec<u8>,
+    /// Whether the rendered `Connection:` header promised keep-alive;
+    /// the reactor closes after the write when it did not.
+    pub(crate) keep_alive: bool,
+}
+
+/// State shared between the reactor thread and the dispatch workers.
+pub(crate) struct Shared {
+    pub(crate) state: ServiceState,
+    /// Bounded dispatch queue (reactor pushes, workers pop).
+    pub(crate) queue: Mutex<VecDeque<DispatchItem>>,
+    pub(crate) available: Condvar,
+    /// Finished responses (workers push, reactor drains after a wake).
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) queue_depth: usize,
+    pub(crate) keep_alive_timeout: Duration,
+    pub(crate) max_requests_per_connection: usize,
     /// Requests served on a connection that had already served at least
     /// one (i.e. saved TCP connection setups).
-    reused_requests: AtomicU64,
-    addr: SocketAddr,
+    pub(crate) reused_requests: AtomicU64,
+    pub(crate) addr: SocketAddr,
+    /// Nudges the reactor out of `poll` (completions, shutdown).
+    pub(crate) waker: an5d_net::Waker,
 }
 
 impl Shared {
-    /// Admit a connection or shed it with a 503.
-    fn admit(&self, stream: TcpStream) {
-        let mut queue = self.queue.lock().expect("connection queue poisoned");
-        if queue.len() >= self.queue_depth {
-            drop(queue);
-            self.state.metrics().record_rejected();
-            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-            let mut stream = stream;
-            let _ = write_response(
-                &mut stream,
-                &Response::new(503, api::error_body("server overloaded, retry later")),
-                false,
-            );
-            return;
-        }
-        queue.push_back(QueuedConn {
-            stream,
-            served: 0,
-            deadline: None,
-        });
-        drop(queue);
-        self.available.notify_one();
-    }
-
-    /// Return an established (already admitted) connection to the back
-    /// of the queue. Bypasses the admission bound on purpose: requeued
-    /// connections are already inside the system, and their number is
-    /// bounded by the worker count.
-    fn requeue(&self, conn: QueuedConn) {
-        let mut queue = self.queue.lock().expect("connection queue poisoned");
-        queue.push_back(conn);
-        drop(queue);
-        self.available.notify_one();
-    }
-
-    /// Pop the next connection; `None` once shut down and drained.
-    fn pop(&self) -> Option<QueuedConn> {
-        let mut queue = self.queue.lock().expect("connection queue poisoned");
+    /// Pop the next request; `None` once shut down and drained.
+    fn pop(&self) -> Option<DispatchItem> {
+        let mut queue = self.queue.lock().expect("dispatch queue poisoned");
         loop {
-            if let Some(conn) = queue.pop_front() {
-                return Some(conn);
+            if let Some(item) = queue.pop_front() {
+                return Some(item);
             }
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            queue = self
-                .available
-                .wait(queue)
-                .expect("connection queue poisoned");
+            queue = self.available.wait(queue).expect("dispatch queue poisoned");
         }
     }
 
-    /// Flip the shutdown flag and wake the accept thread and all workers.
-    fn begin_shutdown(&self) {
+    /// Flip the shutdown flag and wake the reactor and all workers.
+    pub(crate) fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return; // already shutting down
         }
@@ -173,13 +164,21 @@ impl Shared {
         // parked in `wait` — without the lock the notification could
         // slip into the gap and be lost, leaving that worker (and
         // `Server::stop`) asleep forever.
-        let guard = self.queue.lock().expect("connection queue poisoned");
+        let guard = self.queue.lock().expect("dispatch queue poisoned");
         self.available.notify_all();
         drop(guard);
-        // Wake the accept thread out of its blocking accept(); the
-        // connection itself is discarded by the flag check.
-        let _ = TcpStream::connect(self.addr);
+        // Wake the reactor out of `poll`; it notices the flag, stops
+        // accepting and starts draining.
+        self.waker.wake();
     }
+}
+
+/// Render a response to owned bytes exactly as it would hit the wire.
+/// Infallible: the sink is a `Vec`.
+pub(crate) fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, response, keep_alive).expect("writing to a Vec cannot fail");
+    bytes
 }
 
 /// A running `an5d-serve` instance.
@@ -189,7 +188,7 @@ impl Shared {
 /// until exit); tests and the binary always join explicitly.
 pub struct Server {
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
@@ -233,22 +232,25 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let (waker, receiver) = an5d_net::wake()?;
         let shared = Arc::new(Shared {
             state,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             queue_depth: config.queue_depth.max(1),
             keep_alive_timeout: config.keep_alive_timeout.max(Duration::from_millis(1)),
             max_requests_per_connection: config.max_requests_per_connection.max(1),
             reused_requests: AtomicU64::new(0),
             addr,
+            waker,
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::Builder::new()
-            .name("an5d-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        let reactor = Reactor::new(listener, Arc::clone(&shared), receiver)?;
+        let reactor_handle = std::thread::Builder::new()
+            .name("an5d-serve-reactor".to_string())
+            .spawn(move || reactor.run())?;
 
         let workers = config.workers.max(1);
         let mut worker_handles = Vec::with_capacity(workers);
@@ -262,7 +264,7 @@ impl Server {
         }
         Ok(Server {
             shared,
-            accept_handle: Some(accept_handle),
+            reactor_handle: Some(reactor_handle),
             worker_handles,
         })
     }
@@ -308,8 +310,8 @@ impl Server {
     }
 
     fn join(&mut self) {
-        if let Some(handle) = self.accept_handle.take() {
-            handle.join().expect("accept thread panicked");
+        if let Some(handle) = self.reactor_handle.take() {
+            handle.join().expect("reactor thread panicked");
         }
         for handle in self.worker_handles.drain(..) {
             handle.join().expect("worker thread panicked");
@@ -317,202 +319,32 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                shared.admit(stream);
-            }
-            Err(_) => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                // Transient accept failure (e.g. EMFILE): keep serving.
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-}
-
+/// The dispatch-worker body: pop a parsed request, handle it, render
+/// the response, hand the bytes back to the reactor.
 fn worker_loop(shared: &Shared) {
-    while let Some(conn) = shared.pop() {
-        handle_connection(shared, conn);
-    }
-}
-
-/// Granularity of the shutdown-flag / fairness poll while a worker waits
-/// for the next request on an idle connection: the worst-case extra
-/// shutdown latency contributed by a parked worker, and the longest a
-/// queued connection waits behind an idle one.
-const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
-
-/// Outcome of waiting for the next request on a connection.
-enum Wait {
-    /// Request bytes are available (or already buffered).
-    Ready,
-    /// Close the connection: peer hung up, idle deadline passed, a
-    /// transport error occurred, or the server is shutting down.
-    Close,
-    /// Other connections are queued and this one is idle: hand the
-    /// worker back by re-queueing the connection (round-robin fairness).
-    Requeue,
-}
-
-/// Wait until the next request's first byte is available (or already
-/// buffered), the absolute `deadline` passes, the peer hangs up, or the
-/// server begins shutting down. Polls in [`SHUTDOWN_POLL`] slices so an
-/// idle kept-alive connection can neither park its worker past shutdown
-/// nor starve connections waiting in the queue.
-fn wait_for_request(
-    shared: &Shared,
-    reader: &BufReader<TcpStream>,
-    deadline: std::time::Instant,
-) -> Wait {
-    if !reader.buffer().is_empty() {
-        return Wait::Ready; // a pipelined request is already buffered
-    }
-    let mut probe = [0u8; 1];
-    loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return Wait::Close;
-        }
-        let now = std::time::Instant::now();
-        let Some(remaining) = deadline
-            .checked_duration_since(now)
-            .filter(|r| !r.is_zero())
-        else {
-            return Wait::Close; // idle deadline passed
-        };
-        let slice = SHUTDOWN_POLL.min(remaining);
-        let _ = reader.get_ref().set_read_timeout(Some(slice));
-        match reader.get_ref().peek(&mut probe) {
-            Ok(0) => return Wait::Close, // peer closed
-            Ok(_) => return Wait::Ready, // request bytes available
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // Still idle: if admitted connections are waiting for a
-                // worker, give this one's slot back rather than sitting
-                // on it for the rest of the idle budget.
-                if !shared
-                    .queue
-                    .lock()
-                    .expect("connection queue poisoned")
-                    .is_empty()
-                {
-                    return Wait::Requeue;
-                }
-            }
-            Err(_) => return Wait::Close,
-        }
-    }
-}
-
-/// Serve requests off one connection until the client (or a server
-/// policy) ends it: `Connection: close`, the keep-alive idle deadline,
-/// the per-connection request bound, a transport error, or server
-/// shutdown. Pipelined requests already buffered in the reader are
-/// served before the connection waits on the socket again. An idle
-/// connection is re-queued (with its `served` count and idle deadline
-/// carried along) whenever other connections are waiting, so persistent
-/// clients cannot pin every worker.
-fn handle_connection(shared: &Shared, conn: QueuedConn) {
-    let QueuedConn {
-        stream,
-        mut served,
-        mut deadline,
-    } = conn;
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    // Responses are written as one buffered segment each; disable Nagle
-    // so a response never waits on the client's delayed ACK.
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
-    loop {
-        // The first request gets the full I/O timeout; between requests
-        // the shorter keep-alive idle timeout applies, so a silent
-        // client releases this worker quickly. The deadline is absolute
-        // and survives re-queueing, so requeue cycles never extend a
-        // connection's idle budget.
-        let limit = *deadline.get_or_insert_with(|| {
-            let budget = if served == 0 {
-                IO_TIMEOUT
-            } else {
-                shared.keep_alive_timeout
-            };
-            std::time::Instant::now() + budget
-        });
-        match wait_for_request(shared, &reader, limit) {
-            Wait::Ready => {}
-            Wait::Close => return,
-            Wait::Requeue => {
-                shared.requeue(QueuedConn {
-                    stream: reader.into_inner(),
-                    served,
-                    deadline: Some(limit),
-                });
-                return;
-            }
-        }
-        // The request has started arriving: give its remaining bytes the
-        // full I/O timeout regardless of the idle budget.
-        let _ = reader.get_ref().set_read_timeout(Some(IO_TIMEOUT));
-        let request = match read_request(&mut reader) {
-            Ok(Ok(request)) => request,
-            Ok(Err(http_error)) => {
-                // Framing errors poison the stream position; answer and
-                // close rather than guess where the next request starts.
-                let _ = write_response(
-                    reader.get_mut(),
-                    &Response::new(http_error.status, api::error_body(&http_error.message)),
-                    false,
-                );
-                return;
-            }
-            // Transport failure: the peer closed (normal keep-alive
-            // teardown), vanished, or idled past the deadline. No reply
-            // is possible or useful.
-            Err(_) => return,
-        };
-        served += 1;
-        if served > 1 {
-            shared.reused_requests.fetch_add(1, Ordering::Relaxed);
-        }
-        let response = dispatch(&shared.state, &request);
-        let shutting_down =
-            request.method == "POST" && request.path == "/shutdown" && response.status == 200;
-        let keep_alive = request.keep_alive
+    while let Some(item) = shared.pop() {
+        let response = dispatch(&shared.state, &item.request);
+        let shutting_down = item.request.method == "POST"
+            && item.request.path == "/shutdown"
+            && response.status == 200;
+        let keep_alive = item.request.keep_alive
             && !shutting_down
-            && served < shared.max_requests_per_connection
+            && item.served < shared.max_requests_per_connection
             && !shared.shutdown.load(Ordering::Acquire);
-        let written = write_response(reader.get_mut(), &response, keep_alive);
+        let bytes = render_response(&response, keep_alive);
+        shared
+            .completions
+            .lock()
+            .expect("completion queue poisoned")
+            .push(Completion {
+                token: item.token,
+                bytes,
+                keep_alive,
+            });
         if shutting_down {
             shared.begin_shutdown();
         }
-        if !keep_alive || written.is_err() {
-            return;
-        }
-        // A fresh idle period starts after each response.
-        deadline = None;
-        // Fairness: if other connections await a worker and nothing of
-        // this connection's next request has arrived yet, rotate to the
-        // back of the queue instead of monopolising the worker.
-        if reader.buffer().is_empty()
-            && !shared
-                .queue
-                .lock()
-                .expect("connection queue poisoned")
-                .is_empty()
-        {
-            shared.requeue(QueuedConn {
-                stream: reader.into_inner(),
-                served,
-                deadline: Some(std::time::Instant::now() + shared.keep_alive_timeout),
-            });
-            return;
-        }
+        shared.waker.wake();
     }
 }
 
@@ -678,12 +510,14 @@ mod tests {
         let mut client = client::KeepAliveClient::new(addr);
         let (status, _) = client.get("/stats").unwrap();
         assert_eq!(status, 200);
-        // Sit idle past the server's keep-alive timeout; the server
-        // drops the connection, freeing its only worker — a second
-        // client must still get served...
+        // Sit idle past the server's keep-alive timeout; the reactor
+        // reaps the parked connection (a clean close, not an abort)...
         std::thread::sleep(Duration::from_millis(200));
+        let snap = server.state().metrics().connections().snapshot();
+        assert_eq!(snap.open, 0, "idle connection must be reaped: {snap:?}");
+        assert_eq!(snap.aborted, 0, "idle reap is clean: {snap:?}");
         let (status, _) = client::get(addr, "/stats").unwrap();
-        assert_eq!(status, 200, "worker must not stay parked on idle conn");
+        assert_eq!(status, 200);
         // ...and the idle client reconnects transparently.
         let (status, _) = client.get("/stats").unwrap();
         assert_eq!(status, 200);
@@ -692,9 +526,8 @@ mod tests {
 
     #[test]
     fn shutdown_is_not_delayed_by_idle_keep_alive_connections() {
-        // A worker parked on an idle persistent connection must notice
-        // shutdown within the SHUTDOWN_POLL slice, not after the whole
-        // keep-alive timeout.
+        // A parked idle connection must not delay shutdown: the reactor
+        // closes parked connections as soon as the flag is set.
         let server = test_server_with(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
@@ -707,7 +540,7 @@ mod tests {
         let mut idle = client::KeepAliveClient::new(addr);
         let (status, _) = idle.get("/stats").unwrap();
         assert_eq!(status, 200);
-        // The connection now sits idle, parking a worker in its wait.
+        // The connection now sits parked in the reactor.
         let started = std::time::Instant::now();
         server.stop();
         assert!(
@@ -719,10 +552,9 @@ mod tests {
 
     #[test]
     fn keep_alive_connections_do_not_starve_queued_clients() {
-        // More persistent clients than workers: with one worker, a
-        // second keep-alive client must still be served promptly (the
-        // idle first connection is requeued, not held for its whole
-        // keep-alive budget).
+        // More persistent clients than workers: with one worker, idle
+        // connections park in the reactor instead of pinning the worker,
+        // so a second keep-alive client is served promptly.
         let server = test_server_with(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
@@ -735,7 +567,7 @@ mod tests {
         let mut first = client::KeepAliveClient::new(addr);
         let (status, _) = first.get("/stats").unwrap();
         assert_eq!(status, 200);
-        // The first connection is now idle on the only worker.
+        // The first connection is now idle (parked).
         let mut second = client::KeepAliveClient::new(addr);
         let started = std::time::Instant::now();
         let (status, _) = second.get("/stats").unwrap();
@@ -762,6 +594,91 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"cache\""));
         assert_eq!(server.reused_requests(), 0);
+        server.stop();
+    }
+
+    #[test]
+    fn connection_gauges_reflect_parked_connections() {
+        let server = test_server(2, 16);
+        let addr = server.addr();
+        let mut clients: Vec<client::KeepAliveClient> =
+            (0..5).map(|_| client::KeepAliveClient::new(addr)).collect();
+        for client in &mut clients {
+            let (status, _) = client.get("/stats").unwrap();
+            assert_eq!(status, 200);
+        }
+        // All five connections are now idle between requests: parked.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = server.state().metrics().connections().snapshot();
+            if snap.parked == 5 && snap.open == 5 {
+                assert_eq!(snap.accepted, 5);
+                assert_eq!(snap.active(), 0);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "gauges never settled: {snap:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // /metrics exposes the same numbers.
+        let (status, text) = client::get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            text.contains("an5d_connections_parked 5"),
+            "parked gauge missing: {}",
+            text.lines()
+                .filter(|l| l.contains("an5d_connections"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(text.contains("an5d_connections_aborted 0"), "no aborts");
+        drop(clients);
+        server.stop();
+    }
+
+    #[test]
+    fn truncated_request_counts_as_aborted() {
+        use std::io::Write;
+        let server = test_server(1, 8);
+        let addr = server.addr();
+        // Die mid-request: headers cut off without the blank line.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /parse HTTP/1.1\r\nContent-Le")
+            .unwrap();
+        drop(stream); // FIN mid-request
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = server.state().metrics().connections().snapshot();
+            if snap.aborted == 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "abort never counted: {snap:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // A clean EOF between requests is NOT an abort.
+        let mut client = client::KeepAliveClient::new(addr);
+        let (status, _) = client.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        drop(client); // clean keep-alive teardown
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = server.state().metrics().connections().snapshot();
+            if snap.open == 0 {
+                assert_eq!(snap.aborted, 1, "clean EOF must not count: {snap:?}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "close never observed: {snap:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
         server.stop();
     }
 }

@@ -94,12 +94,67 @@ pub fn render_prometheus(state: &ServiceState) -> String {
             stats.errors
         );
     }
-    out.push_str("# HELP an5d_rejected_connections_total Connections shed by admission control.\n");
+    out.push_str("# HELP an5d_rejected_connections_total Requests shed by admission control.\n");
     out.push_str("# TYPE an5d_rejected_connections_total counter\n");
     let _ = writeln!(
         out,
         "an5d_rejected_connections_total {}",
         state.metrics().rejected()
+    );
+
+    // Connection layer: reactor gauges and loop-latency histogram.
+    let conns = state.metrics().connections().snapshot();
+    for (metric, help, kind, value) in [
+        (
+            "an5d_connections_open",
+            "Currently open client connections.",
+            "gauge",
+            conns.open,
+        ),
+        (
+            "an5d_connections_parked",
+            "Open connections idle between requests (parked in the reactor).",
+            "gauge",
+            conns.parked,
+        ),
+        (
+            "an5d_connections_active",
+            "Open connections reading, executing, or writing a request.",
+            "gauge",
+            conns.active(),
+        ),
+        (
+            "an5d_connections_accepted_total",
+            "Connections accepted since startup.",
+            "counter",
+            conns.accepted,
+        ),
+        (
+            "an5d_connections_closed_total",
+            "Connections closed since startup.",
+            "counter",
+            conns.closed,
+        ),
+        (
+            "an5d_connections_aborted",
+            "Connections that died mid-request (truncated head or body).",
+            "counter",
+            conns.aborted,
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {metric} {help}");
+        let _ = writeln!(out, "# TYPE {metric} {kind}");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    out.push_str(
+        "# HELP an5d_reactor_loop_us Reactor loop busy time per iteration, microseconds.\n",
+    );
+    out.push_str("# TYPE an5d_reactor_loop_us histogram\n");
+    render_histogram(
+        &mut out,
+        "an5d_reactor_loop_us",
+        "",
+        &state.metrics().connections().loop_snapshot(),
     );
 
     // Fleet: per-device shard load, plan cache and tune-DB counters.

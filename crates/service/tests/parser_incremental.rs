@@ -1,0 +1,293 @@
+//! Equivalence fuzzing for the resumable [`RequestParser`]: every
+//! fixture stream is replayed whole, split at **every** byte boundary,
+//! byte-by-byte, and in proptest-chosen random chunkings, and the
+//! incremental parse must produce exactly the requests (and errors) the
+//! one-shot [`read_request`] loop produces on the same bytes — including
+//! pipelined back-to-back requests that share a chunk.
+//!
+//! Truncated streams are covered separately: cutting a stream anywhere
+//! that is *not* a request boundary must leave the parser `!is_clean()`
+//! (the reactor's abort oracle), while cutting exactly between requests
+//! must leave it clean.
+
+use an5d_service::http::{read_request, HttpError};
+use an5d_service::{Parse, Request, RequestParser};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// One request's worth of bytes plus whether the one-shot parser treats
+/// the unit as well-formed (errors poison the rest of the stream).
+struct Unit {
+    bytes: &'static [u8],
+    ok: bool,
+}
+
+const fn ok(bytes: &'static [u8]) -> Unit {
+    Unit { bytes, ok: true }
+}
+
+const fn bad(bytes: &'static [u8]) -> Unit {
+    Unit { bytes, ok: false }
+}
+
+/// Fixture streams, each a concatenation of request units so the exact
+/// request boundaries are known by construction. Error units only ever
+/// appear last: both parsers stop at the first framing error.
+fn fixtures() -> Vec<(&'static str, Vec<Unit>)> {
+    vec![
+        ("simple get", vec![ok(b"GET /stats HTTP/1.1\r\n\r\n")]),
+        (
+            "post with query and body",
+            vec![ok(
+                b"POST /parse?verbose=1 HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world",
+            )],
+        ),
+        (
+            "http/1.0 opting into keep-alive",
+            vec![ok(
+                b"GET /devices HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+            )],
+        ),
+        (
+            "close wins over later keep-alive",
+            vec![ok(
+                b"GET /stats HTTP/1.1\r\nConnection: close\r\nConnection: keep-alive\r\n\r\n",
+            )],
+        ),
+        (
+            "body containing CRLF noise",
+            vec![ok(
+                b"POST /plan HTTP/1.1\r\nContent-Length: 14\r\n\r\nGET /x\r\n\r\nBODY",
+            )],
+        ),
+        (
+            "bare-LF line endings",
+            vec![ok(b"POST /parse HTTP/1.1\nContent-Length: 3\n\nabc")],
+        ),
+        (
+            "pipelined trio sharing the stream",
+            vec![
+                ok(b"POST /parse HTTP/1.1\r\nContent-Length: 5\r\n\r\nfirst"),
+                ok(b"GET /devices HTTP/1.1\r\n\r\n"),
+                ok(b"POST /stats HTTP/1.1\r\nConnection: close\r\nContent-Length: 6\r\n\r\nsecond"),
+            ],
+        ),
+        (
+            "request after an empty-bodied post",
+            vec![
+                ok(b"POST /shutdown HTTP/1.1\r\nContent-Length: 0\r\n\r\n"),
+                ok(b"GET /metrics HTTP/1.1\r\n\r\n"),
+            ],
+        ),
+        (
+            "malformed request line",
+            vec![bad(b"complete nonsense\r\n\r\n")],
+        ),
+        (
+            "unsupported protocol version",
+            vec![bad(b"GET /stats SPDY/3\r\n\r\n")],
+        ),
+        (
+            "unparseable content-length",
+            vec![bad(b"POST /parse HTTP/1.1\r\nContent-Length: nope\r\n\r\n")],
+        ),
+        (
+            "oversized content-length is a 413",
+            vec![bad(
+                b"POST /parse HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n",
+            )],
+        ),
+        (
+            "transfer-encoding is refused with 501",
+            vec![bad(
+                b"POST /parse HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            )],
+        ),
+        (
+            "good request then a poisoned one",
+            vec![ok(b"GET /stats HTTP/1.1\r\n\r\n"), bad(b"BLARG\r\n\r\n")],
+        ),
+    ]
+}
+
+fn stream_of(units: &[Unit]) -> Vec<u8> {
+    units.iter().flat_map(|u| u.bytes.iter().copied()).collect()
+}
+
+/// Byte offsets at which the stream sits exactly between requests.
+/// Units after the first error never complete (failures are sticky), so
+/// boundaries stop accruing there.
+fn boundaries_of(units: &[Unit]) -> Vec<usize> {
+    let mut at = 0;
+    let mut out = vec![0];
+    for unit in units {
+        if !unit.ok {
+            break;
+        }
+        at += unit.bytes.len();
+        out.push(at);
+    }
+    out
+}
+
+/// Ground truth: loop the one-shot `read_request` over the whole stream.
+/// Stops at the first framing error (the server closes the connection
+/// there) or at end-of-stream.
+fn one_shot(raw: &[u8]) -> Vec<Result<Request, HttpError>> {
+    let mut reader = BufReader::new(raw);
+    let mut out = Vec::new();
+    loop {
+        match read_request(&mut reader) {
+            Ok(Ok(request)) => out.push(Ok(request)),
+            Ok(Err(err)) => {
+                out.push(Err(err));
+                break;
+            }
+            // Clean EOF between requests (or transport-level truncation,
+            // which the complete fixtures never hit).
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Feed the stream to the resumable parser in the given chunks, draining
+/// every completed request after each feed. Returns the parse results
+/// plus the final `is_clean()` verdict.
+fn incremental(chunks: &[&[u8]]) -> (Vec<Result<Request, HttpError>>, bool) {
+    let mut parser = RequestParser::new();
+    let mut out = Vec::new();
+    for chunk in chunks {
+        parser.feed(chunk);
+        loop {
+            match parser.parse() {
+                Parse::Ready(request) => out.push(Ok(request)),
+                Parse::Failed(err) => {
+                    out.push(Err(err));
+                    return (out, parser.is_clean());
+                }
+                Parse::NeedMore => break,
+            }
+        }
+    }
+    (out, parser.is_clean())
+}
+
+fn assert_equivalent(name: &str, chunks: &[&[u8]], expected: &[Result<Request, HttpError>]) {
+    let (got, _) = incremental(chunks);
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "{name}: request count diverged across {} chunks",
+        chunks.len()
+    );
+    for (index, (got, want)) in got.iter().zip(expected).enumerate() {
+        assert_eq!(got, want, "{name}: request {index} diverged");
+    }
+}
+
+#[test]
+fn whole_stream_matches_one_shot() {
+    for (name, units) in fixtures() {
+        let raw = stream_of(&units);
+        assert_equivalent(name, &[&raw], &one_shot(&raw));
+    }
+}
+
+#[test]
+fn every_two_chunk_split_matches_one_shot() {
+    for (name, units) in fixtures() {
+        let raw = stream_of(&units);
+        let expected = one_shot(&raw);
+        for cut in 0..=raw.len() {
+            let (a, b) = raw.split_at(cut);
+            assert_equivalent(&format!("{name} @ split {cut}"), &[a, b], &expected);
+        }
+    }
+}
+
+#[test]
+fn byte_by_byte_replay_matches_one_shot() {
+    for (name, units) in fixtures() {
+        let raw = stream_of(&units);
+        let expected = one_shot(&raw);
+        let chunks: Vec<&[u8]> = raw.chunks(1).collect();
+        assert_equivalent(&format!("{name} byte-by-byte"), &chunks, &expected);
+    }
+}
+
+#[test]
+fn pipelined_requests_arriving_in_one_chunk_all_complete() {
+    // The reactor relies on a single feed() surfacing *every* pipelined
+    // request already in the buffer, one parse() call at a time.
+    let (name, units) = ("pipelined trio in one chunk", &fixtures()[6].1);
+    let raw = stream_of(units);
+    let (got, clean) = incremental(&[&raw]);
+    assert_eq!(got.len(), 3, "{name}: all three requests must surface");
+    assert!(got.iter().all(Result::is_ok));
+    assert!(clean, "{name}: buffer must be empty after the last request");
+}
+
+#[test]
+fn truncation_is_clean_exactly_at_request_boundaries() {
+    for (name, units) in fixtures() {
+        let raw = stream_of(&units);
+        let expected = one_shot(&raw);
+        let boundaries = boundaries_of(&units);
+        for cut in 0..=raw.len() {
+            let prefix = &raw[..cut];
+            let (got, clean) = incremental(&[prefix]);
+            // Completed requests must be a prefix of the full stream's.
+            let done = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            let failed = got.last().is_some_and(Result::is_err);
+            if !failed {
+                assert_eq!(
+                    got.len(),
+                    done,
+                    "{name} cut at {cut}: exactly the fully-delivered requests complete"
+                );
+            }
+            for (index, (got, want)) in got.iter().zip(&expected).enumerate() {
+                assert_eq!(got, want, "{name} cut at {cut}: request {index} diverged");
+            }
+            // The reactor's abort oracle: a close is clean iff the
+            // stream ends exactly between requests (and no framing
+            // error poisoned the parser).
+            assert_eq!(
+                clean,
+                boundaries.contains(&cut) && !failed,
+                "{name} cut at {cut}: is_clean() must flag mid-request truncation"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random chunkings of every fixture — arbitrary cut points, in any
+    /// order and multiplicity (duplicates yield empty chunks, which the
+    /// parser must tolerate) — always match the one-shot parse.
+    #[test]
+    fn random_chunkings_match_one_shot(
+        fixture in 0usize..64,
+        mut cuts in prop::collection::vec(0usize..256, 0..12),
+    ) {
+        let fixtures = fixtures();
+        let (name, units) = &fixtures[fixture % fixtures.len()];
+        let raw = stream_of(units);
+        let expected = one_shot(&raw);
+        for cut in &mut cuts {
+            *cut %= raw.len() + 1;
+        }
+        cuts.sort_unstable();
+        let mut chunks: Vec<&[u8]> = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for &cut in &cuts {
+            chunks.push(&raw[start..cut]);
+            start = cut;
+        }
+        chunks.push(&raw[start..]);
+        assert_equivalent(&format!("{name} cuts {cuts:?}"), &chunks, &expected);
+    }
+}
