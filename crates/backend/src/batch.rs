@@ -87,6 +87,9 @@ pub enum BatchFailure {
     Problem(StencilError),
     /// The blocking configuration was invalid for the stencil/problem.
     Plan(PlanError),
+    /// The ambient request deadline (see [`an5d_fault::Deadline`]) had
+    /// already expired when the job was claimed, so it was never run.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for BatchError {
@@ -94,6 +97,9 @@ impl std::fmt::Display for BatchError {
         match &self.error {
             BatchFailure::Problem(e) => write!(f, "{}: invalid problem: {e}", self.name),
             BatchFailure::Plan(e) => write!(f, "{}: invalid plan: {e}", self.name),
+            BatchFailure::DeadlineExceeded => {
+                write!(f, "{}: deadline exceeded before the job ran", self.name)
+            }
         }
     }
 }
@@ -180,6 +186,15 @@ impl BatchDriver {
     }
 
     fn run_job(&self, job: &BatchJob) -> Result<BatchOutcome, BatchError> {
+        // Per-item deadline checkpoint: a long batch under an expired
+        // request budget stops claiming work here — items already
+        // completed keep their results, unclaimed ones fail fast.
+        if an5d_fault::deadline_expired() {
+            return Err(BatchError {
+                name: job.name.clone(),
+                error: BatchFailure::DeadlineExceeded,
+            });
+        }
         let started = Instant::now();
         let problem =
             StencilProblem::new(job.def.clone(), &job.interior, job.time_steps).map_err(|e| {

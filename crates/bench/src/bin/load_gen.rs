@@ -8,7 +8,21 @@
 //!          [--device NAME] [--keep-alive | --no-keep-alive]
 //!          [--tune-db PATH] [--json PATH]
 //!          [--connections N [--soak SECS]]
+//!          [--chaos [--fault-seed N]]
 //! ```
+//!
+//! `--chaos` replaces the byte-identity phases with a **chaos soak**: the
+//! in-process server starts with a seeded fault plan (random connection
+//! kills, short writes, tune-DB append failures) while retry-enabled
+//! clients replay the full template mix, a deterministic ~1-in-8 of the
+//! requests carrying a random `x-an5d-deadline-ms` budget. The soak then
+//! asserts the robustness contract: zero byte mismatches on every `200`,
+//! every request terminates as `200`/`503`/`504` within the client's
+//! retry budget, every injected connection kill is accounted for in
+//! `an5d_connections_aborted`, and every injected append failure in
+//! `an5d_tunedb_append_failures_total`. Quality-gate violations are
+//! collected (not panicked) so the run still writes its `--json`
+//! artifact — and then **exits non-zero**.
 //!
 //! `--connections N` adds an **open-connection soak** after the mixed
 //! workload: against a fresh server, a low-connection baseline of
@@ -239,13 +253,19 @@ struct Args {
     connections: usize,
     /// Soak duration in seconds.
     soak: u64,
+    /// Chaos mode: run ONLY the fault-injected soak (the fault plan
+    /// would contaminate the byte-identity phases).
+    chaos: bool,
+    /// Seed for the chaos fault plan, request-deadline rolls and client
+    /// retry jitter — same seed, same injected fault sequence.
+    fault_seed: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: load_gen [--requests N] [--clients N] [--server-workers N] \
          [--device NAME] [--keep-alive | --no-keep-alive] [--tune-db PATH] \
-         [--json PATH] [--connections N [--soak SECS]]"
+         [--json PATH] [--connections N [--soak SECS]] [--chaos [--fault-seed N]]"
     );
     std::process::exit(2);
 }
@@ -261,12 +281,21 @@ fn parse_args() -> Args {
         json: None,
         connections: 0,
         soak: 10,
+        chaos: false,
+        fault_seed: 42,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--keep-alive" => args.keep_alive = true,
             "--no-keep-alive" => args.keep_alive = false,
+            "--chaos" => args.chaos = true,
+            "--fault-seed" => {
+                let Some(value) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    usage();
+                };
+                args.fault_seed = value;
+            }
             "--device" => {
                 let Some(value) = iter.next() else { usage() };
                 args.device = Some(value);
@@ -298,6 +327,45 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Soak/chaos quality-gate violations recorded by [`soft_assert`]: the
+/// run keeps going (and still writes its `--json` artifact) but
+/// [`finish`] turns any entry into a non-zero exit.
+static FAILURES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Record a quality-gate violation instead of panicking mid-run.
+fn soft_assert(ok: bool, message: impl FnOnce() -> String) {
+    if !ok {
+        let message = message();
+        eprintln!("load_gen: FAILED: {message}");
+        FAILURES
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(message);
+    }
+}
+
+/// Flush recorded quality-gate violations and exit accordingly.
+fn finish() -> ! {
+    let failures = FAILURES.lock().unwrap_or_else(|e| e.into_inner());
+    if failures.is_empty() {
+        std::process::exit(0);
+    }
+    eprintln!("load_gen: {} quality-gate failure(s):", failures.len());
+    for failure in failures.iter() {
+        eprintln!("  - {failure}");
+    }
+    std::process::exit(1);
+}
+
+/// SplitMix64 — the same deterministic scrambler the fault plan uses,
+/// so the chaos soak's deadline rolls are reproducible from the seed.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Nearest-rank percentile of an ascending-sorted series.
@@ -480,17 +548,21 @@ fn run_soak(args: &Args, template: &Template) -> an5d_service::Json {
         let parked_now =
             gauge_value(&metrics_text, "an5d_connections_parked").expect("parked gauge");
         let active = gauge_value(&metrics_text, "an5d_connections_active").expect("active gauge");
-        assert!(
-            open >= args.connections as u64,
-            "mid-soak only {open} connections open, expected at least {}",
-            args.connections
-        );
-        assert!(
+        soft_assert(open >= args.connections as u64, || {
+            format!(
+                "mid-soak only {open} connections open, expected at least {}",
+                args.connections
+            )
+        });
+        soft_assert(
             parked_now >= (args.connections as u64).saturating_sub(args.server_workers as u64),
-            "mid-soak only {parked_now} connections parked: the reactor, not the worker \
-             pool, must hold the idle mass (connections {}, workers {})",
-            args.connections,
-            args.server_workers
+            || {
+                format!(
+                    "mid-soak only {parked_now} connections parked: the reactor, not the worker \
+                     pool, must hold the idle mass (connections {}, workers {})",
+                    args.connections, args.server_workers
+                )
+            },
         );
         observed = (open, parked_now, active);
     });
@@ -513,15 +585,14 @@ fn run_soak(args: &Args, template: &Template) -> an5d_service::Json {
     // scheduler noise, but a reactor that scans or wakes per-connection
     // blows straight through this bound.
     let p99_bound = (10 * p99_base).max(p99_base + 25_000);
-    assert!(
-        p99_soak <= p99_bound,
-        "soak p99 {p99_soak}us exceeds bound {p99_bound}us (baseline p99 {p99_base}us): \
-         {} parked connections are not free",
-        args.connections
-    );
-    println!(
-        "load_gen: soak p99 {p99_soak}us within bound {p99_bound}us of baseline p99 {p99_base}us"
-    );
+    soft_assert(p99_soak <= p99_bound, || {
+        format!(
+            "soak p99 {p99_soak}us exceeds bound {p99_bound}us (baseline p99 {p99_base}us): \
+             {} parked connections are not free",
+            args.connections
+        )
+    });
+    println!("load_gen: soak p99 {p99_soak}us vs bound {p99_bound}us (baseline p99 {p99_base}us)");
 
     let (status, _) = client::post(addr, "/shutdown", "").expect("soak shutdown");
     assert_eq!(status, 200);
@@ -555,6 +626,358 @@ fn run_soak(args: &Args, template: &Template) -> an5d_service::Json {
         ),
         ("baseline", percentile_report(&baseline)),
         ("soak", percentile_report(&soak_series)),
+    ])
+}
+
+/// Per-client accounting of the chaos soak. Every request must land in
+/// exactly one terminal bucket — `unterminated` is a contract breach.
+#[derive(Default)]
+struct ChaosTally {
+    requests: u64,
+    ok_200: u64,
+    shed_503: u64,
+    expired_504: u64,
+    other_status: u64,
+    byte_mismatches: u64,
+    unterminated: u64,
+    retries: u64,
+    reconnects: u64,
+}
+
+/// The chaos soak: start the in-process server under a seeded fault
+/// plan (connection kills on read, short writes, tune-DB append
+/// failures), park `--connections` idle keep-alive connections, then
+/// have `--clients` retry-enabled clients replay the full template mix
+/// for `--soak` seconds with a deterministic ~1-in-8 of requests
+/// carrying a random deadline. Asserts (softly — see [`soft_assert`])
+/// that every `200` is byte-identical to the facade, every request
+/// terminates as `200`/`503`/`504` within the retry budget, and the
+/// injected faults reconcile with the server's `/metrics` counters.
+fn run_chaos(args: &Args, templates: &[Template]) -> an5d_service::Json {
+    let seed = args.fault_seed;
+    // One rule per point (the plan consults the first match): kill
+    // roughly one read in 400 (connection aborts), truncate one write
+    // in 23 to 512 bytes (exercising the reactor's resumable-write
+    // path), fail one tune-DB append in 3, and stretch one tuner
+    // candidate in 7 by 15 ms — enough to push short-budget `/tune`
+    // requests into mid-sweep deadline expiry (504).
+    let spec = format!(
+        "seed={seed};reactor.read=error@1/401;reactor.write=short:512@1/23;\
+         tunedb.append=error@1/3;tuner.candidate=delay:15@1/7"
+    );
+    let db_path = std::env::temp_dir().join(format!("an5d_chaos_{}.tunedb", std::process::id()));
+    let _ = std::fs::remove_file(&db_path);
+    println!(
+        "load_gen: chaos soak — plan \"{spec}\", {} clients + {} parked connections, {}s",
+        args.clients, args.connections, args.soak
+    );
+
+    let server = Server::start_with_backend(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: args.server_workers,
+            queue_depth: 256,
+            cache_capacity: 256,
+            keep_alive_timeout: Duration::from_secs(args.soak + 60),
+            max_requests_per_connection: 1_000_000,
+            tune_db: Some(db_path.display().to_string()),
+            faults: Some(spec.clone()),
+            ..ServerConfig::default()
+        },
+        Arc::new(SerialBackend),
+    )
+    .expect("bind chaos server");
+    let addr = server.addr();
+
+    let policy = |token: u64| client::RetryPolicy {
+        budget: 8,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(100),
+        seed: seed ^ token,
+        retry_on_503: false,
+    };
+
+    // Ramp: parked connections ride out the whole soak; each completes
+    // one (retried if necessary) request on the way in.
+    let parse = templates
+        .iter()
+        .find(|t| t.path == "/parse")
+        .expect("/parse template present");
+    let mut parked: Vec<client::KeepAliveClient> = Vec::with_capacity(args.connections);
+    for index in 0..args.connections {
+        let mut conn = client::KeepAliveClient::new(addr).with_retry(policy(0x5EED ^ index as u64));
+        match conn.post(parse.path, &parse.body) {
+            Ok((200, body)) => soft_assert(body == parse.expected, || {
+                format!("chaos ramp connection {index}: /parse bytes diverged")
+            }),
+            Ok((status, body)) => {
+                soft_assert(false, || {
+                    format!("chaos ramp connection {index}: status {status}: {body}")
+                });
+            }
+            Err(e) => soft_assert(false, || format!("chaos ramp connection {index}: {e}")),
+        }
+        parked.push(conn);
+    }
+
+    // Soak: every client hammers the full template mix until the
+    // deadline, reconnecting (bounded) when the plan kills its
+    // connection mid-response.
+    let soak_deadline = Instant::now() + Duration::from_secs(args.soak);
+    let tallies: Mutex<Vec<ChaosTally>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for client_id in 0..args.clients {
+            let tallies = &tallies;
+            scope.spawn(move || {
+                let mut tally = ChaosTally::default();
+                let mut conn =
+                    client::KeepAliveClient::new(addr).with_retry(policy(client_id as u64));
+                let mut index: u64 = 0;
+                while Instant::now() < soak_deadline {
+                    let template = &templates[usize::try_from(index).unwrap() % templates.len()];
+                    // Deterministic deadline roll: ~1 in 8 requests gets
+                    // a budget from {0, 15, 60, 5000} ms. 0 ms is a
+                    // guaranteed admission shed (503); the short budgets
+                    // probe mid-processing expiry (504) on the heavy
+                    // endpoints.
+                    let roll = splitmix64(seed ^ ((client_id as u64) << 40) ^ index);
+                    let request_deadline = roll
+                        .is_multiple_of(8)
+                        .then(|| [0u64, 15, 60, 5_000][usize::try_from(roll >> 8).unwrap() % 4]);
+                    conn.set_deadline_ms(request_deadline);
+
+                    // A mid-response connection kill surfaces as an error
+                    // the retry policy correctly refuses to retry (the
+                    // request may have executed); the harness reconnects
+                    // and re-sends — templates are idempotent by
+                    // construction — with a small bound so a wedged
+                    // server cannot hang the soak.
+                    let mut outcome = None;
+                    for _ in 0..5 {
+                        match conn.post(template.path, &template.body) {
+                            Ok(reply) => {
+                                outcome = Some(reply);
+                                break;
+                            }
+                            Err(_) => {
+                                tally.retries += conn.retries();
+                                tally.reconnects += 1;
+                                conn = client::KeepAliveClient::new(addr)
+                                    .with_retry(policy(client_id as u64 ^ tally.reconnects << 8));
+                                conn.set_deadline_ms(request_deadline);
+                            }
+                        }
+                    }
+                    tally.requests += 1;
+                    match outcome {
+                        Some((200, body)) => {
+                            tally.ok_200 += 1;
+                            if body != template.expected {
+                                tally.byte_mismatches += 1;
+                                if tally.byte_mismatches == 1 {
+                                    eprintln!(
+                                        "load_gen: chaos client {client_id}: first byte \
+                                         mismatch on {}",
+                                        template.label()
+                                    );
+                                }
+                            }
+                        }
+                        Some((503, _)) => tally.shed_503 += 1,
+                        Some((504, body)) => {
+                            tally.expired_504 += 1;
+                            soft_assert(body.contains("\"deadline_exceeded\":true"), || {
+                                format!(
+                                    "chaos client {client_id} {}: 504 without a structured \
+                                     deadline body: {body}",
+                                    template.label()
+                                )
+                            });
+                        }
+                        Some((status, body)) => {
+                            tally.other_status += 1;
+                            soft_assert(false, || {
+                                format!(
+                                    "chaos client {client_id} {}: unexpected status \
+                                     {status}: {body}",
+                                    template.label()
+                                )
+                            });
+                        }
+                        None => tally.unterminated += 1,
+                    }
+                    index += 1;
+                }
+                tally.retries += conn.retries();
+                tallies
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(tally);
+            });
+        }
+    });
+
+    let total = tallies
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .fold(ChaosTally::default(), |mut acc, t| {
+            acc.requests += t.requests;
+            acc.ok_200 += t.ok_200;
+            acc.shed_503 += t.shed_503;
+            acc.expired_504 += t.expired_504;
+            acc.other_status += t.other_status;
+            acc.byte_mismatches += t.byte_mismatches;
+            acc.unterminated += t.unterminated;
+            acc.retries += t.retries;
+            acc.reconnects += t.reconnects;
+            acc
+        });
+
+    // Snapshot the injected-fault ledger BEFORE uninstalling (the free
+    // functions read through the installed plan), then uninstall so the
+    // final scrape and shutdown run fault-free.
+    let read_kills = an5d_fault::fired("reactor.read");
+    let short_writes = an5d_fault::fired("reactor.write");
+    let append_failures = an5d_fault::fired("tunedb.append");
+    let journal_len = an5d_fault::journal().len();
+    an5d_fault::uninstall();
+
+    println!(
+        "load_gen: chaos — {} requests: {} ok, {} shed (503), {} expired (504); \
+         {} client retries, {} reconnects",
+        total.requests,
+        total.ok_200,
+        total.shed_503,
+        total.expired_504,
+        total.retries,
+        total.reconnects
+    );
+    println!(
+        "load_gen: chaos — injected: {read_kills} connection kills, {short_writes} short \
+         writes, {append_failures} tune-DB append failures ({journal_len} journaled)"
+    );
+
+    // The robustness contract.
+    soft_assert(total.byte_mismatches == 0, || {
+        format!(
+            "{} of {} 200-responses diverged from the facade bytes under chaos",
+            total.byte_mismatches, total.requests
+        )
+    });
+    soft_assert(total.unterminated == 0, || {
+        format!(
+            "{} requests never reached a terminal 200/503/504 within the retry budget",
+            total.unterminated
+        )
+    });
+    soft_assert(total.requests > 0, || {
+        "chaos soak sent no requests".to_string()
+    });
+    soft_assert(read_kills + short_writes + append_failures > 0, || {
+        "chaos plan never fired — the soak was vacuous".to_string()
+    });
+
+    // Reconcile with the server's books: every injected kill must be an
+    // accounted abort, every injected append failure a counted one.
+    let (status, metrics_text) = client::get(addr, "/metrics").expect("/metrics after chaos");
+    assert_eq!(status, 200);
+    let aborted = gauge_value(&metrics_text, "an5d_connections_aborted").unwrap_or(0);
+    let counted_append_failures =
+        gauge_value(&metrics_text, "an5d_tunedb_append_failures_total").unwrap_or(0);
+    let shed_counted = gauge_value(&metrics_text, "an5d_deadline_shed_total").unwrap_or(0);
+    let expired_counted = gauge_value(&metrics_text, "an5d_deadline_expired_total").unwrap_or(0);
+    soft_assert(aborted >= read_kills, || {
+        format!("an5d_connections_aborted {aborted} < {read_kills} injected connection kills")
+    });
+    soft_assert(counted_append_failures >= append_failures, || {
+        format!(
+            "an5d_tunedb_append_failures_total {counted_append_failures} < {append_failures} \
+             injected append failures"
+        )
+    });
+    soft_assert(shed_counted >= total.shed_503.min(1), || {
+        format!(
+            "clients saw {} 503 sheds but an5d_deadline_shed_total is {shed_counted}",
+            total.shed_503
+        )
+    });
+
+    let (status, _) = client::post(addr, "/shutdown", "").expect("chaos shutdown");
+    assert_eq!(status, 200);
+    server.wait();
+    drop(parked);
+    let _ = std::fs::remove_file(&db_path);
+
+    an5d_service::Json::obj(vec![
+        ("seed", an5d_service::Json::Int(i128::from(seed))),
+        (
+            "soak_seconds",
+            an5d_service::Json::Int(i128::from(args.soak)),
+        ),
+        (
+            "connections",
+            an5d_service::Json::Int(args.connections as i128),
+        ),
+        ("clients", an5d_service::Json::Int(args.clients as i128)),
+        (
+            "requests",
+            an5d_service::Json::Int(i128::from(total.requests)),
+        ),
+        ("ok_200", an5d_service::Json::Int(i128::from(total.ok_200))),
+        (
+            "shed_503",
+            an5d_service::Json::Int(i128::from(total.shed_503)),
+        ),
+        (
+            "expired_504",
+            an5d_service::Json::Int(i128::from(total.expired_504)),
+        ),
+        (
+            "byte_mismatches",
+            an5d_service::Json::Int(i128::from(total.byte_mismatches)),
+        ),
+        (
+            "unterminated",
+            an5d_service::Json::Int(i128::from(total.unterminated)),
+        ),
+        (
+            "client_retries",
+            an5d_service::Json::Int(i128::from(total.retries)),
+        ),
+        (
+            "reconnects",
+            an5d_service::Json::Int(i128::from(total.reconnects)),
+        ),
+        (
+            "injected",
+            an5d_service::Json::obj(vec![
+                (
+                    "connection_kills",
+                    an5d_service::Json::Int(i128::from(read_kills)),
+                ),
+                (
+                    "short_writes",
+                    an5d_service::Json::Int(i128::from(short_writes)),
+                ),
+                (
+                    "tunedb_append_failures",
+                    an5d_service::Json::Int(i128::from(append_failures)),
+                ),
+            ]),
+        ),
+        (
+            "connections_aborted",
+            an5d_service::Json::Int(i128::from(aborted)),
+        ),
+        (
+            "deadline_shed",
+            an5d_service::Json::Int(i128::from(shed_counted)),
+        ),
+        (
+            "deadline_expired",
+            an5d_service::Json::Int(i128::from(expired_counted)),
+        ),
     ])
 }
 
@@ -595,6 +1018,21 @@ fn main() {
 
     println!("load_gen: computing expected responses via direct facade calls…");
     let templates = Arc::new(templates(&targets));
+
+    // Chaos mode replaces the byte-identity phases entirely — the fault
+    // plan would contaminate them. The expected bytes above were
+    // computed before the server (and its plan) existed, so they remain
+    // the chaos soak's ground truth.
+    if args.chaos {
+        let report = run_chaos(&args, &templates);
+        if let Some(path) = &args.json {
+            let wrapped = an5d_service::Json::obj(vec![("chaos", report)]);
+            std::fs::write(path, wrapped.render() + "\n")
+                .unwrap_or_else(|e| panic!("load_gen: cannot write --json {path}: {e}"));
+            println!("load_gen: wrote JSON report to {path}");
+        }
+        finish();
+    }
 
     // A pre-existing DB means this is the warm (second) run of a
     // round-trip: the server must warm-start from it.
@@ -973,4 +1411,5 @@ fn main() {
     assert_eq!(status, 200);
     server.wait();
     println!("load_gen: clean shutdown");
+    finish();
 }

@@ -27,6 +27,21 @@ pub enum An5dError {
     TuneDb(String),
 }
 
+impl An5dError {
+    /// `Some((completed, total))` when this error is a tuner deadline
+    /// expiry — the service maps these to `504 Gateway Timeout` with a
+    /// partial-progress body instead of a generic `400`.
+    #[must_use]
+    pub fn deadline_progress(&self) -> Option<(usize, usize)> {
+        match self {
+            An5dError::Tuner(TunerError::DeadlineExceeded { completed, total }) => {
+                Some((*completed, *total))
+            }
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for An5dError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

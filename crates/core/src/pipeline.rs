@@ -23,6 +23,12 @@ pub struct DbTuneOutcome {
     /// `true` when the result was answered from the database without
     /// invoking the tuner.
     pub from_db: bool,
+    /// `Some(reason)` when the fresh result could not be appended to the
+    /// database: the tuning result is still valid and returned, but it
+    /// will not survive a restart. Callers that care about durability
+    /// (the service counts these) must check; always `None` for
+    /// database hits.
+    pub persist_error: Option<String>,
 }
 
 /// Result of verifying a blocked execution against the naive reference.
@@ -329,10 +335,12 @@ impl An5d {
     ///
     /// # Errors
     ///
-    /// Returns [`An5dError::Tuner`] when no feasible candidate exists
-    /// and [`An5dError::TuneDb`] when appending to the database fails
-    /// (the tuning result itself is lost with it — callers must see
-    /// persistence failures, not silently lose durability).
+    /// Returns [`An5dError::Tuner`] when no feasible candidate exists.
+    /// A failed *append* does not fail the query: the freshly tuned
+    /// result is valid regardless of whether it could be persisted, so
+    /// it is returned with the failure reported in
+    /// [`DbTuneOutcome::persist_error`] — durability degrades (and the
+    /// service counts it) instead of a good answer being thrown away.
     // One parameter per independent axis of the persisted key plus the
     // two collaborators (cache, db) — bundling them into a struct would
     // only move the eight names one level down.
@@ -353,15 +361,19 @@ impl An5d {
                 return Ok(DbTuneOutcome {
                     result,
                     from_db: true,
+                    persist_error: None,
                 });
             }
         }
         let result = self.tune_with_cache(problem, device, space, cache)?;
-        db.put(&key, Some(self.def.name()), &result)
-            .map_err(|e| An5dError::TuneDb(e.to_string()))?;
+        let persist_error = db
+            .put(&key, Some(self.def.name()), &result)
+            .err()
+            .map(|e| e.to_string());
         Ok(DbTuneOutcome {
             result,
             from_db: false,
+            persist_error,
         })
     }
 

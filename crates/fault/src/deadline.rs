@@ -1,0 +1,118 @@
+//! Per-request deadlines with thread-local propagation.
+//!
+//! A [`Deadline`] is stamped once at the edge (when the HTTP layer sees
+//! an `x-an5d-deadline-ms` header) so every downstream stage — queueing
+//! in the dispatch queue, ranking tuner candidates, measuring top-k —
+//! burns the *same* budget. Installation mirrors `TraceContext`: the
+//! worker thread handling the request calls [`Deadline::install`] and
+//! holds the guard for the request's lifetime; fan-out work captures
+//! [`current_deadline`] at submission and installs it on helper
+//! threads, so a checkpoint deep inside a pool batch still sees the
+//! request's budget.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static CURRENT: Cell<Option<Deadline>> = const { Cell::new(None) };
+}
+
+/// An absolute point in time after which a request's work must stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    expires_at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            expires_at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline `ms` milliseconds from now (the header unit).
+    pub fn in_ms(ms: u64) -> Self {
+        Deadline::after(Duration::from_millis(ms))
+    }
+
+    /// Has the budget run out?
+    pub fn expired(self) -> bool {
+        Instant::now() >= self.expires_at
+    }
+
+    /// Budget left, saturating at zero once expired.
+    pub fn remaining(self) -> Duration {
+        self.expires_at.saturating_duration_since(Instant::now())
+    }
+
+    /// Make this the current thread's deadline until the guard drops
+    /// (restoring whatever was installed before — guards nest).
+    #[must_use = "dropping the guard immediately uninstalls the deadline"]
+    pub fn install(self) -> DeadlineGuard {
+        let previous = CURRENT.with(|c| c.replace(Some(self)));
+        DeadlineGuard { previous }
+    }
+}
+
+/// Restores the previously installed deadline (if any) on drop.
+#[derive(Debug)]
+pub struct DeadlineGuard {
+    previous: Option<Deadline>,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+/// The deadline installed on the current thread, if any.
+pub fn current_deadline() -> Option<Deadline> {
+    CURRENT.with(Cell::get)
+}
+
+/// Has the current thread's deadline expired? `false` when none is
+/// installed — code without a budget never aborts.
+pub fn deadline_expired() -> bool {
+    current_deadline().is_some_and(Deadline::expired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_never_expires() {
+        assert_eq!(current_deadline(), None);
+        assert!(!deadline_expired());
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_expired() {
+        let d = Deadline::in_ms(0);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let generous = Deadline::after(Duration::from_secs(3600));
+        assert!(!generous.expired());
+        assert!(generous.remaining() > Duration::from_secs(3599));
+    }
+
+    #[test]
+    fn install_guards_nest_and_restore() {
+        let outer = Deadline::after(Duration::from_secs(60));
+        let inner = Deadline::in_ms(0);
+        {
+            let _outer_guard = outer.install();
+            assert_eq!(current_deadline(), Some(outer));
+            assert!(!deadline_expired());
+            {
+                let _inner_guard = inner.install();
+                assert_eq!(current_deadline(), Some(inner));
+                assert!(deadline_expired());
+            }
+            assert_eq!(current_deadline(), Some(outer), "inner guard restores");
+        }
+        assert_eq!(current_deadline(), None, "outer guard restores to none");
+    }
+}

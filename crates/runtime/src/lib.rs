@@ -143,6 +143,9 @@ struct Batch {
     /// Trace active on the submitting thread, if any; helpers install it
     /// so spans they open nest under the submitting span.
     context: Option<TraceContext>,
+    /// Deadline active on the submitting thread, if any; helpers install
+    /// it so checkpoints inside items see the request's budget.
+    deadline: Option<an5d_fault::Deadline>,
     /// Submission time, for the queue-wait histogram.
     submitted: Instant,
     /// Set by the first helper to claim the batch (gates the queue-wait
@@ -177,6 +180,9 @@ impl Batch {
         // Adopt the submitter's trace so spans opened by items attach
         // under the submitting span (a no-op re-install on the caller).
         let _trace_guard = self.context.as_ref().map(TraceContext::install);
+        // Likewise adopt the submitter's deadline: a checkpoint deep in
+        // an item must burn the same budget on every serving thread.
+        let _deadline_guard = self.deadline.map(an5d_fault::Deadline::install);
         loop {
             if self.is_exhausted() {
                 break;
@@ -401,6 +407,7 @@ impl WorkerPool {
             }),
             done: Condvar::new(),
             context: an5d_obs::current_context(),
+            deadline: an5d_fault::current_deadline(),
             submitted: started,
             claimed: AtomicBool::new(false),
         });

@@ -15,19 +15,43 @@ use an5d::{
     RegisterCap, SearchSpace, StencilProblem, TrafficCounters, TunedCandidate, TuningResult,
 };
 
-/// A request-level problem: maps to a 400 with `{"error": …}`.
+/// A request-level problem: maps to a 400 with `{"error": …}` — unless
+/// `deadline` is set, in which case the dispatcher answers `504` with a
+/// partial-progress body instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ApiError(pub String);
+pub struct ApiError {
+    /// Human-readable message rendered into the JSON error body.
+    pub message: String,
+    /// `Some((completed, total))` when the request's deadline expired
+    /// mid-processing.
+    pub deadline: Option<(usize, usize)>,
+}
 
 impl ApiError {
-    fn new(message: impl Into<String>) -> Self {
-        Self(message.into())
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            deadline: None,
+        }
+    }
+
+    /// The request's deadline expired after `completed` of `total`
+    /// units of work.
+    pub(crate) fn deadline_exceeded(
+        message: impl Into<String>,
+        completed: usize,
+        total: usize,
+    ) -> Self {
+        Self {
+            message: message.into(),
+            deadline: Some((completed, total)),
+        }
     }
 }
 
 impl std::fmt::Display for ApiError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -45,6 +69,19 @@ fn big(value: u128) -> Json {
 #[must_use]
 pub fn error_body(message: &str) -> String {
     Json::obj(vec![("error", Json::str(message))]).render()
+}
+
+/// The structured `504 Gateway Timeout` body: the uniform error field
+/// plus how far processing got before the request's deadline expired.
+#[must_use]
+pub fn deadline_error_body(message: &str, completed: usize, total: usize) -> String {
+    Json::obj(vec![
+        ("error", Json::str(message)),
+        ("deadline_exceeded", Json::Bool(true)),
+        ("completed", int(completed)),
+        ("total", int(total)),
+    ])
+    .render()
 }
 
 // ---------------------------------------------------------------------
@@ -588,11 +625,11 @@ mod tests {
         // message tracks registered profiles instead of a hardcoded pair.
         let err = device_from(&parse(r#"{"device":"h100"}"#).unwrap(), &registry).unwrap_err();
         assert_eq!(
-            err.0,
+            err.message,
             format!("\"device\" must be one of {}", registry.accepted_names())
         );
         assert!(
-            err.0.contains("\"a100\"") && err.0.contains("\"v100\""),
+            err.message.contains("\"a100\"") && err.message.contains("\"v100\""),
             "{err}"
         );
         assert!(device_from(&parse(r#"{"device":7}"#).unwrap(), &registry).is_err());

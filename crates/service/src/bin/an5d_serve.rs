@@ -4,7 +4,9 @@
 //! ```text
 //! an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!            [--keep-alive-timeout SECS] [--max-requests N]
-//!            [--tune-db PATH] [--slow-threshold-ms N] [--trace-capacity N]
+//!            [--tune-db PATH] [--no-sync-tune-db]
+//!            [--slow-threshold-ms N] [--trace-capacity N]
+//!            [--faults SPEC]
 //! ```
 //!
 //! `--workers` sizes the CPU-bound dispatch pool, not the connection
@@ -18,7 +20,15 @@
 //! `parallel:<threads>`); invalid specs fall back to serial with a note
 //! on stderr, exactly as in the library. The persisted tuning database
 //! defaults to the `AN5D_TUNE_DB` environment variable; `--tune-db`
-//! overrides it (and `--tune-db ""` disables persistence).
+//! overrides it (and `--tune-db ""` disables persistence). Appends are
+//! fsync'd per record by default; `--no-sync-tune-db` trades that
+//! durability for append latency.
+//!
+//! `--faults` installs a deterministic fault-injection plan (spec
+//! grammar: `seed=N;point=action[@trigger][#limit];…`, e.g.
+//! `seed=7;tunedb.append=error@1/20`); it defaults to the `AN5D_FAULTS`
+//! environment variable and `--faults ""` disables injection. Chaos
+//! testing only — never set it on a production instance.
 
 use an5d_service::{banner, Server, ServerConfig};
 use std::process::ExitCode;
@@ -27,11 +37,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
          \x20                 [--keep-alive-timeout SECS] [--max-requests N]\n\
-         \x20                 [--tune-db PATH] [--slow-threshold-ms N] [--trace-capacity N]\n\
+         \x20                 [--tune-db PATH] [--no-sync-tune-db]\n\
+         \x20                 [--slow-threshold-ms N] [--trace-capacity N]\n\
+         \x20                 [--faults SPEC]\n\
          defaults: --addr 127.0.0.1:7845 --workers 4 --queue 64 --cache 256\n\
          \x20         --keep-alive-timeout 5 --max-requests 1000\n\
          \x20         --tune-db $AN5D_TUNE_DB (unset: no persistence)\n\
          \x20         --slow-threshold-ms 1000 --trace-capacity 256\n\
+         \x20         --faults $AN5D_FAULTS (unset: no fault injection)\n\
          stop with: curl -X POST http://HOST:PORT/shutdown"
     );
     std::process::exit(2);
@@ -45,10 +58,18 @@ fn parse_args() -> ServerConfig {
         tune_db: std::env::var(an5d_service::TUNE_DB_ENV)
             .ok()
             .filter(|path| !path.trim().is_empty()),
+        faults: std::env::var(an5d_fault::FAULTS_ENV)
+            .ok()
+            .filter(|spec| !spec.trim().is_empty()),
         ..ServerConfig::default()
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        // Boolean flags take no value.
+        if flag == "--no-sync-tune-db" {
+            config.sync_tune_db = false;
+            continue;
+        }
         let Some(value) = args.next() else { usage() };
         match flag.as_str() {
             "--addr" => config.addr = value,
@@ -77,6 +98,9 @@ fn parse_args() -> ServerConfig {
             "--tune-db" => {
                 config.tune_db = Some(value).filter(|path| !path.trim().is_empty());
             }
+            "--faults" => {
+                config.faults = Some(value).filter(|spec| !spec.trim().is_empty());
+            }
             "--slow-threshold-ms" => match value.parse() {
                 Ok(n) if n > 0 => {
                     config.slow_request_threshold = std::time::Duration::from_millis(n);
@@ -98,7 +122,7 @@ fn main() -> ExitCode {
     let server = match Server::start(&config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("an5d-serve: cannot bind {}: {e}", config.addr);
+            eprintln!("an5d-serve: cannot start on {}: {e}", config.addr);
             return ExitCode::FAILURE;
         }
     };

@@ -20,6 +20,83 @@ use std::time::Duration;
 /// Client-side socket timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Retry policy for [`KeepAliveClient`]: capped exponential backoff
+/// with **seeded** jitter, so a whole fleet of clients with distinct
+/// seeds decorrelates while any single run stays reproducible.
+///
+/// Retries are spent only on *idempotent* requests (`GET`, and `POST`
+/// to the deterministic pipeline endpoints — everything but
+/// `/shutdown`) and only when re-sending is provably safe: transport
+/// failures before any response byte arrived, plus — when
+/// [`retry_on_503`](Self::retry_on_503) is set — `503` sheds, waiting
+/// out the server's `Retry-After` hint first.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum retries per call (the first attempt is free).
+    pub budget: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base: Duration,
+    /// Ceiling on the exponential backoff (before `Retry-After`, which
+    /// is always honored in full).
+    pub cap: Duration,
+    /// Jitter seed: identical seeds replay identical backoff
+    /// sequences.
+    pub seed: u64,
+    /// Also retry `503` responses (honoring `Retry-After`). Off by
+    /// default: a shed is a valid terminal answer for load tests.
+    pub retry_on_503: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            budget: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0,
+            retry_on_503: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `attempt` (0-based): capped
+    /// exponential backoff, jittered into `[half, full]` by the seeded
+    /// stream at `token`, then floored by the server's `Retry-After`
+    /// hint when one was sent (honoring the hint always wins over the
+    /// exponential schedule).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32, token: u64, retry_after_secs: Option<u64>) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let nanos = u64::try_from(exp.as_nanos()).unwrap_or(u64::MAX);
+        let jittered = nanos / 2 + splitmix64(self.seed ^ token) % (nanos / 2 + 1);
+        let mut pause = Duration::from_nanos(jittered);
+        if let Some(secs) = retry_after_secs {
+            pause = pause.max(Duration::from_secs(secs));
+        }
+        pause
+    }
+}
+
+/// Is re-sending this request safe? `GET` always; `POST` to the
+/// deterministic pipeline endpoints too (the same body always produces
+/// the same answer) — but never `/shutdown`, whose side effect must
+/// fire at most once.
+fn idempotent(method: &str, path: &str) -> bool {
+    method.eq_ignore_ascii_case("GET") || !path.starts_with("/shutdown")
+}
+
+/// splitmix64: the standard 64-bit finalizer — plenty for jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 fn invalid(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
@@ -32,6 +109,8 @@ struct ResponseHead {
     close: bool,
     /// The `x-an5d-trace` request id, when the server sent one.
     trace: Option<String>,
+    /// The `Retry-After` hint (seconds), sent with 503 sheds.
+    retry_after: Option<u64>,
 }
 
 fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
@@ -51,6 +130,7 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
     let mut content_length: Option<usize> = None;
     let mut close = false;
     let mut trace = None;
+    let mut retry_after = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -75,6 +155,8 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
                 close = true;
             } else if name.eq_ignore_ascii_case("x-an5d-trace") {
                 trace = Some(value.trim().to_string());
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -83,6 +165,7 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
         content_length,
         close,
         trace,
+        retry_after,
     })
 }
 
@@ -103,6 +186,31 @@ pub fn raw(addr: SocketAddr, request: &str) -> io::Result<(u16, String)> {
 ///
 /// Propagates connect/IO failures and malformed responses.
 pub fn raw_traced(addr: SocketAddr, request: &str) -> io::Result<(u16, String, Option<String>)> {
+    let response = raw_response(addr, request)?;
+    Ok((response.status, response.body, response.trace))
+}
+
+/// A complete one-shot response: status, body, and the headers the
+/// tests and harnesses assert on.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// The `x-an5d-trace` header value, when the server sent one.
+    pub trace: Option<String>,
+    /// The `Retry-After` header value in seconds, when the server sent
+    /// one (503 sheds carry it).
+    pub retry_after: Option<u64>,
+}
+
+/// Send raw request bytes and read one full [`HttpResponse`].
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses.
+pub fn raw_response(addr: SocketAddr, request: &str) -> io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -124,7 +232,28 @@ pub fn raw_traced(addr: SocketAddr, request: &str) -> io::Result<(u16, String, O
             body
         }
     };
-    Ok((head.status, body, head.trace))
+    Ok(HttpResponse {
+        status: head.status,
+        body,
+        trace: head.trace,
+        retry_after: head.retry_after,
+    })
+}
+
+fn one_shot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra_headers: &str,
+) -> io::Result<HttpResponse> {
+    raw_response(
+        addr,
+        &format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
 }
 
 fn request(
@@ -133,13 +262,8 @@ fn request(
     path: &str,
     body: &str,
 ) -> io::Result<(u16, String, Option<String>)> {
-    raw_traced(
-        addr,
-        &format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        ),
-    )
+    let response = one_shot(addr, method, path, body, "")?;
+    Ok((response.status, response.body, response.trace))
 }
 
 /// `GET path` → `(status, body)` over a fresh one-shot connection.
@@ -177,11 +301,46 @@ pub fn post_traced(
     request(addr, "POST", path, body)
 }
 
+/// `POST path` returning the full [`HttpResponse`] (including the
+/// `Retry-After` shed hint) over a fresh one-shot connection.
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses.
+pub fn post_response(addr: SocketAddr, path: &str, body: &str) -> io::Result<HttpResponse> {
+    one_shot(addr, "POST", path, body, "")
+}
+
+/// `POST path` carrying an `x-an5d-deadline-ms` request deadline.
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses.
+pub fn post_with_deadline(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    deadline_ms: u64,
+) -> io::Result<HttpResponse> {
+    one_shot(
+        addr,
+        "POST",
+        path,
+        body,
+        &format!("{}: {deadline_ms}\r\n", crate::http::DEADLINE_HEADER),
+    )
+}
+
 /// A client that keeps one TCP connection to `an5d-serve` open and
 /// pushes every request through it, reconnecting when the server closes
-/// the connection (idle timeout, request bound, shutdown) — at most one
-/// transparent retry per request, and only when no response bytes had
-/// arrived (re-sending is safe then).
+/// the connection (idle timeout, request bound, shutdown).
+///
+/// Without a [`RetryPolicy`] the only transparent recovery is a single
+/// free reconnect when the *kept-alive* connection turns out to be
+/// stale (the server closed it between requests; no response bytes had
+/// arrived, so re-sending is safe). [`with_retry`](Self::with_retry)
+/// adds budgeted, backoff-paced retries on top for idempotent requests
+/// — the client a chaos soak runs with.
 #[derive(Debug)]
 pub struct KeepAliveClient {
     addr: SocketAddr,
@@ -190,6 +349,16 @@ pub struct KeepAliveClient {
     reused: u64,
     /// `x-an5d-trace` header of the most recent response.
     last_trace: Option<String>,
+    /// Budgeted retry policy; `None` keeps the legacy
+    /// stale-reconnect-only behavior.
+    retry: Option<RetryPolicy>,
+    /// Monotonic token feeding the jitter stream (one per pause).
+    jitter_token: u64,
+    /// Total budgeted retries performed over the client's lifetime.
+    retries: u64,
+    /// When set, every request carries `x-an5d-deadline-ms` with this
+    /// budget.
+    deadline_ms: Option<u64>,
 }
 
 impl KeepAliveClient {
@@ -201,7 +370,31 @@ impl KeepAliveClient {
             conn: None,
             reused: 0,
             last_trace: None,
+            retry: None,
+            jitter_token: 0,
+            retries: 0,
+            deadline_ms: None,
         }
+    }
+
+    /// Attach a budgeted retry policy (see [`RetryPolicy`]).
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Set (or clear) the `x-an5d-deadline-ms` budget sent with every
+    /// subsequent request.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Budgeted retries performed so far (stale-connection reconnects
+    /// are not counted — nothing was re-sent unsafely there either).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// The `x-an5d-trace` id of the most recent response, when the
@@ -235,9 +428,13 @@ impl KeepAliveClient {
         method: &str,
         path: &str,
         body: &str,
-    ) -> io::Result<(u16, String, bool, Option<String>)> {
+        deadline_ms: Option<u64>,
+    ) -> io::Result<(String, ResponseHead)> {
+        let deadline_header = deadline_ms.map_or_else(String::new, |ms| {
+            format!("{}: {ms}\r\n", crate::http::DEADLINE_HEADER)
+        });
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{deadline_header}Connection: keep-alive\r\n\r\n{body}",
             body.len()
         );
         conn.get_mut().write_all(head.as_bytes())?;
@@ -264,7 +461,7 @@ impl KeepAliveClient {
         conn.read_exact(&mut bytes)
             .map_err(|e| invalid(&format!("truncated response body: {e}")))?;
         let body = String::from_utf8(bytes).map_err(|_| invalid("non-UTF-8 body"))?;
-        Ok((head.status, body, head.close, head.trace))
+        Ok((body, head))
     }
 
     /// `GET path` → `(status, body)`, reusing the connection.
@@ -286,47 +483,170 @@ impl KeepAliveClient {
         self.request("POST", path, body)
     }
 
-    fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
-        let had_conn = self.conn.is_some();
-        let mut conn = match self.conn.take() {
-            Some(conn) => conn,
-            None => Self::connect(self.addr)?,
+    /// Spend one budgeted retry: pause per the policy (honoring
+    /// `Retry-After` when given), bump the counters, and report whether
+    /// a retry was available at all.
+    fn spend_retry(&mut self, attempt: &mut u32, retry_after_secs: Option<u64>) -> bool {
+        let Some(policy) = &self.retry else {
+            return false;
         };
-        match Self::exchange(&mut conn, self.addr, method, path, body) {
-            Ok((status, response_body, close, trace)) => {
-                if had_conn {
-                    self.reused += 1;
-                }
-                if !close {
-                    self.conn = Some(conn);
-                }
-                self.last_trace = trace;
-                Ok((status, response_body))
-            }
-            Err(error)
-                if had_conn
-                    && matches!(
-                        error.kind(),
-                        io::ErrorKind::UnexpectedEof
-                            | io::ErrorKind::BrokenPipe
-                            | io::ErrorKind::ConnectionReset
-                            | io::ErrorKind::ConnectionAborted
-                    ) =>
-            {
-                // The server closed the kept-alive connection between
-                // requests (idle timeout / request bound). Nothing of the
-                // response had arrived (the API is idempotent anyway), so
-                // retrying on a fresh connection is safe.
-                let mut conn = Self::connect(self.addr)?;
-                let (status, response_body, close, trace) =
-                    Self::exchange(&mut conn, self.addr, method, path, body)?;
-                if !close {
-                    self.conn = Some(conn);
-                }
-                self.last_trace = trace;
-                Ok((status, response_body))
-            }
-            Err(error) => Err(error),
+        if *attempt >= policy.budget {
+            return false;
         }
+        let pause = policy.backoff(*attempt, self.jitter_token, retry_after_secs);
+        self.jitter_token += 1;
+        *attempt += 1;
+        self.retries += 1;
+        std::thread::sleep(pause);
+        true
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let may_retry = idempotent(method, path);
+        // Budgeted retries spent so far on this call.
+        let mut attempt: u32 = 0;
+        loop {
+            let had_conn = self.conn.is_some();
+            let mut conn = match self.conn.take() {
+                Some(conn) => conn,
+                None => match Self::connect(self.addr) {
+                    Ok(conn) => conn,
+                    Err(error) => {
+                        if may_retry && self.spend_retry(&mut attempt, None) {
+                            continue;
+                        }
+                        return Err(error);
+                    }
+                },
+            };
+            match Self::exchange(&mut conn, self.addr, method, path, body, self.deadline_ms) {
+                Ok((response_body, head)) => {
+                    if had_conn {
+                        self.reused += 1;
+                    }
+                    if !head.close {
+                        self.conn = Some(conn);
+                    }
+                    self.last_trace = head.trace;
+                    if head.status == 503
+                        && may_retry
+                        && self.retry.as_ref().is_some_and(|p| p.retry_on_503)
+                    {
+                        let retry_after = head.retry_after;
+                        if self.spend_retry(&mut attempt, retry_after) {
+                            continue;
+                        }
+                    }
+                    return Ok((head.status, response_body));
+                }
+                Err(error)
+                    if had_conn
+                        && matches!(
+                            error.kind(),
+                            io::ErrorKind::UnexpectedEof
+                                | io::ErrorKind::BrokenPipe
+                                | io::ErrorKind::ConnectionReset
+                                | io::ErrorKind::ConnectionAborted
+                        ) =>
+                {
+                    // The server closed the kept-alive connection between
+                    // requests (idle timeout / request bound). Nothing of
+                    // the response had arrived, so re-sending on a fresh
+                    // connection is safe — and free: it doesn't touch the
+                    // retry budget. At most one per call: `self.conn` is
+                    // now empty, so the next failure takes the budgeted
+                    // path below.
+                    continue;
+                }
+                Err(error)
+                    if may_retry
+                        && matches!(
+                            error.kind(),
+                            io::ErrorKind::UnexpectedEof
+                                | io::ErrorKind::BrokenPipe
+                                | io::ErrorKind::ConnectionReset
+                                | io::ErrorKind::ConnectionAborted
+                                | io::ErrorKind::ConnectionRefused
+                                | io::ErrorKind::TimedOut
+                                | io::ErrorKind::WouldBlock
+                        ) =>
+                {
+                    // Transport failure before any response byte arrived
+                    // (anything later is remapped to InvalidData by
+                    // `exchange` and is *never* retried): safe to re-send
+                    // an idempotent request, charged to the budget.
+                    if self.spend_retry(&mut attempt, None) {
+                        continue;
+                    }
+                    return Err(error);
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed_and_capped() {
+        let policy = RetryPolicy {
+            budget: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 42,
+            retry_on_503: false,
+        };
+        let twin = policy.clone();
+        for attempt in 0..8 {
+            let a = policy.backoff(attempt, u64::from(attempt), None);
+            let b = twin.backoff(attempt, u64::from(attempt), None);
+            assert_eq!(a, b, "same seed + token must replay the same pause");
+            // Jitter stays within [half, full] of the capped exponential.
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << attempt.min(16))
+                .min(Duration::from_millis(100));
+            assert!(
+                a >= exp / 2 && a <= exp,
+                "attempt {attempt}: {a:?} vs {exp:?}"
+            );
+        }
+        // Distinct seeds decorrelate (with overwhelming probability on
+        // at least one of 8 attempts).
+        let other = RetryPolicy {
+            seed: 43,
+            ..policy.clone()
+        };
+        assert!(
+            (0..8)
+                .any(|n| policy.backoff(n, u64::from(n), None)
+                    != other.backoff(n, u64::from(n), None)),
+            "different seeds must produce a different backoff sequence"
+        );
+    }
+
+    #[test]
+    fn retry_after_hint_floors_the_backoff() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        };
+        let pause = policy.backoff(0, 0, Some(2));
+        assert!(
+            pause >= Duration::from_secs(2),
+            "Retry-After must be honored in full, got {pause:?}"
+        );
+        assert!(policy.backoff(0, 0, None) < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn only_idempotent_requests_are_retryable() {
+        assert!(idempotent("GET", "/stats"));
+        assert!(idempotent("POST", "/tune"));
+        assert!(idempotent("POST", "/execute"));
+        assert!(!idempotent("POST", "/shutdown"));
     }
 }

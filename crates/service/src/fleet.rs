@@ -561,7 +561,7 @@ mod tests {
             Ok(7)
         });
         assert_eq!(ok.unwrap(), 7);
-        let err: Result<(), ApiError> = shard.observe(|| Err(ApiError("boom".to_string())));
+        let err: Result<(), ApiError> = shard.observe(|| Err(ApiError::new("boom")));
         assert!(err.is_err());
         let stats = shard.stats();
         assert_eq!(stats.requests, 2);

@@ -182,8 +182,20 @@ pub fn dispatch(state: &ServiceState, request: &Request) -> Response {
     // (`/metrics`, `/trace`) are exempt so scrapes don't churn the ring.
     let traced = !matches!(path, "/metrics" | "/trace");
     let trace = traced.then(ActiveTrace::begin);
+    // Make the request's deadline ambient for this thread: the tuner
+    // checkpoints read it through `an5d_fault::current_deadline()`, and
+    // pool batches capture it the way they capture the trace context.
+    let _deadline_guard = request.deadline.map(an5d_fault::Deadline::install);
     let started = Instant::now();
-    let response = {
+    let response = if request.deadline.is_some_and(|d| d.expired()) {
+        // Expired between reactor admission and worker pickup: answer
+        // without doing work the client has already given up on.
+        state.metrics.record_deadline_expired();
+        Response::new(
+            504,
+            api::deadline_error_body("deadline expired before processing began", 0, 0),
+        )
+    } else {
         let _span = Span::enter(path);
         handle(state, path, request)
     };
@@ -230,7 +242,13 @@ fn handle(state: &ServiceState, path: &str, request: &Request) -> Response {
             };
             match result {
                 Ok(body) => ok(body),
-                Err(e) => bad_request(&e.0),
+                Err(e) => match e.deadline {
+                    Some((completed, total)) => {
+                        state.metrics.record_deadline_expired();
+                        Response::new(504, api::deadline_error_body(&e.message, completed, total))
+                    }
+                    None => bad_request(&e.message),
+                },
             }
         }
     }
@@ -289,12 +307,12 @@ fn parse_endpoint(body: &Json) -> Result<Json, ApiError> {
     let source = body
         .get("source")
         .and_then(Json::as_str)
-        .ok_or_else(|| ApiError("missing required field \"source\"".to_string()))?;
+        .ok_or_else(|| ApiError::new("missing required field \"source\""))?;
     let name = body
         .get("name")
         .and_then(Json::as_str)
-        .ok_or_else(|| ApiError("missing required field \"name\"".to_string()))?;
-    let detected = parse_stencil(source, name).map_err(|e| ApiError(e.to_string()))?;
+        .ok_or_else(|| ApiError::new("missing required field \"name\""))?;
+    let detected = parse_stencil(source, name).map_err(|e| ApiError::new(e.to_string()))?;
     Ok(api::parse_response(&detected))
 }
 
@@ -327,7 +345,7 @@ fn planned(
     let plan = shard
         .cache()
         .get_or_build(pipeline.def(), &problem, &config, scheme)
-        .map_err(|e| ApiError(e.to_string()))?;
+        .map_err(|e| ApiError::new(e.to_string()))?;
     Ok((problem, plan))
 }
 
@@ -349,6 +367,15 @@ fn predict_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError>
             shard.device(),
         )))
     })
+}
+
+/// Preserve deadline-expiry structure when a tuner error crosses into
+/// the API layer, so the dispatcher can answer `504` with progress.
+fn tune_error(e: an5d::An5dError) -> ApiError {
+    match e.deadline_progress() {
+        Some((completed, total)) => ApiError::deadline_exceeded(e.to_string(), completed, total),
+        None => ApiError::new(e.to_string()),
+    }
 }
 
 /// `/tune`: read-through the persisted tuning DB when one is attached —
@@ -375,15 +402,21 @@ fn tune_endpoint(state: &ServiceState, body: &Json, refresh: bool) -> Result<Jso
                         db,
                         refresh,
                     )
-                    .map_err(|e| ApiError(e.to_string()))?;
+                    .map_err(tune_error)?;
                 shard.record_tune(outcome.from_db, refresh);
+                if let Some(err) = &outcome.persist_error {
+                    // Durability degraded, not correctness: the answer is
+                    // still served; the failure is counted and logged.
+                    state.metrics.record_tunedb_append_failure();
+                    eprintln!("[an5d-serve] tunedb append failed (result still served): {err}");
+                }
                 outcome.result
             }
             None => {
                 shard.record_dbless_tune();
                 pipeline
                     .tune_with_cache(&problem, shard.device(), &space, Arc::clone(shard.cache()))
-                    .map_err(|e| ApiError(e.to_string()))?
+                    .map_err(tune_error)?
             }
         };
         Ok(api::tune_response(&result))
@@ -416,7 +449,14 @@ fn execute_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError>
         let outcome = results
             .pop()
             .expect("one job in yields one result out")
-            .map_err(|e| ApiError(e.to_string()))?;
+            .map_err(|e| match e.error {
+                an5d::BatchFailure::DeadlineExceeded => {
+                    // The batch checkpoint refused the job: 0 of 1 items
+                    // ran within the request's budget.
+                    ApiError::deadline_exceeded(e.to_string(), 0, 1)
+                }
+                _ => ApiError::new(e.to_string()),
+            })?;
         Ok(api::execute_response(&outcome))
     })
 }

@@ -28,6 +28,13 @@ pub const MAX_BODY_BYTES: usize = 1 << 20;
 const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of headers.
 const MAX_HEADERS: usize = 64;
+/// Cap on an `x-an5d-deadline-ms` budget (24 h): large enough to be
+/// "no practical limit", small enough that the arithmetic around
+/// `Instant + budget` can never overflow.
+pub const MAX_DEADLINE_MS: u64 = 24 * 60 * 60 * 1000;
+/// The request header carrying the client's processing budget in
+/// milliseconds (see [`Request::deadline`]).
+pub const DEADLINE_HEADER: &str = "x-an5d-deadline-ms";
 
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +51,10 @@ pub struct Request {
     /// request (HTTP/1.1 default unless `Connection: close`; HTTP/1.0
     /// default off unless `Connection: keep-alive`).
     pub keep_alive: bool,
+    /// The request's processing budget, stamped the moment its
+    /// `x-an5d-deadline-ms` header was parsed — so queueing time counts
+    /// against it. `None` (no header) means no budget: never shed.
+    pub deadline: Option<an5d_fault::Deadline>,
 }
 
 impl Request {
@@ -60,7 +71,16 @@ impl Request {
             query,
             body: body.to_vec(),
             keep_alive: true,
+            deadline: None,
         }
+    }
+
+    /// Attach a processing budget of `ms` milliseconds from now — what
+    /// parsing an `x-an5d-deadline-ms: ms` header would have stamped.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(an5d_fault::Deadline::in_ms(ms.min(MAX_DEADLINE_MS)));
+        self
     }
 
     /// `true` when the query string carries `name` as a truthy flag:
@@ -111,6 +131,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Trace ID echoed in the `x-an5d-trace` header, when assigned.
     pub trace: Option<String>,
+    /// Seconds for a `Retry-After` header — set on every overload or
+    /// deadline-shed 503 so well-behaved clients back off instead of
+    /// hammering.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -122,6 +146,7 @@ impl Response {
             body,
             content_type: "application/json",
             trace: None,
+            retry_after: None,
         }
     }
 
@@ -133,6 +158,7 @@ impl Response {
             body,
             content_type: "text/plain; version=0.0.4",
             trace: None,
+            retry_after: None,
         }
     }
 
@@ -140,6 +166,14 @@ impl Response {
     #[must_use]
     pub fn with_trace(mut self, trace: String) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attach a `Retry-After: secs` header (overload and deadline-shed
+    /// 503s).
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u32) -> Self {
+        self.retry_after = Some(secs);
         self
     }
 }
@@ -181,6 +215,7 @@ fn reason_phrase(status: u16) -> &'static str {
         413 => "Payload Too Large",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
@@ -233,6 +268,8 @@ struct HeadFields {
     /// later keep-alive token must not re-enable persistence.
     close_seen: bool,
     content_length: usize,
+    /// Budget from an `x-an5d-deadline-ms` header, if one was sent.
+    deadline_ms: Option<u64>,
 }
 
 /// Parse a request line into its head and the version-derived defaults.
@@ -261,6 +298,7 @@ fn parse_request_line(line: &str) -> Result<(Head, HeadFields), HttpError> {
             keep_alive: version != "HTTP/1.0",
             close_seen: false,
             content_length: 0,
+            deadline_ms: None,
         },
     ))
 }
@@ -290,6 +328,14 @@ fn apply_header_line(line: &str, fields: &mut HeadFields) -> Result<(), HttpErro
         } else if connection_header_has(value, "keep-alive") && !fields.close_seen {
             fields.keep_alive = true;
         }
+    } else if name.eq_ignore_ascii_case(DEADLINE_HEADER) {
+        // A malformed budget is rejected, not ignored: silently running
+        // without the deadline the client asked for is the one behavior
+        // they can least afford.
+        let Ok(ms) = value.trim().parse::<u64>() else {
+            return Err(HttpError::bad_request("invalid x-an5d-deadline-ms"));
+        };
+        fields.deadline_ms = Some(ms.min(MAX_DEADLINE_MS));
     } else if name.eq_ignore_ascii_case("transfer-encoding") {
         // Only Content-Length framing is implemented. On a persistent
         // connection a silently-ignored chunked body would be re-parsed
@@ -334,6 +380,7 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Result<Request, Htt
                 query: head.query,
                 body,
                 keep_alive: fields.keep_alive,
+                deadline: fields.deadline_ms.map(an5d_fault::Deadline::in_ms),
             }));
         }
         if let Err(err) = apply_header_line(&line, &mut fields) {
@@ -542,6 +589,7 @@ impl RequestParser {
                         query: head.query,
                         body,
                         keep_alive: fields.keep_alive,
+                        deadline: fields.deadline_ms.map(an5d_fault::Deadline::in_ms),
                     });
                 }
                 Phase::Failed(err) => return self.fail(err),
@@ -569,13 +617,18 @@ pub fn write_response(
         Some(id) => format!("x-an5d-trace: {id}\r\n"),
         None => String::new(),
     };
+    let retry_header = match response.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let rendered = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: {}\r\n\r\n{}",
         response.status,
         reason_phrase(response.status),
         response.content_type,
         response.body.len(),
         trace_header,
+        retry_header,
         if keep_alive { "keep-alive" } else { "close" },
         response.body
     );

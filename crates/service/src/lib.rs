@@ -50,6 +50,17 @@
 //! dispatch queue is full, the offending *request* gets an immediate
 //! `503` (idle connections are nearly free and are never shed).
 //!
+//! Requests may carry an `x-an5d-deadline-ms` budget ([`DEADLINE_HEADER`]):
+//! one that has already expired at dispatch is shed with `503` +
+//! `Retry-After` without ever occupying a worker, and one that expires
+//! mid-processing (the tuner checkpoints between candidates) is
+//! answered `504` with a structured partial-progress body. All `503`
+//! sheds carry `Retry-After`; [`client::RetryPolicy`] honors it with
+//! capped, seeded-jitter exponential backoff on idempotent requests. A
+//! deterministic fault-injection plan (`an5d-fault`; `--faults` /
+//! `AN5D_FAULTS`) drives the `load_gen --chaos` soak against exactly
+//! this machinery.
+//!
 //! Connections are **persistent** (HTTP/1.1 keep-alive) and owned by a
 //! single reactor thread: an idle connection parks in the reactor's
 //! `poll(2)` set, costing no worker at all, until the client sends
@@ -108,11 +119,12 @@ pub mod telemetry;
 pub use an5d_tunedb::json;
 pub use an5d_tunedb::TUNE_DB_ENV;
 
+pub use client::{HttpResponse, KeepAliveClient, RetryPolicy};
 pub use fleet::{Fleet, FleetShard, RoutePolicy, ShardStats, ShardTuneDbStats};
 pub use handlers::{
     dispatch, ServiceState, DEFAULT_SLOW_THRESHOLD, DEFAULT_TRACE_CAPACITY, ENDPOINTS,
 };
-pub use http::{Parse, Request, RequestParser, Response};
+pub use http::{Parse, Request, RequestParser, Response, DEADLINE_HEADER, MAX_DEADLINE_MS};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{ConnectionSnapshot, ConnectionStats, EndpointStats, Metrics};
 pub use server::{banner, Server, ServerConfig};

@@ -169,6 +169,15 @@ pub struct Metrics {
     endpoints: Mutex<BTreeMap<String, Arc<EndpointRecorder>>>,
     /// Requests turned away by admission control with a 503.
     rejected: AtomicU64,
+    /// Requests shed with a 503 because their deadline was already
+    /// expired at dispatch admission (never reached a worker).
+    deadline_shed: AtomicU64,
+    /// Requests answered 504 because their deadline expired while a
+    /// worker was processing them.
+    deadline_expired: AtomicU64,
+    /// Tune results that could not be appended to the persisted DB
+    /// (the response still carried the result — durability degraded).
+    tunedb_append_failures: AtomicU64,
     /// Connection-layer gauges, fed by the reactor.
     connections: ConnectionStats,
 }
@@ -203,6 +212,41 @@ impl Metrics {
     #[must_use]
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Record one request shed at admission because its deadline had
+    /// already expired.
+    pub fn record_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed at admission for an already-expired deadline.
+    #[must_use]
+    pub fn deadline_shed(&self) -> u64 {
+        self.deadline_shed.load(Ordering::Relaxed)
+    }
+
+    /// Record one request answered 504 after its deadline expired
+    /// mid-processing.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests answered 504 for a deadline that expired mid-processing.
+    #[must_use]
+    pub fn deadline_expired(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Record one tune result that could not be persisted.
+    pub fn record_tunedb_append_failure(&self) {
+        self.tunedb_append_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tune results that were served but could not be persisted.
+    #[must_use]
+    pub fn tunedb_append_failures(&self) -> u64 {
+        self.tunedb_append_failures.load(Ordering::Relaxed)
     }
 
     /// The connection-layer gauges (written by the reactor).

@@ -293,6 +293,17 @@ impl Reactor {
 
     /// Drain readable bytes into the parser, then advance it.
     fn do_read(&mut self, token: usize) {
+        match an5d_fault::point("reactor.read") {
+            None => {}
+            Some(an5d_fault::FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(_) => {
+                // Injected transport kill. Always an abort (regardless of
+                // parser state) so a chaos soak can reconcile
+                // `an5d_connections_aborted` against the fault journal.
+                self.close(token, true);
+                return;
+            }
+        }
         let mut peer_gone = false;
         let mut chunk = [0u8; READ_CHUNK];
         {
@@ -392,6 +403,20 @@ impl Reactor {
     /// *requests*, not connections: parked idle connections are nearly
     /// free, so the bounded resource worth guarding is worker time).
     fn dispatch_request(&mut self, token: usize, request: Request) {
+        // A request whose deadline already expired — it burned its whole
+        // budget queued in the kernel or mid-parse — is shed here so it
+        // never occupies a worker: 503 + Retry-After instead of a 504
+        // from a worker that could do no useful work.
+        if request.deadline.is_some_and(|d| d.expired()) {
+            self.shared.state.metrics().record_deadline_shed();
+            let body = render_response(
+                &Response::new(503, api::error_body("deadline expired before dispatch"))
+                    .with_retry_after(1),
+                false,
+            );
+            self.start_write(token, body, true);
+            return;
+        }
         let depth = self
             .shared
             .queue
@@ -401,7 +426,8 @@ impl Reactor {
         if depth >= self.shared.queue_depth {
             self.shared.state.metrics().record_rejected();
             let body = render_response(
-                &Response::new(503, api::error_body("server overloaded, retry later")),
+                &Response::new(503, api::error_body("server overloaded, retry later"))
+                    .with_retry_after(1),
                 false,
             );
             self.start_write(token, body, true);
@@ -451,8 +477,23 @@ impl Reactor {
 
     fn try_flush(&mut self, token: usize) {
         let mut failed = false;
+        let mut injected = false;
         let mut done = false;
-        {
+        // Injected write faults: a kill aborts the connection mid-
+        // response; a short write caps the bytes this call may drain
+        // (the level-triggered poll resumes the rest), exercising the
+        // resumable-write path deterministically.
+        let mut budget = usize::MAX;
+        match an5d_fault::point("reactor.write") {
+            None => {}
+            Some(an5d_fault::FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(an5d_fault::FaultAction::Error) => {
+                failed = true;
+                injected = true;
+            }
+            Some(an5d_fault::FaultAction::Short(n)) => budget = n.max(1),
+        }
+        if !failed {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
@@ -461,12 +502,19 @@ impl Reactor {
                     done = true;
                     break;
                 }
-                match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+                if budget == 0 {
+                    break; // short-write cap hit; poll picks it back up
+                }
+                let limit = conn.out.len().min(conn.out_pos.saturating_add(budget));
+                match (&conn.stream).write(&conn.out[conn.out_pos..limit]) {
                     Ok(0) => {
                         failed = true;
                         break;
                     }
-                    Ok(n) => conn.out_pos += n,
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        budget = budget.saturating_sub(n);
+                    }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                     Err(_) => {
@@ -477,7 +525,11 @@ impl Reactor {
             }
         }
         if failed {
-            let aborted = !self.conns[&token].parser.is_clean();
+            let aborted = injected
+                || self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|conn| !conn.parser.is_clean());
             self.close(token, aborted);
         } else if done {
             self.on_response_written(token);

@@ -76,6 +76,18 @@ pub struct ServerConfig {
     /// environment variable into this field; the library default stays
     /// `None` so embedders and tests never pick up a DB implicitly.
     pub tune_db: Option<String>,
+    /// `fsync` the tuning database after every append. On by default:
+    /// on the service path an acknowledged `/tune` result must survive a
+    /// crash, and tuning cost dwarfs the fsync. Benchmarks and embedders
+    /// that only need OS-buffer durability can turn it off.
+    pub sync_tune_db: bool,
+    /// Deterministic fault-injection plan
+    /// (see [`an5d_fault::FaultPlan::parse`] for the spec grammar),
+    /// installed process-wide at startup. `None` (the default) injects
+    /// nothing and costs one relaxed atomic load per fault point. The
+    /// `an5d-serve` binary resolves `--faults` / the `AN5D_FAULTS`
+    /// environment variable into this field.
+    pub faults: Option<String>,
     /// Requests slower than this are logged to stderr with their trace
     /// id (see `GET /trace?id=`).
     pub slow_request_threshold: Duration,
@@ -93,6 +105,8 @@ impl Default for ServerConfig {
             keep_alive_timeout: Duration::from_secs(5),
             max_requests_per_connection: 1000,
             tune_db: None,
+            sync_tune_db: true,
+            faults: None,
             slow_request_threshold: crate::handlers::DEFAULT_SLOW_THRESHOLD,
             trace_capacity: crate::handlers::DEFAULT_TRACE_CAPACITY,
         }
@@ -216,19 +230,29 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures, and tune-DB open failures when
+    /// Propagates bind failures, tune-DB open failures when
     /// [`ServerConfig::tune_db`] names a file that exists but is not a
     /// tune DB — starting *without* the operator's requested persistence
-    /// (silently re-tuning everything) would be worse than not starting.
+    /// (silently re-tuning everything) would be worse than not starting —
+    /// and malformed [`ServerConfig::faults`] specs (a chaos run with a
+    /// typo'd plan silently injecting nothing would report a clean bill
+    /// of health it never earned).
     pub fn start_with_backend(
         config: &ServerConfig,
         backend: Arc<dyn ExecutionBackend>,
     ) -> io::Result<Server> {
+        if let Some(spec) = &config.faults {
+            let plan = an5d_fault::FaultPlan::parse(spec)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            an5d_fault::install(plan);
+        }
         let mut state = ServiceState::new(backend, config.cache_capacity.max(1))
             .with_slow_threshold(config.slow_request_threshold)
             .with_trace_capacity(config.trace_capacity);
         if let Some(path) = &config.tune_db {
-            state = state.with_tune_db(Arc::new(an5d::TuneDb::open(path)?));
+            state = state.with_tune_db(Arc::new(
+                an5d::TuneDb::open(path)?.sync_on_append(config.sync_tune_db),
+            ));
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;

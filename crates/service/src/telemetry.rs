@@ -102,6 +102,30 @@ pub fn render_prometheus(state: &ServiceState) -> String {
         state.metrics().rejected()
     );
 
+    // Deadline and durability-degradation counters (the robustness
+    // layer: x-an5d-deadline-ms handling and tune-DB append failures).
+    for (metric, help, value) in [
+        (
+            "an5d_deadline_shed_total",
+            "Requests shed with 503 at admission for an already-expired deadline.",
+            state.metrics().deadline_shed(),
+        ),
+        (
+            "an5d_deadline_expired_total",
+            "Requests answered 504 after their deadline expired mid-processing.",
+            state.metrics().deadline_expired(),
+        ),
+        (
+            "an5d_tunedb_append_failures_total",
+            "Tune results served but not persisted (append to the tune DB failed).",
+            state.metrics().tunedb_append_failures(),
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {metric} {help}");
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+
     // Connection layer: reactor gauges and loop-latency histogram.
     let conns = state.metrics().connections().snapshot();
     for (metric, help, kind, value) in [

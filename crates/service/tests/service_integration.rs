@@ -208,10 +208,19 @@ fn admission_control_sheds_load_with_503s_instead_of_queueing_unboundedly() {
                 if stop.load(std::sync::atomic::Ordering::Relaxed) {
                     break;
                 }
-                if let Ok((503, _)) = client::post(addr, "/execute", body) {
-                    saw_503 = true;
-                    stop.store(true, std::sync::atomic::Ordering::Relaxed);
-                    break;
+                if let Ok(response) = client::post_response(addr, "/execute", body) {
+                    if response.status == 503 {
+                        // Every overload shed must tell well-behaved
+                        // clients when to come back.
+                        assert_eq!(
+                            response.retry_after,
+                            Some(1),
+                            "503 shed must carry a Retry-After hint"
+                        );
+                        saw_503 = true;
+                        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                        break;
+                    }
                 }
             }
             saw_503

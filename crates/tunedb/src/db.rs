@@ -79,6 +79,8 @@ struct Inner {
 pub struct TuneDb {
     path: PathBuf,
     policy: CompactionPolicy,
+    /// `fsync` after every append (see [`TuneDb::sync_on_append`]).
+    sync_on_append: bool,
     inner: Mutex<Inner>,
 }
 
@@ -163,6 +165,7 @@ impl TuneDb {
         Ok(Self {
             path,
             policy,
+            sync_on_append: false,
             inner: Mutex::new(Inner {
                 file,
                 recovered: map.len(),
@@ -174,6 +177,21 @@ impl TuneDb {
                 truncated_bytes: recovered.tail_bytes,
             }),
         })
+    }
+
+    /// `fsync` (`File::sync_all`) the log after every appended record.
+    ///
+    /// By default `put` only flushes to the OS (`flush`), so a machine
+    /// crash — not just a process crash — can lose the last records.
+    /// The service path opens its database with this enabled: a tuning
+    /// record the server acknowledged should survive power loss, and
+    /// tune appends are rare enough that the fsync cost is noise next
+    /// to the sweep that produced the record. (Crash recovery at open
+    /// handles whatever a torn append leaves behind either way.)
+    #[must_use]
+    pub fn sync_on_append(mut self, enabled: bool) -> Self {
+        self.sync_on_append = enabled;
+        self
     }
 
     /// Open the database named by the `AN5D_TUNE_DB` environment
@@ -235,10 +253,34 @@ impl TuneDb {
         // bytes, and the misaligned decode at the next open would drop
         // every one of them. Roll back to the pre-append length.
         let offset = inner.file.metadata()?.len();
+        match an5d_fault::point("tunedb.append") {
+            None => {}
+            Some(an5d_fault::FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(an5d_fault::FaultAction::Error) => {
+                return Err(an5d_fault::injected("tunedb.append"));
+            }
+            Some(an5d_fault::FaultAction::Short(n)) => {
+                // A simulated crash torn mid-record: the first `n` frame
+                // bytes reach the file and nothing rolls them back —
+                // exactly the state a power cut leaves behind. Recovery
+                // at the next open must chop this tail.
+                let cut = n.min(frame.len());
+                let _ = inner.file.write_all(&frame[..cut]);
+                let _ = inner.file.flush();
+                return Err(an5d_fault::injected("tunedb.append"));
+            }
+        }
         if let Err(e) = inner
             .file
             .write_all(&frame)
             .and_then(|()| inner.file.flush())
+            .and_then(|()| {
+                if self.sync_on_append {
+                    inner.file.sync_all()
+                } else {
+                    Ok(())
+                }
+            })
         {
             let _ = inner.file.set_len(offset);
             return Err(e);

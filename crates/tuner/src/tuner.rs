@@ -39,6 +39,15 @@ pub enum TunerError {
     /// No candidate in the search space was valid for the stencil/problem
     /// after pruning.
     NoFeasibleCandidate,
+    /// The caller's deadline expired mid-tune. The run aborts cleanly
+    /// rather than returning a winner ranked over a partial sweep;
+    /// `completed`/`total` report how far the interrupted stage got.
+    DeadlineExceeded {
+        /// Candidates fully processed by the interrupted stage.
+        completed: usize,
+        /// Candidates the interrupted stage was asked to process.
+        total: usize,
+    },
 }
 
 impl fmt::Display for TunerError {
@@ -48,6 +57,12 @@ impl fmt::Display for TunerError {
                 write!(
                     f,
                     "no feasible blocking configuration found in the search space"
+                )
+            }
+            TunerError::DeadlineExceeded { completed, total } => {
+                write!(
+                    f,
+                    "tuning deadline exceeded after {completed}/{total} candidates"
                 )
             }
         }
@@ -215,7 +230,10 @@ impl Tuner {
     ///
     /// Returns [`TunerError::NoFeasibleCandidate`] when pruning removes every
     /// candidate or none of the measured candidates can execute on the
-    /// device.
+    /// device, and [`TunerError::DeadlineExceeded`] when the installed
+    /// [`an5d_fault::Deadline`] runs out mid-tune (checkpointed before
+    /// every candidate, so an expired budget never builds a plan and a
+    /// mid-sweep expiry never yields a partially-ranked winner).
     pub fn tune(
         &self,
         def: &StencilDef,
@@ -223,6 +241,14 @@ impl Tuner {
         space: &SearchSpace,
     ) -> Result<TuningResult, TunerError> {
         let total_candidates = space.len();
+        // Admission checkpoint: a budget that is already gone must not
+        // build a single plan.
+        if an5d_fault::deadline_expired() {
+            return Err(TunerError::DeadlineExceeded {
+                completed: 0,
+                total: total_candidates,
+            });
+        }
 
         // Step 1: stream the search space, analytically pre-prune, build
         // plans only for survivors and rank them with the Section 5
@@ -238,6 +264,19 @@ impl Tuner {
         let evaluated: Mutex<Vec<RankedCandidate>> = Mutex::new(Vec::new());
         let sweep_span = an5d_obs::Span::enter("tuner.rank_sweep");
         an5d_runtime::global().for_each(space.iter().enumerate(), |(index, config)| {
+            // Deadline checkpoint per candidate, ahead of the analytic
+            // prune and the plan build: once the budget is gone the
+            // remaining items drain as no-ops (the pool has no abort)
+            // and the expiry check after the sweep turns the partial
+            // ranking into an error instead of a winner. The fault
+            // point lets the chaos soak and tests stretch individual
+            // candidates deterministically.
+            if let Some(an5d_fault::FaultAction::Delay(d)) = an5d_fault::point("tuner.candidate") {
+                std::thread::sleep(d);
+            }
+            if an5d_fault::deadline_expired() {
+                return;
+            }
             if !self.survives_analytic_pruning(def, &config) {
                 return;
             }
@@ -258,6 +297,15 @@ impl Tuner {
         let mut ranked = evaluated
             .into_inner()
             .expect("tuner ranking buffer poisoned");
+        // A sweep the deadline interrupted is a *partial* ranking: the
+        // best candidate may be among the items that were skipped, so
+        // returning a winner from it would be silently wrong.
+        if an5d_fault::deadline_expired() {
+            return Err(TunerError::DeadlineExceeded {
+                completed: ranked.len(),
+                total: total_candidates,
+            });
+        }
         if ranked.is_empty() {
             return Err(TunerError::NoFeasibleCandidate);
         }
@@ -270,7 +318,21 @@ impl Tuner {
         // keep the best measured performance per candidate.
         let mut measured: Vec<TunedCandidate> = Vec::new();
         let _measure_span = an5d_obs::Span::enter("tuner.measure_topk");
+        let measure_count = ranked.len().min(self.top_k);
         for (_, config, plan, predicted_gflops) in ranked.into_iter().take(self.top_k) {
+            // Checkpoint between top-k measurements: abort with the
+            // partial count rather than measuring past the budget.
+            if an5d_fault::deadline_expired() {
+                return Err(TunerError::DeadlineExceeded {
+                    completed: measured.len(),
+                    total: measure_count,
+                });
+            }
+            // Fault point stretching one candidate's measurement, so
+            // tests can trip the checkpoint above deterministically.
+            if let Some(an5d_fault::FaultAction::Delay(d)) = an5d_fault::point("tuner.measure") {
+                std::thread::sleep(d);
+            }
             let mut best_for_candidate: Option<TunedCandidate> = None;
             for cap in RegisterCap::tuning_candidates() {
                 // The simulated stand-in for executing the candidate on
