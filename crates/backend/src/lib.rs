@@ -12,12 +12,18 @@
 //! Three building blocks:
 //!
 //! * [`ExecutionBackend`] implementations:
-//!   [`SerialBackend`] (the reference driver, one tile at a time) and
+//!   [`SerialBackend`] (the reference driver, one tile at a time),
 //!   [`ParallelCpuBackend`] (the independent spatial tiles of each
 //!   temporal block fan out across the shared persistent worker pool of
-//!   `an5d-runtime`). Because each tile reads only the immutable input
-//!   grid and writes a disjoint region of the output grid, every backend
-//!   produces **bit-identical** `f64` grids and identical counter totals;
+//!   `an5d-runtime`) and [`VectorCpuBackend`] (tile-parallel like
+//!   `parallel`, but each tile runs the row-major fast path: the stencil
+//!   expression compiled into a postfix tape evaluated over contiguous
+//!   stride-1 row slices, the shape the compiler autovectorizes). Because
+//!   each tile reads only the immutable input grid, writes a disjoint
+//!   region of the output grid, and computes every cell through the
+//!   identical scalar operation sequence, every backend produces
+//!   **bit-identical** grids (for `f32` and `f64` alike) and identical
+//!   counter totals;
 //! * [`PlanCache`] — an LRU plan/codegen cache keyed by
 //!   (stencil fingerprint, problem extents, [`BlockConfig`],
 //!   [`FrameworkScheme`]) so repeated tuner and benchmark queries skip
@@ -40,6 +46,8 @@
 //! AN5D_BACKEND=serial        # reference serial driver (default)
 //! AN5D_BACKEND=parallel      # tile-parallel, one worker per CPU
 //! AN5D_BACKEND=parallel:8    # tile-parallel with exactly 8 workers
+//! AN5D_BACKEND=vector        # vectorized row kernels, one worker per CPU
+//! AN5D_BACKEND=vector:8      # vectorized row kernels with 8 workers
 //! ```
 //!
 //! # Example
@@ -71,7 +79,9 @@ mod cache;
 mod registry;
 mod sharded;
 
-pub use backend::{BackendElement, ExecutionBackend, ParallelCpuBackend, SerialBackend};
+pub use backend::{
+    BackendElement, ExecutionBackend, ParallelCpuBackend, SerialBackend, VectorCpuBackend,
+};
 pub use batch::{BatchDriver, BatchError, BatchFailure, BatchJob, BatchOutcome};
 pub use cache::{CacheStats, PlanCache, WarmRequest, WarmStats};
 pub use registry::{available_backends, backend_from_env, create_backend, BACKEND_ENV};

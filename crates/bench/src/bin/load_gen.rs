@@ -5,11 +5,19 @@
 //!
 //! ```text
 //! load_gen [--requests N] [--clients N] [--server-workers N]
-//!          [--device NAME] [--keep-alive | --no-keep-alive]
+//!          [--backend SPEC] [--device NAME]
+//!          [--keep-alive | --no-keep-alive]
 //!          [--tune-db PATH] [--json PATH]
 //!          [--connections N [--soak SECS]]
 //!          [--chaos [--fault-seed N]]
 //! ```
+//!
+//! `--backend SPEC` (`serial`, `parallel[:threads]`, `vector[:threads]`)
+//! selects the execution backend the in-process server runs `/execute`
+//! on; an unknown spec is a startup error. Backends are semantically
+//! transparent, so the byte-identity assertions are unchanged — the
+//! expected bytes still come from direct serial facade calls, and every
+//! `200` must match them no matter which backend served it.
 //!
 //! `--chaos` replaces the byte-identity phases with a **chaos soak**: the
 //! in-process server starts with a seeded fault plan (random connection
@@ -62,8 +70,9 @@
 //! Exits non-zero (panics) on any status or byte mismatch.
 
 use an5d::{
-    generate_cuda_for_plan, predict, standard_registry, An5d, BatchDriver, BatchJob, BlockConfig,
-    GpuDevice, GridInit, Precision, SearchSpace, SerialBackend,
+    create_backend, generate_cuda_for_plan, predict, standard_registry, An5d, BatchDriver,
+    BatchJob, BlockConfig, ExecutionBackend, GpuDevice, GridInit, Precision, SearchSpace,
+    SerialBackend,
 };
 use an5d_service::{api, client, parse_json, Server, ServerConfig};
 use std::sync::{Arc, Mutex};
@@ -245,6 +254,10 @@ struct Args {
     clients: usize,
     server_workers: usize,
     keep_alive: bool,
+    /// The execution backend every in-process server (mixed workload,
+    /// soak, chaos) runs on. Transparent by contract, so the
+    /// byte-identity assertions hold for any registered spec.
+    backend: Arc<dyn ExecutionBackend>,
     device: Option<String>,
     tune_db: Option<String>,
     json: Option<String>,
@@ -264,8 +277,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: load_gen [--requests N] [--clients N] [--server-workers N] \
-         [--device NAME] [--keep-alive | --no-keep-alive] [--tune-db PATH] \
-         [--json PATH] [--connections N [--soak SECS]] [--chaos [--fault-seed N]]"
+         [--backend SPEC] [--device NAME] [--keep-alive | --no-keep-alive] \
+         [--tune-db PATH] [--json PATH] [--connections N [--soak SECS]] \
+         [--chaos [--fault-seed N]]"
     );
     std::process::exit(2);
 }
@@ -276,6 +290,7 @@ fn parse_args() -> Args {
         clients: 4,
         server_workers: 4,
         keep_alive: true,
+        backend: Arc::new(SerialBackend),
         device: None,
         tune_db: None,
         json: None,
@@ -295,6 +310,17 @@ fn parse_args() -> Args {
                     usage();
                 };
                 args.fault_seed = value;
+            }
+            "--backend" => {
+                let Some(value) = iter.next() else { usage() };
+                let Some(backend) = create_backend(&value) else {
+                    eprintln!(
+                        "load_gen: unknown --backend {value:?}; registered: {}",
+                        an5d::available_backends().join(", ")
+                    );
+                    std::process::exit(2);
+                };
+                args.backend = backend;
             }
             "--device" => {
                 let Some(value) = iter.next() else { usage() };
@@ -458,7 +484,7 @@ fn run_soak(args: &Args, template: &Template) -> an5d_service::Json {
             max_requests_per_connection: 1_000_000,
             ..ServerConfig::default()
         },
-        Arc::new(SerialBackend),
+        Arc::clone(&args.backend),
     )
     .expect("bind soak server");
     let addr = server.addr();
@@ -684,7 +710,7 @@ fn run_chaos(args: &Args, templates: &[Template]) -> an5d_service::Json {
             faults: Some(spec.clone()),
             ..ServerConfig::default()
         },
-        Arc::new(SerialBackend),
+        Arc::clone(&args.backend),
     )
     .expect("bind chaos server");
     let addr = server.addr();
@@ -1061,7 +1087,7 @@ fn main() {
             tune_db: args.tune_db.clone(),
             ..ServerConfig::default()
         },
-        Arc::new(SerialBackend),
+        Arc::clone(&args.backend),
     )
     .expect("bind ephemeral port");
     let addr = server.addr();

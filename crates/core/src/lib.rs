@@ -81,7 +81,8 @@ pub use an5d_gpusim::{
 pub use an5d_backend::{
     available_backends, backend_from_env, create_backend, BackendElement, BatchDriver, BatchError,
     BatchFailure, BatchJob, BatchOutcome, CacheStats, ExecutionBackend, ParallelCpuBackend,
-    PlanCache, SerialBackend, ShardedPlanCache, WarmRequest, WarmStats, BACKEND_ENV,
+    PlanCache, SerialBackend, ShardedPlanCache, VectorCpuBackend, WarmRequest, WarmStats,
+    BACKEND_ENV,
 };
 
 pub use an5d_runtime::{global as global_pool, PoolStats, WorkerPool, POOL_THREADS_ENV};
@@ -96,8 +97,8 @@ pub use an5d_model::{
 };
 
 pub use an5d_tuner::{
-    problem_fingerprint, stencil_fingerprint, CandidateIter, SearchSpace, TunedCandidate, Tuner,
-    TunerError, TuningResult,
+    problem_fingerprint, stencil_fingerprint, BackendMeasurement, CandidateIter, MeasurementSource,
+    SearchSpace, SimulatedMeasurement, TunedCandidate, Tuner, TunerError, TuningResult,
 };
 
 pub use an5d_tunedb::{

@@ -23,8 +23,24 @@
 //! [`TileRun::apply_to`]. [`execute_plan_on`] is the serial driver built
 //! from the same pieces, so every backend produces bit-identical grids and
 //! counter totals by construction.
+//!
+//! # Row-major fast path
+//!
+//! [`TileContext::execute_tile_rows`] executes the same tile through a
+//! vectorization-friendly kernel: the stencil expression is compiled once
+//! per tile into a postfix tape whose cell loads are *flat* offsets in the
+//! local row-major layout, and the tape is evaluated a whole row at a time
+//! over contiguous stride-1 slices. All halo/bounds logic is hoisted out
+//! of the inner loop into per-dimension updatable ranges, so the inner
+//! loops are plain elementwise passes the compiler can autovectorize.
+//! Because every cell still goes through the exact scalar operation
+//! sequence of [`eval_expr`] (a postfix tape evaluates a tree in the same
+//! order the recursive evaluator does, and lanes never interact), the
+//! resulting grid and counters are bit-identical to
+//! [`TileContext::execute_tile`] for both `f32` and `f64`.
 
 use crate::TrafficCounters;
+use an5d_expr::{BinOp, Expr, UnOp};
 use an5d_grid::{Element, Grid, GridInit};
 use an5d_plan::{practical_shared_reads, KernelPlan};
 use an5d_stencil::exec::eval_expr;
@@ -302,6 +318,318 @@ impl<'a> TileContext<'a> {
             counters,
         }
     }
+
+    /// Execute one tile through the row-major fast path.
+    ///
+    /// Produces a [`TileRun`] bit-identical (values *and* counters) to
+    /// [`TileContext::execute_tile`] for the same inputs, but restructured
+    /// for autovectorization: the stencil expression is compiled into a
+    /// postfix tape over flat neighbour offsets, halo/bounds checks are
+    /// hoisted into per-dimension updatable ranges, and every inner loop
+    /// (load, update, write-back extraction) runs over contiguous
+    /// stride-1 row slices.
+    #[must_use]
+    pub fn execute_tile_rows<T: Element>(
+        &self,
+        current: &Grid<T>,
+        tile: &TileSpec,
+        chunk: usize,
+    ) -> TileRun<T> {
+        let def = self.plan.def();
+        let rad = def.radius();
+        let shape = &self.shape;
+        let ndim = shape.len();
+        let inner = ndim - 1;
+        let mut counters = TrafficCounters::new();
+
+        // Local box bounds in stored-grid coordinates — identical to the
+        // scalar path: compute region + recomputation halo + one stencil
+        // radius of read-only data, clipped to the stored grid.
+        let mut lo = vec![0usize; ndim];
+        let mut hi = vec![0usize; ndim];
+        for d in 0..ndim {
+            let (origin, len, halo) = tile.dims[d];
+            lo[d] = origin.saturating_sub(halo);
+            hi[d] = (origin + len + halo + 2 * rad).min(shape[d]);
+        }
+        let local_shape: Vec<usize> = (0..ndim).map(|d| hi[d] - lo[d]).collect();
+        let local_strides = row_major_strides(&local_shape);
+        let global_strides = row_major_strides(shape);
+        let total: usize = local_shape.iter().product();
+
+        // Load the local box from global memory with one contiguous row
+        // copy per innermost row (one read per cell per temporal block —
+        // the defining property of N.5D blocking).
+        let data = current.as_slice();
+        let mut src: Vec<T> = Vec::with_capacity(total);
+        let load_bounds: Vec<(usize, usize)> =
+            local_shape[..inner].iter().map(|&e| (0, e)).collect();
+        for_each_row(&load_bounds, |outer| {
+            let mut g = lo[inner];
+            for d in 0..inner {
+                g += (outer[d] + lo[d]) * global_strides[d];
+            }
+            src.extend_from_slice(&data[g..g + local_shape[inner]]);
+        });
+        counters.gm_reads += total as u128;
+        counters.thread_blocks += 1;
+        counters.syncs += self.syncs_per_plane * local_shape[0] as u128;
+
+        // Updatable range per dimension: the cell's whole neighbourhood
+        // must lie inside the local box and the cell itself in the global
+        // interior. Both conditions are per-dimension separable, so the
+        // scalar path's per-cell checks collapse into one interval
+        // intersection per dimension, hoisted out of every inner loop.
+        let upd: Vec<(usize, usize)> = (0..ndim)
+            .map(|d| {
+                let lo_bound = rad.max(rad.saturating_sub(lo[d]));
+                let hi_bound = local_shape[d]
+                    .saturating_sub(rad)
+                    .min((shape[d] - rad).saturating_sub(lo[d]));
+                (lo_bound, hi_bound)
+            })
+            .collect();
+        let updates_per_step: u128 = upd
+            .iter()
+            .map(|&(l, h)| h.saturating_sub(l) as u128)
+            .product();
+        let lanes = upd[inner].1.saturating_sub(upd[inner].0);
+
+        // Compile the stencil expression for this local geometry and run
+        // the temporal block over a double buffer.
+        let kernel = RowKernel::compile(def.expr(), &local_strides);
+        let mut stack: Vec<Vec<T>> = (0..kernel.depth).map(|_| vec![T::ZERO; lanes]).collect();
+        let mut dst = src.clone();
+        for _step in 0..chunk {
+            dst.copy_from_slice(&src);
+            if lanes > 0 {
+                for_each_row(&upd[..inner], |outer| {
+                    let mut base = upd[inner].0;
+                    for d in 0..inner {
+                        base += outer[d] * local_strides[d];
+                    }
+                    kernel.eval_into(&src, base, &mut stack, &mut dst[base..base + lanes]);
+                });
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let steps = chunk as u128;
+        counters.cell_updates += updates_per_step * steps;
+        counters.flops += updates_per_step * steps * self.flops_per_update;
+        counters.sm_reads += updates_per_step * steps * self.sm_reads_per_update;
+        counters.sm_writes += updates_per_step * steps * self.sm_writes_per_update;
+
+        // Extract the compute region (which always lies in the interior)
+        // with contiguous row copies.
+        let origin: Vec<usize> = (0..ndim).map(|d| tile.dims[d].0 + rad).collect();
+        let region: Vec<usize> = (0..ndim).map(|d| tile.dims[d].1).collect();
+        let region_total: usize = region.iter().product();
+        let mut values = Vec::with_capacity(region_total);
+        let extract_bounds: Vec<(usize, usize)> = region[..inner].iter().map(|&e| (0, e)).collect();
+        for_each_row(&extract_bounds, |outer| {
+            let mut l = origin[inner] - lo[inner];
+            for d in 0..inner {
+                l += (origin[d] + outer[d] - lo[d]) * local_strides[d];
+            }
+            values.extend_from_slice(&src[l..l + region[inner]]);
+        });
+        counters.gm_writes += region_total as u128;
+        counters.valid_updates += region_total as u128 * chunk as u128;
+
+        TileRun {
+            origin,
+            region,
+            values,
+            counters,
+        }
+    }
+}
+
+/// One instruction of a compiled row kernel: a postfix-encoded step of the
+/// stencil expression applied to a whole row of independent cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TapeOp {
+    /// Push the constant (rounded to `T`), broadcast across the row.
+    PushConst(f64),
+    /// Push the neighbour row at a fixed flat offset from the output row.
+    PushCell(isize),
+    /// Negate the top row in place.
+    Neg,
+    /// Square-root the top row in place.
+    Sqrt,
+    /// Pop two rows, push their elementwise combination.
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A stencil expression compiled for one local-box geometry: postfix ops
+/// whose cell loads are flat deltas in the local row-major layout.
+///
+/// A postfix tape evaluates the expression tree in exactly the order the
+/// recursive [`eval_expr`] does (left operand, right operand, combine),
+/// and rows are evaluated lane-by-lane with no cross-lane interaction, so
+/// every cell's value is produced by the identical scalar operation
+/// sequence — results are bit-identical for `f32` and `f64` alike.
+#[derive(Debug, Clone, PartialEq)]
+struct RowKernel {
+    ops: Vec<TapeOp>,
+    /// Maximum operand-stack depth the tape reaches (≥ 1).
+    depth: usize,
+}
+
+impl RowKernel {
+    fn compile(expr: &Expr, local_strides: &[usize]) -> Self {
+        fn emit(expr: &Expr, strides: &[usize], ops: &mut Vec<TapeOp>) {
+            match expr {
+                Expr::Const(c) => ops.push(TapeOp::PushConst(*c)),
+                Expr::Cell(offset) => {
+                    let delta: isize = offset
+                        .components()
+                        .iter()
+                        .zip(strides)
+                        .map(|(&o, &s)| o as isize * s as isize)
+                        .sum();
+                    ops.push(TapeOp::PushCell(delta));
+                }
+                Expr::Unary(op, a) => {
+                    emit(a, strides, ops);
+                    ops.push(match op {
+                        UnOp::Neg => TapeOp::Neg,
+                        UnOp::Sqrt => TapeOp::Sqrt,
+                    });
+                }
+                Expr::Binary(op, a, b) => {
+                    emit(a, strides, ops);
+                    emit(b, strides, ops);
+                    ops.push(match op {
+                        BinOp::Add => TapeOp::Add,
+                        BinOp::Sub => TapeOp::Sub,
+                        BinOp::Mul => TapeOp::Mul,
+                        BinOp::Div => TapeOp::Div,
+                    });
+                }
+            }
+        }
+        let mut ops = Vec::new();
+        emit(expr, local_strides, &mut ops);
+        let mut depth = 0usize;
+        let mut max_depth = 0usize;
+        for op in &ops {
+            match op {
+                TapeOp::PushConst(_) | TapeOp::PushCell(_) => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                TapeOp::Neg | TapeOp::Sqrt => {}
+                TapeOp::Add | TapeOp::Sub | TapeOp::Mul | TapeOp::Div => depth -= 1,
+            }
+        }
+        Self {
+            ops,
+            depth: max_depth,
+        }
+    }
+
+    /// Evaluate the tape for the row of cells whose first output lane sits
+    /// at flat index `base` in `src`, writing `out.len()` results to `out`.
+    ///
+    /// Every neighbour access is a contiguous slice copy at `base + delta`
+    /// and every operation an elementwise pass over the row — stride-1
+    /// loops with no bounds logic, which is what lets the compiler
+    /// vectorize them.
+    fn eval_into<T: Element>(&self, src: &[T], base: usize, stack: &mut [Vec<T>], out: &mut [T]) {
+        let lanes = out.len();
+        let mut sp = 0usize;
+        for op in &self.ops {
+            match *op {
+                TapeOp::PushConst(c) => {
+                    stack[sp].fill(T::from_f64(c));
+                    sp += 1;
+                }
+                TapeOp::PushCell(delta) => {
+                    let start = (base as isize + delta) as usize;
+                    stack[sp].copy_from_slice(&src[start..start + lanes]);
+                    sp += 1;
+                }
+                TapeOp::Neg => {
+                    for v in stack[sp - 1].iter_mut() {
+                        *v = -*v;
+                    }
+                }
+                TapeOp::Sqrt => {
+                    for v in stack[sp - 1].iter_mut() {
+                        *v = v.sqrt();
+                    }
+                }
+                TapeOp::Add | TapeOp::Sub | TapeOp::Mul | TapeOp::Div => {
+                    let (below, top) = stack.split_at_mut(sp - 1);
+                    let a = below[sp - 2].as_mut_slice();
+                    let b = top[0].as_slice();
+                    match *op {
+                        TapeOp::Add => {
+                            for (x, &y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                        }
+                        TapeOp::Sub => {
+                            for (x, &y) in a.iter_mut().zip(b) {
+                                *x = *x - y;
+                            }
+                        }
+                        TapeOp::Mul => {
+                            for (x, &y) in a.iter_mut().zip(b) {
+                                *x = *x * y;
+                            }
+                        }
+                        TapeOp::Div => {
+                            for (x, &y) in a.iter_mut().zip(b) {
+                                *x = *x / y;
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                    sp -= 1;
+                }
+            }
+        }
+        out.copy_from_slice(&stack[0]);
+    }
+}
+
+/// Row-major strides of a shape (innermost dimension has stride 1).
+fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for dim in (0..shape.len().saturating_sub(1)).rev() {
+        strides[dim] = strides[dim + 1] * shape[dim + 1];
+    }
+    strides
+}
+
+/// Odometer over the cartesian product of half-open per-dimension bounds,
+/// in row-major order. An empty `bounds` slice yields one visit (the 1D
+/// case, where a tile is a single row); an empty range yields none.
+fn for_each_row(bounds: &[(usize, usize)], mut f: impl FnMut(&[usize])) {
+    if bounds.iter().any(|&(l, h)| l >= h) {
+        return;
+    }
+    let mut idx: Vec<usize> = bounds.iter().map(|&(l, _)| l).collect();
+    loop {
+        f(&idx);
+        let mut d = bounds.len();
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < bounds[d].1 {
+                break;
+            }
+            idx[d] = bounds[d].0;
+        }
+    }
 }
 
 /// The sequence of temporal-block lengths for a time loop of `time_steps`
@@ -566,6 +894,72 @@ mod tests {
         assert!(divided.thread_blocks > undivided.thread_blocks);
         assert!(divided.cell_updates > undivided.cell_updates);
         assert_eq!(divided.valid_updates, undivided.valid_updates);
+    }
+
+    fn check_rows_path_matches_scalar_path(
+        def: StencilDef,
+        interior: &[usize],
+        steps: usize,
+        bt: usize,
+        bs: &[usize],
+        hsn: Option<usize>,
+    ) {
+        let problem = StencilProblem::new(def.clone(), interior, steps).unwrap();
+        let config = BlockConfig::new(bt, bs, hsn, Precision::Double).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let ctx = TileContext::new(&plan, &problem);
+        let init = GridInit::Hash { seed: 23 };
+        let current64 = Grid::<f64>::from_init(&problem.grid_shape(), init);
+        let current32 = Grid::<f32>::from_init(&problem.grid_shape(), init);
+        for chunk in temporal_chunks(problem.time_steps(), bt) {
+            for tile in ctx.tiles() {
+                let scalar = ctx.execute_tile(&current64, tile, chunk);
+                let rows = ctx.execute_tile_rows(&current64, tile, chunk);
+                assert_eq!(scalar, rows, "{}: f64 tile diverged", def.name());
+                let scalar32 = ctx.execute_tile(&current32, tile, chunk);
+                let rows32 = ctx.execute_tile_rows(&current32, tile, chunk);
+                assert_eq!(scalar32, rows32, "{}: f32 tile diverged", def.name());
+            }
+        }
+    }
+
+    #[test]
+    fn rows_path_matches_scalar_path_2d() {
+        check_rows_path_matches_scalar_path(suite::j2d5pt(), &[24, 30], 7, 3, &[16], None);
+        check_rows_path_matches_scalar_path(suite::j2d9pt(), &[20, 26], 6, 2, &[18], None);
+        check_rows_path_matches_scalar_path(suite::box2d(1), &[16, 16], 5, 2, &[12], None);
+    }
+
+    #[test]
+    fn rows_path_matches_scalar_path_nonlinear() {
+        // gradient2d exercises Sqrt, Div and nested unary ops in the tape.
+        check_rows_path_matches_scalar_path(suite::gradient2d(), &[18, 18], 4, 2, &[14], None);
+    }
+
+    #[test]
+    fn rows_path_matches_scalar_path_with_stream_division() {
+        check_rows_path_matches_scalar_path(suite::j2d5pt(), &[32, 20], 6, 2, &[16], Some(8));
+    }
+
+    #[test]
+    fn rows_path_matches_scalar_path_3d() {
+        check_rows_path_matches_scalar_path(suite::star3d(1), &[10, 12, 14], 5, 2, &[10, 12], None);
+        check_rows_path_matches_scalar_path(
+            suite::j3d27pt(),
+            &[12, 10, 10],
+            4,
+            1,
+            &[8, 8],
+            Some(6),
+        );
+    }
+
+    #[test]
+    fn rows_path_matches_scalar_path_odd_geometries() {
+        // Tile lengths that do not divide the interior, radius-2 halos and
+        // degenerate one-cell-wide remainders.
+        check_rows_path_matches_scalar_path(suite::star2d(2), &[17, 13], 5, 2, &[13], None);
+        check_rows_path_matches_scalar_path(suite::j2d5pt(), &[9, 25], 4, 3, &[11], Some(5));
     }
 
     #[test]

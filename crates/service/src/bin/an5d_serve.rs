@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!            [--backend SPEC]
 //!            [--keep-alive-timeout SECS] [--max-requests N]
 //!            [--tune-db PATH] [--no-sync-tune-db]
 //!            [--slow-threshold-ms N] [--trace-capacity N]
@@ -15,10 +16,12 @@
 //! complete parsed requests — when it is full the overflowing request
 //! is answered with an immediate 503.
 //!
-//! The execution backend for `/execute` is selected by the standard
-//! `AN5D_BACKEND` environment variable (`serial`, `parallel`,
-//! `parallel:<threads>`); invalid specs fall back to serial with a note
-//! on stderr, exactly as in the library. The persisted tuning database
+//! The execution backend for `/execute` is selected with `--backend`
+//! (`serial`, `parallel[:threads]`, `vector[:threads]`); an invalid
+//! `--backend` spec is a hard startup error. Without the flag the
+//! standard `AN5D_BACKEND` environment variable applies, where invalid
+//! specs fall back to serial with a note on stderr, exactly as in the
+//! library. The persisted tuning database
 //! defaults to the `AN5D_TUNE_DB` environment variable; `--tune-db`
 //! overrides it (and `--tune-db ""` disables persistence). Appends are
 //! fsync'd per record by default; `--no-sync-tune-db` trades that
@@ -36,11 +39,14 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: an5d-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         \x20                 [--backend SPEC]\n\
          \x20                 [--keep-alive-timeout SECS] [--max-requests N]\n\
          \x20                 [--tune-db PATH] [--no-sync-tune-db]\n\
          \x20                 [--slow-threshold-ms N] [--trace-capacity N]\n\
          \x20                 [--faults SPEC]\n\
          defaults: --addr 127.0.0.1:7845 --workers 4 --queue 64 --cache 256\n\
+         \x20         --backend $AN5D_BACKEND (unset: serial); SPEC is one of\n\
+         \x20         serial, parallel[:threads], vector[:threads]\n\
          \x20         --keep-alive-timeout 5 --max-requests 1000\n\
          \x20         --tune-db $AN5D_TUNE_DB (unset: no persistence)\n\
          \x20         --slow-threshold-ms 1000 --trace-capacity 256\n\
@@ -95,6 +101,9 @@ fn parse_args() -> ServerConfig {
                 Ok(n) if n > 0 => config.max_requests_per_connection = n,
                 _ => usage(),
             },
+            "--backend" => {
+                config.backend = Some(value).filter(|spec| !spec.trim().is_empty());
+            }
             "--tune-db" => {
                 config.tune_db = Some(value).filter(|path| !path.trim().is_empty());
             }

@@ -14,7 +14,7 @@ use crate::api::{self, ApiError};
 use crate::fleet::{Fleet, FleetShard, RoutePolicy};
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
-use crate::metrics::Metrics;
+use crate::metrics::{MeteredBackend, Metrics};
 use crate::telemetry;
 use an5d::{
     generate_cuda_for_plan, parse_stencil, predict, BatchJob, DeviceRegistry, ExecutionBackend,
@@ -50,7 +50,7 @@ pub const ENDPOINTS: &[(&str, &str)] = &[
 pub struct ServiceState {
     backend: Arc<dyn ExecutionBackend>,
     fleet: Fleet,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     traces: TraceRing,
     slow_threshold: Duration,
 }
@@ -85,14 +85,38 @@ impl ServiceState {
         cache_capacity: usize,
         registry: DeviceRegistry,
     ) -> Self {
+        let metrics = Arc::new(Metrics::new());
+        // Meter every backend.execute so /stats and /metrics can report
+        // execute latency per backend name; the wrapper delegates
+        // verbatim, so results are unchanged.
+        let backend: Arc<dyn ExecutionBackend> =
+            Arc::new(MeteredBackend::new(backend, Arc::clone(&metrics)));
         let fleet = Fleet::new(&backend, registry, cache_capacity);
         Self {
             backend,
             fleet,
-            metrics: Metrics::new(),
+            metrics,
             traces: TraceRing::new(DEFAULT_TRACE_CAPACITY),
             slow_threshold: DEFAULT_SLOW_THRESHOLD,
         }
+    }
+
+    /// Run one device's shard on its own execution backend (metered like
+    /// the default one); see [`Fleet::with_shard_backend`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` names no registered device.
+    #[must_use]
+    pub fn with_shard_backend(
+        mut self,
+        id: &an5d::DeviceId,
+        backend: Arc<dyn ExecutionBackend>,
+    ) -> Self {
+        let metered: Arc<dyn ExecutionBackend> =
+            Arc::new(MeteredBackend::new(backend, Arc::clone(&self.metrics)));
+        self.fleet = self.fleet.with_shard_backend(id, metered);
+        self
     }
 
     /// Retain at most `capacity` completed traces for `GET /trace`.
@@ -295,6 +319,9 @@ fn stats(state: &ServiceState) -> Response {
             api::cache_stats_json(&state.fleet.aggregate_cache_stats()),
         ),
         ("devices", state.fleet.stats_json()),
+        // backend.execute latency per backend name (fed by the metered
+        // backend wrappers around every shard's backend).
+        ("backends", state.metrics.backends_json()),
         ("tunedb", state.fleet.tunedb_json()),
         ("pool", api::pool_stats_json(&an5d::global_pool().stats())),
         ("endpoints", state.metrics.endpoints_json()),
@@ -629,6 +656,34 @@ mod tests {
         let pool = parsed.get("pool").expect("pool stats");
         assert!(pool.get("workers").is_some());
         assert!(pool.get("queued_batches").is_some());
+    }
+
+    #[test]
+    fn stats_and_metrics_report_backend_execute_latency() {
+        let state = state();
+        let body = r#"{"benchmark":"j2d5pt","interior":[24,24],"steps":5,
+                       "config":{"bt":2,"bs":[12],"precision":"double"}}"#;
+        assert_eq!(post(&state, "/execute", body).status, 200);
+
+        let stats = dispatch(&state, &Request::new("GET", "/stats", b""));
+        let parsed = json::parse(&stats.body).unwrap();
+        let serial = parsed
+            .get("backends")
+            .and_then(|b| b.get("serial"))
+            .expect("backend.execute latency recorded under the backend name");
+        assert!(serial.get("executes").unwrap().as_usize().unwrap() >= 1);
+        assert!(serial.get("p99_us").is_some());
+
+        let metrics = dispatch(&state, &Request::new("GET", "/metrics", b""));
+        assert!(
+            metrics
+                .body
+                .contains("an5d_backend_executes_total{backend=\"serial\"}"),
+            "per-backend execute counter missing"
+        );
+        assert!(metrics
+            .body
+            .contains("an5d_backend_execute_us_bucket{backend=\"serial\""));
     }
 
     #[test]

@@ -126,5 +126,5 @@ pub use handlers::{
 };
 pub use http::{Parse, Request, RequestParser, Response, DEADLINE_HEADER, MAX_DEADLINE_MS};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use metrics::{ConnectionSnapshot, ConnectionStats, EndpointStats, Metrics};
+pub use metrics::{ConnectionSnapshot, ConnectionStats, EndpointStats, MeteredBackend, Metrics};
 pub use server::{banner, Server, ServerConfig};

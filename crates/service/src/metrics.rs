@@ -9,11 +9,12 @@
 //! structurally valid map).
 
 use crate::json::Json;
+use an5d::{BlockedRun, ExecutionBackend, Grid, KernelPlan, StencilProblem};
 use an5d_obs::{Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Aggregated statistics for one endpoint.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -167,6 +168,10 @@ impl ConnectionStats {
 #[derive(Debug, Default)]
 pub struct Metrics {
     endpoints: Mutex<BTreeMap<String, Arc<EndpointRecorder>>>,
+    /// `backend.execute` latency per backend name, fed by
+    /// [`MeteredBackend`] wrappers around every backend the service
+    /// executes on.
+    backends: Mutex<BTreeMap<String, Arc<EndpointRecorder>>>,
     /// Requests turned away by admission control with a 503.
     rejected: AtomicU64,
     /// Requests shed with a 503 because their deadline was already
@@ -201,6 +206,51 @@ impl Metrics {
     pub fn record(&self, endpoint: &str, latency: Duration, ok: bool) {
         let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         self.recorder(endpoint).record(micros, ok);
+    }
+
+    /// Record one `backend.execute` call on the named backend.
+    pub fn record_backend_execute(&self, backend: &str, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let recorder = {
+            let mut backends = self.backends.lock().unwrap_or_else(PoisonError::into_inner);
+            Arc::clone(backends.entry(backend.to_string()).or_default())
+        };
+        recorder.record(micros, true);
+    }
+
+    /// Per-backend `(name, stats, latency histogram)` snapshots of
+    /// `backend.execute`, sorted by backend name.
+    #[must_use]
+    pub fn backend_snapshots(&self) -> Vec<(String, EndpointStats, HistogramSnapshot)> {
+        let backends = self.backends.lock().unwrap_or_else(PoisonError::into_inner);
+        backends
+            .iter()
+            .map(|(name, recorder)| (name.clone(), recorder.stats(), recorder.latency.snapshot()))
+            .collect()
+    }
+
+    /// Render the `"backends"` object of `/stats`: `backend.execute`
+    /// latency per backend name.
+    #[must_use]
+    pub fn backends_json(&self) -> Json {
+        Json::Obj(
+            self.backend_snapshots()
+                .into_iter()
+                .map(|(name, stats, histogram)| {
+                    (
+                        name,
+                        Json::obj(vec![
+                            ("executes", Json::Int(i128::from(stats.count))),
+                            ("mean_us", Json::Int(i128::from(stats.mean_micros()))),
+                            ("max_us", Json::Int(i128::from(stats.max_micros))),
+                            ("p50_us", Json::Int(i128::from(histogram.quantile(0.5)))),
+                            ("p95_us", Json::Int(i128::from(histogram.quantile(0.95)))),
+                            ("p99_us", Json::Int(i128::from(histogram.quantile(0.99)))),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
     }
 
     /// Record one connection rejected by admission control.
@@ -330,6 +380,70 @@ impl Metrics {
     }
 }
 
+/// An [`ExecutionBackend`] decorator that records the wall-clock latency
+/// of every `backend.execute` call into the shared [`Metrics`] registry,
+/// keyed by the inner backend's name.
+///
+/// Transparent by construction: it delegates `name`/`describe` and the
+/// execute methods verbatim, so wrapping never changes results — only
+/// observability.
+pub struct MeteredBackend {
+    inner: Arc<dyn ExecutionBackend>,
+    metrics: Arc<Metrics>,
+}
+
+impl MeteredBackend {
+    /// Wrap `inner`, recording its execute latency into `metrics`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn ExecutionBackend>, metrics: Arc<Metrics>) -> Self {
+        Self { inner, metrics }
+    }
+}
+
+impl std::fmt::Debug for MeteredBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeteredBackend")
+            .field("inner", &self.inner.describe())
+            .finish()
+    }
+}
+
+impl ExecutionBackend for MeteredBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+
+    fn execute_f32(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f32>,
+    ) -> BlockedRun<f32> {
+        let started = Instant::now();
+        let run = self.inner.execute_f32(plan, problem, initial);
+        self.metrics
+            .record_backend_execute(self.inner.name(), started.elapsed());
+        run
+    }
+
+    fn execute_f64(
+        &self,
+        plan: &KernelPlan,
+        problem: &StencilProblem,
+        initial: Grid<f64>,
+    ) -> BlockedRun<f64> {
+        let started = Instant::now();
+        let run = self.inner.execute_f64(plan, problem, initial);
+        self.metrics
+            .record_backend_execute(self.inner.name(), started.elapsed());
+        run
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +522,35 @@ mod tests {
         let rendered = metrics.connections_json().render();
         assert!(rendered.contains("\"aborted\":1"), "{rendered}");
         assert!(rendered.contains("\"parked\":1"), "{rendered}");
+    }
+
+    #[test]
+    fn metered_backend_is_transparent_and_records_per_backend_latency() {
+        use an5d::{An5d, BlockConfig, Precision, SerialBackend};
+
+        let metrics = Arc::new(Metrics::new());
+        let backend: Arc<dyn ExecutionBackend> = Arc::new(MeteredBackend::new(
+            Arc::new(SerialBackend),
+            Arc::clone(&metrics),
+        ));
+        assert_eq!(backend.name(), "serial");
+        assert_eq!(backend.describe(), "serial");
+
+        let an5d = An5d::benchmark("j2d5pt")
+            .unwrap()
+            .with_backend(Arc::clone(&backend));
+        let problem = an5d.problem(&[24, 24], 4).unwrap();
+        let config = BlockConfig::new(2, &[12], None, Precision::Double).unwrap();
+        let report = an5d.verify(&problem, &config).unwrap();
+        assert!(report.matches_reference, "metering must not change results");
+
+        let snapshots = metrics.backend_snapshots();
+        assert_eq!(snapshots.len(), 1);
+        assert_eq!(snapshots[0].0, "serial");
+        assert_eq!(snapshots[0].1.count, 1, "one execute, one sample");
+        let rendered = metrics.backends_json().render();
+        assert!(rendered.contains("\"serial\""), "{rendered}");
+        assert!(rendered.contains("\"executes\":1"), "{rendered}");
     }
 
     #[test]

@@ -93,6 +93,13 @@ pub struct ServerConfig {
     pub slow_request_threshold: Duration,
     /// Completed request traces retained for `GET /trace`.
     pub trace_capacity: usize,
+    /// Execution backend spec (`serial`, `parallel[:N]`, `vector[:N]` —
+    /// see [`an5d::create_backend`]). `None` (the default) falls back to
+    /// the `AN5D_BACKEND` environment variable; the `an5d-serve` binary
+    /// resolves `--backend` into this field. Unlike the env fallback, an
+    /// invalid spec here is a hard startup error, not a silent
+    /// serial-with-a-note downgrade.
+    pub backend: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +116,7 @@ impl Default for ServerConfig {
             faults: None,
             slow_request_threshold: crate::handlers::DEFAULT_SLOW_THRESHOLD,
             trace_capacity: crate::handlers::DEFAULT_TRACE_CAPACITY,
+            backend: None,
         }
     }
 }
@@ -216,14 +224,30 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Bind and start serving with the process-default backend
-    /// (`AN5D_BACKEND`).
+    /// Bind and start serving on the backend [`ServerConfig::backend`]
+    /// names, falling back to the process default (`AN5D_BACKEND`) when
+    /// it is `None`.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures; rejects an invalid
+    /// [`ServerConfig::backend`] spec (an explicitly requested backend
+    /// must not silently degrade to serial).
     pub fn start(config: &ServerConfig) -> io::Result<Server> {
-        Self::start_with_backend(config, backend_from_env())
+        let backend = match &config.backend {
+            Some(spec) => an5d::create_backend(spec).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "unknown backend spec {spec:?} (expected one of {:?}, \
+                         optionally with :<threads>)",
+                        an5d::available_backends()
+                    ),
+                )
+            })?,
+            None => backend_from_env(),
+        };
+        Self::start_with_backend(config, backend)
     }
 
     /// Bind and start serving on an explicit execution backend.
@@ -425,6 +449,32 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(body, r#"{"ok":true}"#);
         server.wait();
+    }
+
+    #[test]
+    fn config_backend_spec_selects_the_backend_and_rejects_typos() {
+        let server = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 4,
+            cache_capacity: 16,
+            backend: Some("vector:2".to_string()),
+            ..ServerConfig::default()
+        })
+        .expect("valid spec starts");
+        assert!(
+            server.state().backend().describe().contains("vector"),
+            "{}",
+            server.state().backend().describe()
+        );
+        server.stop();
+
+        let err = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backend: Some("vectr".to_string()),
+            ..ServerConfig::default()
+        });
+        assert!(err.is_err(), "a typo'd backend must fail startup");
     }
 
     #[test]

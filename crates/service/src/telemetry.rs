@@ -94,6 +94,31 @@ pub fn render_prometheus(state: &ServiceState) -> String {
             stats.errors
         );
     }
+    // backend.execute latency per backend (fed by the metered backend
+    // wrappers; empty until the first /execute).
+    let backend_snapshots = state.metrics().backend_snapshots();
+    out.push_str(
+        "# HELP an5d_backend_execute_us backend.execute latency by backend, microseconds.\n",
+    );
+    out.push_str("# TYPE an5d_backend_execute_us histogram\n");
+    for (name, _, histogram) in &backend_snapshots {
+        render_histogram(
+            &mut out,
+            "an5d_backend_execute_us",
+            &format!("backend=\"{name}\","),
+            histogram,
+        );
+    }
+    out.push_str("# HELP an5d_backend_executes_total backend.execute calls, by backend.\n");
+    out.push_str("# TYPE an5d_backend_executes_total counter\n");
+    for (name, stats, _) in &backend_snapshots {
+        let _ = writeln!(
+            out,
+            "an5d_backend_executes_total{{backend=\"{name}\"}} {}",
+            stats.count
+        );
+    }
+
     out.push_str("# HELP an5d_rejected_connections_total Requests shed by admission control.\n");
     out.push_str("# TYPE an5d_rejected_connections_total counter\n");
     let _ = writeln!(

@@ -4,10 +4,14 @@
 //! The tuner enumerates the paper's parameter space (`bT`, `bS_i`, `hS_N`),
 //! prunes configurations whose expected register demand exceeds the
 //! hardware limits, ranks the survivors with the Section 5 performance
-//! model, "runs" the top-k candidates through the simulated-measurement
-//! path (with every `-maxrregcount` cap of the methodology) and returns the
-//! configuration with the best measured performance — exactly the Tuned
-//! flow of the paper.
+//! model, "runs" the top-k candidates through a pluggable
+//! [`MeasurementSource`] and returns the configuration with the best
+//! measured performance — exactly the Tuned flow of the paper. The
+//! default [`SimulatedMeasurement`] source reproduces the paper's
+//! methodology (simulated GPU runs with every `-maxrregcount` cap);
+//! [`BackendMeasurement`] instead times real wall-clock runs on an
+//! execution backend, and [`TuningResult::measured_on_backend`] records
+//! which source produced the numbers.
 //!
 //! # Example
 //!
@@ -35,4 +39,7 @@ mod tuner;
 
 pub use fingerprint::{fnv1a64, problem_fingerprint, stencil_fingerprint, Fnv1a};
 pub use space::{CandidateIter, SearchSpace};
-pub use tuner::{TunedCandidate, Tuner, TunerError, TuningResult};
+pub use tuner::{
+    BackendMeasurement, MeasurementSource, SimulatedMeasurement, TunedCandidate, Tuner, TunerError,
+    TuningResult,
+};

@@ -1,8 +1,8 @@
 //! The model-guided tuning flow of Section 6.3.
 
-use an5d_backend::PlanCache;
+use an5d_backend::{BackendElement, ExecutionBackend, PlanCache};
 use an5d_gpusim::GpuDevice;
-use an5d_grid::Precision;
+use an5d_grid::{Grid, GridInit, Precision};
 use an5d_model::{measure, predict};
 use an5d_plan::{BlockConfig, FrameworkScheme, KernelPlan, PlanError, RegisterCap, ResourceUsage};
 use an5d_stencil::{StencilDef, StencilProblem};
@@ -80,21 +80,39 @@ type RankedCandidate = (usize, BlockConfig, Arc<KernelPlan>, f64);
 pub struct TunedCandidate {
     /// The blocking configuration.
     pub config: BlockConfig,
-    /// Best register cap found for this configuration.
+    /// Best register cap found for this configuration. Always
+    /// [`RegisterCap::Unlimited`] for backend-measured candidates (a CPU
+    /// run has no register-cap knob; the cap sweep is a GPU-simulation
+    /// concept).
     pub register_cap: RegisterCap,
     /// Performance predicted by the Section 5 model (GFLOP/s).
     pub predicted_gflops: f64,
-    /// Simulated measured performance (GFLOP/s).
+    /// Measured performance (GFLOP/s). The provenance depends on the
+    /// tuner's [`MeasurementSource`]: the *simulated* GPU throughput from
+    /// `an5d_model::measure` (the default), or the real wall-clock
+    /// throughput of an [`ExecutionBackend`] run
+    /// ([`BackendMeasurement`]). [`TuningResult::measured_on_backend`]
+    /// records which.
     pub measured_gflops: f64,
-    /// Simulated measured performance (GCell/s).
+    /// Measured performance (GCell/s); same provenance as
+    /// `measured_gflops`.
     pub measured_gcells: f64,
-    /// Simulated run time (seconds).
+    /// Measured run time (seconds); simulated device time or real
+    /// wall-clock time, per the measurement source.
     pub seconds: f64,
 }
 
 impl TunedCandidate {
     /// Model accuracy for this candidate: measured over predicted
     /// performance (the paper's Section 7.2 metric).
+    ///
+    /// Under the default simulated source this compares the Section 5
+    /// analytic model against the `gpusim` simulation — both describe the
+    /// same GPU, so the paper's 0.2–1.0 band applies. Under a
+    /// backend-measured source it compares the *GPU* model prediction
+    /// against *CPU* wall-clock throughput, so the ratio is a cross-device
+    /// figure of merit (usually ≪ 1) rather than a model-validation
+    /// metric.
     #[must_use]
     pub fn model_accuracy(&self) -> f64 {
         if self.predicted_gflops <= 0.0 {
@@ -108,7 +126,7 @@ impl TunedCandidate {
 /// actually measured (the model-ranked top-k).
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct TuningResult {
-    /// The configuration with the best simulated measured performance.
+    /// The configuration with the best measured performance.
     pub best: TunedCandidate,
     /// All measured candidates, sorted by measured performance
     /// (best first).
@@ -118,6 +136,182 @@ pub struct TuningResult {
     pub ranked_candidates: usize,
     /// Number of raw combinations in the search space.
     pub total_candidates: usize,
+    /// Provenance of the `measured_*` numbers: `true` when they are real
+    /// wall-clock measurements from an [`ExecutionBackend`] run
+    /// ([`BackendMeasurement`]), `false` when they come from the `gpusim`
+    /// simulation (the default). Persisted with the result so a warm
+    /// start never silently mixes simulated and measured winners.
+    pub measured_on_backend: bool,
+}
+
+/// Where the tuner's top-k "measurements" come from.
+///
+/// Step 2 of the tuning flow runs each model-ranked survivor through a
+/// measurement source and keeps the best [`TunedCandidate`] per
+/// configuration. The default [`SimulatedMeasurement`] reproduces the
+/// paper's flow against the `gpusim` device simulation;
+/// [`BackendMeasurement`] replaces it with real wall-clock runs on an
+/// [`ExecutionBackend`], giving the tuner a second, hardware-grounded
+/// ranking signal.
+pub trait MeasurementSource: fmt::Debug + Send + Sync {
+    /// `true` when measurements are real wall-clock backend runs; recorded
+    /// into [`TuningResult::measured_on_backend`].
+    fn is_measured(&self) -> bool;
+
+    /// Human-readable description of the source.
+    fn describe(&self) -> String;
+
+    /// Measure one ranked candidate, returning its best evaluation or
+    /// `None` when the candidate cannot execute at all.
+    fn measure_candidate(
+        &self,
+        plan: &Arc<KernelPlan>,
+        problem: &StencilProblem,
+        device: &GpuDevice,
+        config: &BlockConfig,
+        predicted_gflops: f64,
+    ) -> Option<TunedCandidate>;
+}
+
+/// The paper's flow: "run" a candidate by simulating it on the GPU model
+/// with every register cap and keep the best simulated throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimulatedMeasurement;
+
+impl MeasurementSource for SimulatedMeasurement {
+    fn is_measured(&self) -> bool {
+        false
+    }
+
+    fn describe(&self) -> String {
+        "simulated (gpusim)".to_string()
+    }
+
+    fn measure_candidate(
+        &self,
+        plan: &Arc<KernelPlan>,
+        problem: &StencilProblem,
+        device: &GpuDevice,
+        config: &BlockConfig,
+        predicted_gflops: f64,
+    ) -> Option<TunedCandidate> {
+        let mut best_for_candidate: Option<TunedCandidate> = None;
+        for cap in RegisterCap::tuning_candidates() {
+            // The simulated stand-in for executing the candidate on the
+            // backend device (see `an5d_model::measure`).
+            let measured_run = {
+                let _span = an5d_obs::Span::enter("tuner.measure");
+                measure(plan, problem, device, cap)
+            };
+            let Ok(m) = measured_run else {
+                continue;
+            };
+            let candidate = TunedCandidate {
+                config: config.clone(),
+                register_cap: cap,
+                predicted_gflops,
+                measured_gflops: m.gflops,
+                measured_gcells: m.gcells,
+                seconds: m.seconds,
+            };
+            if best_for_candidate
+                .as_ref()
+                .is_none_or(|b| candidate.measured_gflops > b.measured_gflops)
+            {
+                best_for_candidate = Some(candidate);
+            }
+        }
+        best_for_candidate
+    }
+}
+
+/// Real measurements: execute the candidate's plan on an
+/// [`ExecutionBackend`] and report wall-clock GFLOP/s.
+///
+/// The run uses the configuration's own precision (monomorphic `f32` or
+/// `f64` through the [`BackendElement`] seal), a deterministic initial
+/// grid, and the problem's full time-step count, so the measured time is
+/// exactly the work the plan describes. The register cap is recorded as
+/// [`RegisterCap::Unlimited`] — a CPU run has no register-cap knob.
+#[derive(Clone)]
+pub struct BackendMeasurement {
+    backend: Arc<dyn ExecutionBackend>,
+    seed: u64,
+}
+
+impl fmt::Debug for BackendMeasurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackendMeasurement")
+            .field("backend", &self.backend.describe())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl BackendMeasurement {
+    /// Measure candidates by running them on `backend`.
+    #[must_use]
+    pub fn new(backend: Arc<dyn ExecutionBackend>) -> Self {
+        Self { backend, seed: 42 }
+    }
+
+    /// Use a different deterministic initial-grid seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The backend measurements run on.
+    #[must_use]
+    pub fn backend(&self) -> &Arc<dyn ExecutionBackend> {
+        &self.backend
+    }
+
+    fn timed_run<T: BackendElement>(&self, plan: &KernelPlan, problem: &StencilProblem) -> f64 {
+        let initial =
+            Grid::<T>::from_init(&problem.grid_shape(), GridInit::Hash { seed: self.seed });
+        let started = std::time::Instant::now();
+        let run = T::execute_on(self.backend.as_ref(), plan, problem, initial);
+        let seconds = started.elapsed().as_secs_f64();
+        // Keep the run observable so the execution cannot be optimised
+        // away, then return the wall-clock time.
+        debug_assert!(!run.grid.is_empty());
+        seconds
+    }
+}
+
+impl MeasurementSource for BackendMeasurement {
+    fn is_measured(&self) -> bool {
+        true
+    }
+
+    fn describe(&self) -> String {
+        format!("measured ({})", self.backend.describe())
+    }
+
+    fn measure_candidate(
+        &self,
+        plan: &Arc<KernelPlan>,
+        problem: &StencilProblem,
+        _device: &GpuDevice,
+        config: &BlockConfig,
+        predicted_gflops: f64,
+    ) -> Option<TunedCandidate> {
+        let _span = an5d_obs::Span::enter("tuner.measure");
+        let seconds = match config.precision() {
+            Precision::Single => self.timed_run::<f32>(plan, problem),
+            Precision::Double => self.timed_run::<f64>(plan, problem),
+        };
+        Some(TunedCandidate {
+            config: config.clone(),
+            register_cap: RegisterCap::Unlimited,
+            predicted_gflops,
+            measured_gflops: problem.gflops(seconds),
+            measured_gcells: problem.gcells(seconds),
+            seconds,
+        })
+    }
 }
 
 /// The Section 6.3 tuner: prune → rank by model → measure top-k → pick best.
@@ -128,10 +322,12 @@ pub struct Tuner {
     scheme: FrameworkScheme,
     top_k: usize,
     cache: Option<Arc<PlanCache>>,
+    source: Arc<dyn MeasurementSource>,
 }
 
 impl Tuner {
-    /// Create a tuner for a device and precision, using the AN5D scheme.
+    /// Create a tuner for a device and precision, using the AN5D scheme
+    /// and the default [`SimulatedMeasurement`] source.
     #[must_use]
     pub fn new(device: GpuDevice, precision: Precision) -> Self {
         Self {
@@ -140,6 +336,7 @@ impl Tuner {
             scheme: FrameworkScheme::an5d(),
             top_k: DEFAULT_TOP_K,
             cache: None,
+            source: Arc::new(SimulatedMeasurement),
         }
     }
 
@@ -164,6 +361,20 @@ impl Tuner {
     pub fn with_top_k(mut self, top_k: usize) -> Self {
         self.top_k = top_k.max(1);
         self
+    }
+
+    /// Measure top-k candidates through a different [`MeasurementSource`]
+    /// (e.g. [`BackendMeasurement`] for real wall-clock runs).
+    #[must_use]
+    pub fn with_measurement_source(mut self, source: Arc<dyn MeasurementSource>) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// The measurement source top-k candidates are evaluated with.
+    #[must_use]
+    pub fn measurement_source(&self) -> &Arc<dyn MeasurementSource> {
+        &self.source
     }
 
     /// The device this tuner targets.
@@ -314,8 +525,10 @@ impl Tuner {
         ranked.sort_by(|a, b| cmp_scores_desc(a.3, b.3).then_with(|| a.0.cmp(&b.0)));
         let ranked_candidates = ranked.len();
 
-        // Step 2: "run" the model-ranked top-k with every register cap and
-        // keep the best measured performance per candidate.
+        // Step 2: "run" the model-ranked top-k through the measurement
+        // source (simulated by default, wall-clock backend runs with
+        // [`BackendMeasurement`]) and keep the best evaluation per
+        // candidate.
         let mut measured: Vec<TunedCandidate> = Vec::new();
         let _measure_span = an5d_obs::Span::enter("tuner.measure_topk");
         let measure_count = ranked.len().min(self.top_k);
@@ -333,33 +546,13 @@ impl Tuner {
             if let Some(an5d_fault::FaultAction::Delay(d)) = an5d_fault::point("tuner.measure") {
                 std::thread::sleep(d);
             }
-            let mut best_for_candidate: Option<TunedCandidate> = None;
-            for cap in RegisterCap::tuning_candidates() {
-                // The simulated stand-in for executing the candidate on
-                // the backend device (see `an5d_model::measure`).
-                let measured_run = {
-                    let _span = an5d_obs::Span::enter("tuner.measure");
-                    measure(&plan, problem, &self.device, cap)
-                };
-                let Ok(m) = measured_run else {
-                    continue;
-                };
-                let candidate = TunedCandidate {
-                    config: config.clone(),
-                    register_cap: cap,
-                    predicted_gflops,
-                    measured_gflops: m.gflops,
-                    measured_gcells: m.gcells,
-                    seconds: m.seconds,
-                };
-                if best_for_candidate
-                    .as_ref()
-                    .is_none_or(|b| candidate.measured_gflops > b.measured_gflops)
-                {
-                    best_for_candidate = Some(candidate);
-                }
-            }
-            if let Some(c) = best_for_candidate {
+            if let Some(c) = self.source.measure_candidate(
+                &plan,
+                problem,
+                &self.device,
+                &config,
+                predicted_gflops,
+            ) {
                 measured.push(c);
             }
         }
@@ -373,6 +566,7 @@ impl Tuner {
             measured,
             ranked_candidates,
             total_candidates,
+            measured_on_backend: self.source.is_measured(),
         })
     }
 
@@ -651,6 +845,45 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn simulated_results_are_flagged_unmeasured() {
+        let def = suite::star2d(1);
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single);
+        assert!(!tuner.measurement_source().is_measured());
+        let space = SearchSpace::quick(2, Precision::Single);
+        let result = tuner.tune(&def, &small_problem(&def), &space).unwrap();
+        assert!(!result.measured_on_backend);
+    }
+
+    #[test]
+    fn backend_measurement_ranks_by_wall_clock_throughput() {
+        use an5d_backend::VectorCpuBackend;
+        // A problem small enough to execute for real, several times over.
+        let def = suite::star2d(1);
+        let problem = StencilProblem::new(def.clone(), &[48, 48], 6).unwrap();
+        let space = SearchSpace::quick(2, Precision::Single);
+        let source = Arc::new(BackendMeasurement::new(Arc::new(VectorCpuBackend::new(2))));
+        assert!(source.is_measured());
+        assert!(source.describe().contains("vector"));
+        let tuner = Tuner::new(GpuDevice::tesla_v100(), Precision::Single)
+            .with_top_k(2)
+            .with_measurement_source(source);
+        let result = tuner.tune(&def, &problem, &space).unwrap();
+        assert!(result.measured_on_backend);
+        assert!(result.measured.len() <= 2);
+        for candidate in &result.measured {
+            // Wall-clock runs have no register-cap sweep and must report
+            // real, positive time and throughput.
+            assert_eq!(candidate.register_cap, RegisterCap::Unlimited);
+            assert!(candidate.seconds > 0.0, "wall-clock time must be > 0");
+            assert!(candidate.measured_gflops > 0.0);
+            assert!(candidate.measured_gcells > 0.0);
+        }
+        // The winner heads the best-first measured list, as in the
+        // simulated flow.
+        assert_eq!(result.best, result.measured[0]);
     }
 
     #[test]

@@ -8,8 +8,9 @@ use an5d::reference::run_reference;
 use an5d::{
     create_backend, BatchDriver, BatchJob, BlockConfig, ExecutionBackend, FrameworkScheme, Grid,
     GridDiff, GridInit, KernelPlan, ParallelCpuBackend, PlanCache, Precision, SerialBackend,
-    StencilDef, StencilProblem,
+    StencilDef, StencilProblem, VectorCpuBackend,
 };
+use proptest::prelude::*;
 use std::sync::Arc;
 
 /// Representative suite slice: 2D star, 2D box (non-associative path) and
@@ -82,13 +83,183 @@ fn parallel_backend_is_bit_identical_to_reference_and_serial() {
 }
 
 #[test]
+fn vector_backend_is_bit_identical_to_reference_and_serial() {
+    for (def, interior, steps, config) in workloads() {
+        let problem = StencilProblem::new(def.clone(), &interior, steps).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let init = GridInit::Hash { seed: 2020 };
+        let reference = run_reference::<f64>(&problem, init);
+        let initial = Grid::<f64>::from_init(&problem.grid_shape(), init);
+        let initial32 = Grid::<f32>::from_init(&problem.grid_shape(), init);
+
+        let serial = SerialBackend.execute_f64(&plan, &problem, initial.clone());
+        let serial32 = SerialBackend.execute_f32(&plan, &problem, initial32.clone());
+        for threads in [1usize, 2, 5] {
+            let vector =
+                VectorCpuBackend::new(threads).execute_f64(&plan, &problem, initial.clone());
+            assert_eq!(
+                serial.grid,
+                vector.grid,
+                "{}: vector[{threads}] f64 grid differs from serial",
+                def.name()
+            );
+            let diff = GridDiff::compute(&reference, &vector.grid).unwrap();
+            assert!(
+                diff.is_exact(),
+                "{}: vector[{threads}] diverged from reference (max {:.3e})",
+                def.name(),
+                diff.max_abs
+            );
+            assert_eq!(
+                serial.counters,
+                vector.counters,
+                "{}: vector[{threads}] counters differ",
+                def.name()
+            );
+            let vector32 =
+                VectorCpuBackend::new(threads).execute_f32(&plan, &problem, initial32.clone());
+            assert_eq!(
+                serial32.grid,
+                vector32.grid,
+                "{}: vector[{threads}] f32 grid differs from serial",
+                def.name()
+            );
+            assert_eq!(
+                serial32.counters,
+                vector32.counters,
+                "{}: vector[{threads}] f32 counters differ",
+                def.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn vector_backend_matches_serial_for_tuned_configs_on_every_registry_device() {
+    // Each registry profile tunes to a different winning configuration;
+    // whatever geometry a device's tuner picks, the vector backend must
+    // execute it bit-for-bit like the serial backend (both precisions).
+    use an5d::{SearchSpace, Tuner};
+    let def = an5d::suite::star2d(1);
+    let problem = StencilProblem::new(def.clone(), &[40, 36], 6).unwrap();
+    let registry = an5d::standard_registry();
+    assert!(registry.len() >= 4, "expected the four standard profiles");
+    for (id, device) in registry.devices() {
+        for precision in [Precision::Single, Precision::Double] {
+            let space = SearchSpace::quick(2, precision);
+            let result = Tuner::new(device.clone(), precision)
+                .tune(&def, &problem, &space)
+                .unwrap();
+            let config = result.best.config.clone();
+            let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+            let init = GridInit::Hash { seed: 9 };
+            match precision {
+                Precision::Single => {
+                    let initial = Grid::<f32>::from_init(&problem.grid_shape(), init);
+                    let serial = SerialBackend.execute_f32(&plan, &problem, initial.clone());
+                    let vector = VectorCpuBackend::new(3).execute_f32(&plan, &problem, initial);
+                    assert_eq!(serial.grid, vector.grid, "{id}: f32 grid with {config}");
+                    assert_eq!(serial.counters, vector.counters, "{id}: f32 counters");
+                }
+                Precision::Double => {
+                    let initial = Grid::<f64>::from_init(&problem.grid_shape(), init);
+                    let serial = SerialBackend.execute_f64(&plan, &problem, initial.clone());
+                    let vector = VectorCpuBackend::new(3).execute_f64(&plan, &problem, initial);
+                    assert_eq!(serial.grid, vector.grid, "{id}: f64 grid with {config}");
+                    assert_eq!(serial.counters, vector.counters, "{id}: f64 counters");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Randomised vector-vs-serial equivalence over odd tile/halo
+    /// geometries: random star/box stencil and radius, random temporal
+    /// degree, deliberately odd-capable block sizes, optional streaming
+    /// division, random thread counts and both precisions.
+    #[test]
+    fn vector_backend_matches_serial_on_random_odd_geometries(
+        star in any::<bool>(),
+        radius in 1usize..=2,
+        bt in 1usize..=3,
+        extra_block in 0usize..9,
+        stream_div in prop_oneof![Just(None), (5usize..13).prop_map(Some)],
+        height in 13usize..29,
+        width in 11usize..27,
+        steps in 1usize..=7,
+        threads in 1usize..=6,
+        double in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use an5d::suite;
+        let def = if star { suite::star2d(radius) } else { suite::box2d(radius) };
+        // Base of 3 over the halo keeps many drawn sizes odd.
+        let bs = 2 * bt * radius + 3 + extra_block;
+        let precision = if double { Precision::Double } else { Precision::Single };
+        let config = BlockConfig::new(bt, &[bs], stream_div, precision).unwrap();
+        let problem = StencilProblem::new(def.clone(), &[height, width], steps).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let init = GridInit::Hash { seed };
+        if double {
+            let initial = Grid::<f64>::from_init(&problem.grid_shape(), init);
+            let serial = SerialBackend.execute_f64(&plan, &problem, initial.clone());
+            let vector = VectorCpuBackend::new(threads).execute_f64(&plan, &problem, initial);
+            prop_assert_eq!(&serial.grid, &vector.grid, "{} with {}: f64 grid", def.name(), config);
+            prop_assert_eq!(serial.counters, vector.counters, "{} with {}: f64 counters", def.name(), config);
+        } else {
+            let initial = Grid::<f32>::from_init(&problem.grid_shape(), init);
+            let serial = SerialBackend.execute_f32(&plan, &problem, initial.clone());
+            let vector = VectorCpuBackend::new(threads).execute_f32(&plan, &problem, initial);
+            prop_assert_eq!(&serial.grid, &vector.grid, "{} with {}: f32 grid", def.name(), config);
+            prop_assert_eq!(serial.counters, vector.counters, "{} with {}: f32 counters", def.name(), config);
+        }
+    }
+
+    /// The 3D streaming path gets its own smaller randomised sweep: odd
+    /// interiors and block faces exercise the ragged final tiles in every
+    /// spatial dimension plus the streaming division.
+    #[test]
+    fn vector_backend_matches_serial_on_random_3d_geometries(
+        bt in 1usize..=2,
+        extra_y in 0usize..5,
+        extra_x in 0usize..5,
+        stream_div in prop_oneof![Just(None), (4usize..9).prop_map(Some)],
+        depth in 7usize..13,
+        height in 7usize..12,
+        width in 8usize..15,
+        steps in 1usize..=5,
+        threads in 2usize..=5,
+        seed in any::<u64>(),
+    ) {
+        use an5d::suite;
+        let def = suite::star3d(1);
+        let bs_y = 2 * bt + 3 + extra_y;
+        let bs_x = 2 * bt + 3 + extra_x;
+        let config =
+            BlockConfig::new(bt, &[bs_y, bs_x], stream_div, Precision::Double).unwrap();
+        let problem =
+            StencilProblem::new(def.clone(), &[depth, height, width], steps).unwrap();
+        let plan = KernelPlan::build(&def, &problem, &config, FrameworkScheme::an5d()).unwrap();
+        let init = GridInit::Hash { seed };
+        let initial = Grid::<f64>::from_init(&problem.grid_shape(), init);
+        let serial = SerialBackend.execute_f64(&plan, &problem, initial.clone());
+        let vector = VectorCpuBackend::new(threads).execute_f64(&plan, &problem, initial);
+        prop_assert_eq!(&serial.grid, &vector.grid, "star3d1r with {}: grid", config);
+        prop_assert_eq!(serial.counters, vector.counters, "star3d1r with {}: counters", config);
+    }
+}
+
+#[test]
 fn registry_backends_agree_through_the_facade() {
     // The same verification run through An5d must match regardless of the
     // backend the pipeline is wired to.
     let an5d = an5d::An5d::benchmark("j2d9pt").unwrap();
     let problem = an5d.problem(&[24, 22], 5).unwrap();
     let config = BlockConfig::new(2, &[14], None, Precision::Double).unwrap();
-    for spec in ["serial", "parallel", "parallel:3"] {
+    for spec in ["serial", "parallel", "parallel:3", "vector", "vector:3"] {
         let backend = create_backend(spec).unwrap();
         let report = an5d
             .clone()
