@@ -113,6 +113,11 @@ impl std::error::Error for BatchError {}
 /// through the shared [`PlanCache`] and executed on the configured
 /// [`ExecutionBackend`]; results are returned **in input order**
 /// regardless of completion order, so batch output is deterministic.
+///
+/// Cloning is cheap and shares the backend and plan cache — a clone
+/// sees (and warms) the same cache as its original, so a streamed
+/// `/batch` body can own a driver without forking cache state.
+#[derive(Clone)]
 pub struct BatchDriver {
     backend: Arc<dyn ExecutionBackend>,
     cache: Arc<PlanCache>,

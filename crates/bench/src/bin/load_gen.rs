@@ -10,6 +10,7 @@
 //!          [--tune-db PATH] [--json PATH]
 //!          [--connections N [--soak SECS]]
 //!          [--chaos [--fault-seed N]]
+//!          [--batch]
 //! ```
 //!
 //! `--backend SPEC` (`serial`, `parallel[:threads]`, `vector[:threads]`)
@@ -31,6 +32,18 @@
 //! `an5d_tunedb_append_failures_total`. Quality-gate violations are
 //! collected (not panicked) so the run still writes its `--json`
 //! artifact — and then **exits non-zero**.
+//!
+//! `--batch` runs the **streaming smoke** instead of the byte-identity
+//! phases: against a server whose fault plan delays every chunk pull by
+//! a fixed amount (making production time dominate and measurable), a
+//! large `/codegen?stream=1` body must reassemble byte-identical to the
+//! buffered response with a time-to-first-byte far below the total
+//! response time — proof the first chunk hit the wire before the body
+//! existed — and a streamed `/batch` NDJSON body must match its
+//! `?stream=0` twin line for line. The run then greps `/metrics` for
+//! the `an5d_stream_{chunks,bytes}_total` counters and the
+//! `an5d_stream_ttfb_us` histogram. Violations are collected via
+//! [`soft_assert`] and turn the exit code non-zero.
 //!
 //! `--connections N` adds an **open-connection soak** after the mixed
 //! workload: against a fresh server, a low-connection baseline of
@@ -272,6 +285,10 @@ struct Args {
     /// Seed for the chaos fault plan, request-deadline rolls and client
     /// retry jitter — same seed, same injected fault sequence.
     fault_seed: u64,
+    /// Streaming smoke: run ONLY the `/codegen?stream=1` TTFB + `/batch`
+    /// NDJSON checks (the per-chunk delay plan would contaminate the
+    /// byte-identity phases' latency numbers).
+    batch: bool,
 }
 
 fn usage() -> ! {
@@ -279,7 +296,7 @@ fn usage() -> ! {
         "usage: load_gen [--requests N] [--clients N] [--server-workers N] \
          [--backend SPEC] [--device NAME] [--keep-alive | --no-keep-alive] \
          [--tune-db PATH] [--json PATH] [--connections N [--soak SECS]] \
-         [--chaos [--fault-seed N]]"
+         [--chaos [--fault-seed N]] [--batch]"
     );
     std::process::exit(2);
 }
@@ -298,6 +315,7 @@ fn parse_args() -> Args {
         soak: 10,
         chaos: false,
         fault_seed: 42,
+        batch: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -305,6 +323,7 @@ fn parse_args() -> Args {
             "--keep-alive" => args.keep_alive = true,
             "--no-keep-alive" => args.keep_alive = false,
             "--chaos" => args.chaos = true,
+            "--batch" => args.batch = true,
             "--fault-seed" => {
                 let Some(value) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
                     usage();
@@ -1007,8 +1026,204 @@ fn run_chaos(args: &Args, templates: &[Template]) -> an5d_service::Json {
     ])
 }
 
+/// Raw-socket streamed POST: returns the reassembled body, the
+/// time-to-first-body-byte and the total response time, asserting the
+/// response is chunk-framed on the wire.
+fn measure_stream(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &str,
+) -> (String, Duration, Duration) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: an5d\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let started = Instant::now();
+
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("head read");
+        assert!(n > 0, "connection closed mid-head");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head)
+        .expect("ASCII head")
+        .to_ascii_lowercase();
+    soft_assert(head.contains("transfer-encoding: chunked"), || {
+        format!("{path}: streamed response not chunk-framed: {head}")
+    });
+
+    let mut decoder = an5d_service::ChunkDecoder::new();
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    let mut first_byte_at = None;
+    while !decoder.is_done() {
+        let n = stream.read(&mut buf).expect("body read");
+        assert!(n > 0, "connection closed before the chunk terminator");
+        let mut offset = 0;
+        while offset < n {
+            let consumed = decoder
+                .decode(&buf[offset..n], &mut out)
+                .expect("well-formed chunked body");
+            if consumed == 0 {
+                break;
+            }
+            offset += consumed;
+        }
+        if first_byte_at.is_none() && !out.is_empty() {
+            first_byte_at = Some(started.elapsed());
+        }
+    }
+    let total = started.elapsed();
+    let ttfb = first_byte_at.expect("streamed body was empty");
+    (String::from_utf8(out).expect("UTF-8 body"), ttfb, total)
+}
+
+/// The streaming smoke (`--batch`): a per-chunk delay plan makes body
+/// production the dominant, measurable cost, so time-to-first-byte far
+/// below the total response time proves the first chunk hit the wire
+/// before the body existed. Streamed bytes must still reassemble
+/// identical to the buffered twin, and `/metrics` must carry the
+/// stream series.
+fn run_batch(args: &Args) -> an5d_service::Json {
+    // Every chunk pull sleeps this long on the producer; a ~78 KiB
+    // /codegen body spans several 16 KiB chunks, so total ≈ pulls ×
+    // delay while TTFB ≈ one delay.
+    const CHUNK_DELAY_MS: u64 = 60;
+    let spec = format!(
+        "seed={};stream.chunk=delay:{CHUNK_DELAY_MS}",
+        args.fault_seed
+    );
+    println!("load_gen: streaming smoke — plan \"{spec}\"");
+
+    let server = Server::start_with_backend(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: args.server_workers,
+            queue_depth: 256,
+            cache_capacity: 256,
+            faults: Some(spec),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&args.backend),
+    )
+    .expect("bind streaming-smoke server");
+    let addr = server.addr();
+
+    // Big enough for several chunks at the default 16 KiB chunk size.
+    let codegen_body = r#"{"benchmark":"j2d9pt","interior":[512,512],"steps":16,
+        "config":{"bt":16,"bs":[256],"hsn":256,"precision":"double"}}"#;
+    let (status, buffered) = client::post(addr, "/codegen", codegen_body).expect("/codegen");
+    soft_assert(status == 200, || {
+        format!("/codegen buffered: {status}: {buffered}")
+    });
+    let (streamed, ttfb, total) = measure_stream(addr, "/codegen?stream=1", codegen_body);
+    soft_assert(streamed == buffered, || {
+        "/codegen?stream=1 bytes diverged from the buffered response".to_string()
+    });
+    // "Well below": at least three chunk pulls happened after the first
+    // byte was already on the wire.
+    soft_assert(ttfb * 3 <= total, || {
+        format!("/codegen TTFB {ttfb:?} not well below total {total:?}")
+    });
+    println!(
+        "load_gen: /codegen?stream=1 — {} bytes, TTFB {ttfb:?}, total {total:?}",
+        streamed.len()
+    );
+
+    let batch_body = r#"{"jobs":[
+        {"benchmark":"j2d5pt","interior":[24,24],"steps":5,
+         "config":{"bt":2,"bs":[12],"precision":"double"}},
+        {"benchmark":"star2d1r","interior":[64,64],"steps":8,
+         "config":{"bt":4,"bs":[32],"precision":"single"}},
+        {"benchmark":"j2d5pt","interior":[16,16],"steps":3,
+         "config":{"bt":2,"bs":[8],"precision":"double"},"seed":7},
+        {"benchmark":"star2d1r","interior":[32,32],"steps":4,
+         "config":{"bt":2,"bs":[16],"precision":"single"}}
+    ]}"#;
+    let (status, batch_buffered) =
+        client::post(addr, "/batch?stream=0", batch_body).expect("/batch?stream=0");
+    soft_assert(status == 200, || {
+        format!("/batch buffered: {status}: {batch_buffered}")
+    });
+    let (batch_streamed, batch_ttfb, batch_total) = measure_stream(addr, "/batch", batch_body);
+    soft_assert(batch_streamed == batch_buffered, || {
+        "/batch streamed NDJSON diverged from the ?stream=0 response".to_string()
+    });
+    let lines = batch_streamed.lines().count();
+    soft_assert(lines == 4, || {
+        format!("/batch answered {lines} lines, wanted 4")
+    });
+    println!("load_gen: /batch — {lines} NDJSON lines, TTFB {batch_ttfb:?}, total {batch_total:?}");
+
+    let (status, metrics_text) = client::get(addr, "/metrics").expect("/metrics");
+    soft_assert(status == 200, || format!("/metrics: {status}"));
+    for series in [
+        "an5d_streams_total{endpoint=\"/codegen\"}",
+        "an5d_stream_chunks_total{endpoint=\"/codegen\"}",
+        "an5d_stream_bytes_total{endpoint=\"/batch\"}",
+        "an5d_stream_ttfb_us_count{endpoint=\"/codegen\"}",
+    ] {
+        soft_assert(metrics_text.contains(series), || {
+            format!("/metrics missing {series}")
+        });
+    }
+
+    let (status, _) = client::post(addr, "/shutdown", "").expect("shutdown");
+    soft_assert(status == 200, || "shutdown refused".to_string());
+    server.wait();
+
+    an5d_service::Json::obj(vec![
+        (
+            "chunk_delay_ms",
+            an5d_service::Json::Int(i128::from(CHUNK_DELAY_MS)),
+        ),
+        (
+            "codegen_bytes",
+            an5d_service::Json::Int(streamed.len() as i128),
+        ),
+        (
+            "codegen_ttfb_us",
+            an5d_service::Json::Int(ttfb.as_micros() as i128),
+        ),
+        (
+            "codegen_total_us",
+            an5d_service::Json::Int(total.as_micros() as i128),
+        ),
+        ("batch_lines", an5d_service::Json::Int(lines as i128)),
+        (
+            "batch_ttfb_us",
+            an5d_service::Json::Int(batch_ttfb.as_micros() as i128),
+        ),
+        (
+            "batch_total_us",
+            an5d_service::Json::Int(batch_total.as_micros() as i128),
+        ),
+    ])
+}
+
 fn main() {
     let args = parse_args();
+
+    // The streaming smoke needs no facade ground truth — the buffered
+    // response from the same server is the streamed body's oracle.
+    if args.batch {
+        let report = run_batch(&args);
+        if let Some(path) = &args.json {
+            let wrapped = an5d_service::Json::obj(vec![("batch", report)]);
+            std::fs::write(path, wrapped.render() + "\n")
+                .unwrap_or_else(|e| panic!("load_gen: cannot write --json {path}: {e}"));
+            println!("load_gen: wrote JSON report to {path}");
+        }
+        finish();
+    }
 
     // Target devices: the named one, or the whole registered fleet
     // (round-robin through the template list).

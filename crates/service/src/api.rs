@@ -8,12 +8,15 @@
 //! `load_gen` harness exploit this to assert that server responses are
 //! bit-identical to direct [`An5d`] facade calls.
 
+use crate::http::ChunkSource;
 use crate::json::Json;
 use an5d::{
-    suite, An5d, BatchOutcome, BlockConfig, CacheStats, CudaCode, DetectedStencil, DeviceId,
-    DeviceRegistry, FrameworkScheme, GpuDevice, KernelPlan, ModelPrediction, PoolStats, Precision,
-    RegisterCap, SearchSpace, StencilProblem, TrafficCounters, TunedCandidate, TuningResult,
+    suite, An5d, BatchDriver, BatchError, BatchJob, BatchOutcome, BlockConfig, CacheStats,
+    CudaCode, DetectedStencil, DeviceId, DeviceRegistry, FrameworkScheme, GpuDevice, GridInit,
+    KernelPlan, ModelPrediction, PoolStats, Precision, RegisterCap, SearchSpace, StencilProblem,
+    TrafficCounters, TunedCandidate, TuningResult,
 };
+use std::collections::VecDeque;
 
 /// A request-level problem: maps to a 400 with `{"error": …}` — unless
 /// `deadline` is set, in which case the dispatcher answers `504` with a
@@ -557,6 +560,215 @@ pub fn pool_stats_json(stats: &PoolStats) -> Json {
 /// Rejects unknown benchmark names.
 pub fn benchmark_def(name: &str) -> Result<an5d::StencilDef, ApiError> {
     suite::by_name(name).ok_or_else(|| ApiError::new(format!("unknown benchmark \"{name}\"")))
+}
+
+// ---------------------------------------------------------------------
+// Streaming bodies and /batch
+// ---------------------------------------------------------------------
+
+/// Most jobs one `/batch` request may submit.
+pub const MAX_BATCH_JOBS: usize = 256;
+
+/// JSON-escape `piece` exactly as [`Json::render`] would inside a
+/// string literal (the surrounding quotes stripped). Escaping is
+/// char-local, so escaping a string piecewise at char boundaries is
+/// byte-identical to escaping it whole — the invariant the lazy
+/// `/codegen` stream rests on.
+fn escaped_fragment(piece: &str) -> String {
+    let rendered = Json::str(piece).render();
+    rendered[1..rendered.len() - 1].to_string()
+}
+
+/// The largest char-boundary cut of `s` at most `max` bytes (at least
+/// one char when `s` is non-empty, so progress is always made).
+fn char_floor(s: &str, max: usize) -> usize {
+    if max >= s.len() {
+        return s.len();
+    }
+    let mut cut = max;
+    while cut > 0 && !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    if cut == 0 {
+        s.chars().next().map_or(0, char::len_utf8)
+    } else {
+        cut
+    }
+}
+
+/// One piece of a lazily rendered body: either literal bytes or raw
+/// text that is JSON-escaped as it is emitted.
+enum Piece {
+    Lit(String),
+    Escape(String),
+}
+
+fn pieces_chunk_source(pieces: Vec<Piece>, chunk: usize) -> ChunkSource {
+    let chunk = chunk.max(1);
+    let mut parts: VecDeque<Piece> = pieces.into();
+    Box::new(move || {
+        let mut out = Vec::new();
+        while out.len() < chunk {
+            let Some(part) = parts.pop_front() else { break };
+            let budget = chunk - out.len();
+            match part {
+                Piece::Lit(s) => {
+                    let cut = char_floor(&s, budget);
+                    out.extend_from_slice(&s.as_bytes()[..cut]);
+                    if cut < s.len() {
+                        parts.push_front(Piece::Lit(s[cut..].to_string()));
+                    }
+                }
+                Piece::Escape(s) => {
+                    let cut = char_floor(&s, budget);
+                    out.extend_from_slice(escaped_fragment(&s[..cut]).as_bytes());
+                    if cut < s.len() {
+                        parts.push_front(Piece::Escape(s[cut..].to_string()));
+                    }
+                }
+            }
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    })
+}
+
+/// A pull source producing the `/codegen` response body in chunks of
+/// roughly `chunk` bytes, byte-identical to
+/// `codegen_response(&code).render()` — but rendered lazily, so the
+/// first chunk exists (and can hit the wire) before the rest of the
+/// body has been serialized.
+#[must_use]
+pub fn codegen_chunk_source(code: CudaCode, chunk: usize) -> ChunkSource {
+    // The literal skeleton mirrors `codegen_response` field for field
+    // (same keys, same order); the big sources are spliced in as
+    // lazily-escaped text. `total_lines` is computed up front — it
+    // derives from the sources this function consumes.
+    let name = Json::str(&code.kernel_name).render();
+    let total = int(code.total_lines()).render();
+    let pieces = vec![
+        Piece::Lit(format!("{{\"kernel_name\":{name},\"kernel_source\":\"")),
+        Piece::Escape(code.kernel_source),
+        Piece::Lit("\",\"host_source\":\"".to_string()),
+        Piece::Escape(code.host_source),
+        Piece::Lit(format!("\",\"total_lines\":{total}}}")),
+    ];
+    pieces_chunk_source(pieces, chunk)
+}
+
+/// A pull source slicing an already-rendered body into chunks of at
+/// most `chunk` bytes (used by `/execute?stream=1`).
+#[must_use]
+pub fn string_chunk_source(body: String, chunk: usize) -> ChunkSource {
+    let chunk = chunk.max(1);
+    let bytes = body.into_bytes();
+    let mut pos = 0;
+    Box::new(move || {
+        if pos >= bytes.len() {
+            return Ok(None);
+        }
+        let end = (pos + chunk).min(bytes.len());
+        let piece = bytes[pos..end].to_vec();
+        pos = end;
+        Ok(Some(piece))
+    })
+}
+
+/// Extract the `/batch` job list: `"jobs"` is a non-empty array of at
+/// most [`MAX_BATCH_JOBS`] `/execute`-style specs (stencil + interior +
+/// steps + config + optional seed). The top-level `"device"` routes the
+/// whole batch; per-job devices are not supported.
+///
+/// # Errors
+///
+/// Rejects a missing/empty/oversized list and any invalid job spec
+/// (prefixed with its index, so the client can tell which one).
+pub fn batch_jobs_from(body: &Json) -> Result<Vec<BatchJob>, ApiError> {
+    let jobs = require(body, "jobs")?
+        .as_array()
+        .ok_or_else(|| ApiError::new("\"jobs\" must be an array"))?;
+    if jobs.is_empty() {
+        return Err(ApiError::new("\"jobs\" must contain at least one job"));
+    }
+    if jobs.len() > MAX_BATCH_JOBS {
+        return Err(ApiError::new(format!(
+            "\"jobs\" lists {} jobs; at most {MAX_BATCH_JOBS} per request",
+            jobs.len()
+        )));
+    }
+    jobs.iter()
+        .enumerate()
+        .map(|(index, spec)| {
+            batch_job_from(spec).map_err(|e| ApiError::new(format!("jobs[{index}]: {}", e.message)))
+        })
+        .collect()
+}
+
+fn batch_job_from(spec: &Json) -> Result<BatchJob, ApiError> {
+    let pipeline = pipeline_from(spec)?;
+    let problem = problem_from(spec, &pipeline)?;
+    let config = config_from(spec)?;
+    let seed = seed_from(spec)?;
+    Ok(BatchJob::new(
+        pipeline.def().clone(),
+        problem.interior(),
+        problem.time_steps(),
+        config,
+    )
+    .with_init(GridInit::Hash { seed }))
+}
+
+/// Render one `/batch` NDJSON line (newline included) for job `index`.
+/// Success lines carry the `/execute` response fields; failures carry
+/// the error message and, for deadline refusals, a
+/// `"deadline_exceeded":true` marker.
+#[must_use]
+pub fn batch_job_line(index: usize, result: &Result<BatchOutcome, BatchError>) -> String {
+    let line = match result {
+        Ok(outcome) => Json::obj(vec![
+            ("index", int(index)),
+            ("name", Json::str(&outcome.name)),
+            ("checksum", Json::Num(outcome.checksum)),
+            ("counters", counters_json(&outcome.counters)),
+        ]),
+        Err(e) => {
+            let mut fields = vec![
+                ("index", int(index)),
+                ("name", Json::str(&e.name)),
+                ("error", Json::str(&e.to_string())),
+            ];
+            if e.error == an5d::BatchFailure::DeadlineExceeded {
+                fields.push(("deadline_exceeded", Json::Bool(true)));
+            }
+            Json::obj(fields)
+        }
+    };
+    let mut rendered = line.render();
+    rendered.push('\n');
+    rendered
+}
+
+/// A pull source running `jobs` through `driver` one at a time,
+/// yielding each job's NDJSON line as it completes — the streaming
+/// `/batch` body. Jobs run inside the source (on the server worker
+/// draining it), so earlier lines reach the client while later jobs
+/// are still executing; the ambient request deadline and fault plan
+/// apply to every job exactly as they do on `/execute`.
+#[must_use]
+pub fn batch_chunk_source(driver: BatchDriver, jobs: Vec<BatchJob>) -> ChunkSource {
+    let mut queue: VecDeque<BatchJob> = jobs.into();
+    let mut index = 0;
+    Box::new(move || {
+        let Some(job) = queue.pop_front() else {
+            return Ok(None);
+        };
+        let result = driver
+            .run(&[job])
+            .pop()
+            .expect("one job in yields one result out");
+        let line = batch_job_line(index, &result);
+        index += 1;
+        Ok(Some(line.into_bytes()))
+    })
 }
 
 #[cfg(test)]

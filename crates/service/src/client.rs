@@ -12,8 +12,14 @@
 //!
 //! Both use socket timeouts so a wedged server fails a test instead of
 //! hanging it; production consumers would use any real HTTP client.
+//!
+//! Framing is strict in both flavours: a response must carry
+//! `Content-Length` or `Transfer-Encoding: chunked`, and a body cut
+//! short mid-frame is an error — a truncated body is never silently
+//! returned as success.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use crate::http::ChunkDecoder;
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -36,8 +42,9 @@ pub struct RetryPolicy {
     pub budget: u32,
     /// Backoff before the first retry; doubles per subsequent retry.
     pub base: Duration,
-    /// Ceiling on the exponential backoff (before `Retry-After`, which
-    /// is always honored in full).
+    /// Ceiling on the pause: caps both the exponential schedule and any
+    /// server `Retry-After` hint, so a buggy or hostile server sending
+    /// a huge value cannot stall the whole retry budget.
     pub cap: Duration,
     /// Jitter seed: identical seeds replay identical backoff
     /// sequences.
@@ -63,8 +70,9 @@ impl RetryPolicy {
     /// The pause before retry number `attempt` (0-based): capped
     /// exponential backoff, jittered into `[half, full]` by the seeded
     /// stream at `token`, then floored by the server's `Retry-After`
-    /// hint when one was sent (honoring the hint always wins over the
-    /// exponential schedule).
+    /// hint when one was sent — with the hint itself clamped to
+    /// [`cap`](Self::cap), so the policy's ceiling is the ceiling,
+    /// whatever the server claims.
     #[must_use]
     pub fn backoff(&self, attempt: u32, token: u64, retry_after_secs: Option<u64>) -> Duration {
         let exp = self
@@ -75,7 +83,8 @@ impl RetryPolicy {
         let jittered = nanos / 2 + splitmix64(self.seed ^ token) % (nanos / 2 + 1);
         let mut pause = Duration::from_nanos(jittered);
         if let Some(secs) = retry_after_secs {
-            pause = pause.max(Duration::from_secs(secs));
+            let hint = Duration::from_secs(secs).min(self.cap);
+            pause = pause.max(hint);
         }
         pause
     }
@@ -101,11 +110,14 @@ fn invalid(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
-/// Parsed response head: status, body length (when framed) and whether
-/// the server announced it will close the connection.
+/// Parsed response head: status, body framing and whether the server
+/// announced it will close the connection.
 struct ResponseHead {
     status: u16,
     content_length: Option<usize>,
+    /// `Transfer-Encoding: chunked` was announced; wins over any
+    /// `Content-Length` per RFC 7230 §3.3.3.
+    chunked: bool,
     close: bool,
     /// The `x-an5d-trace` request id, when the server sent one.
     trace: Option<String>,
@@ -113,7 +125,7 @@ struct ResponseHead {
     retry_after: Option<u64>,
 }
 
-fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
+fn read_head(reader: &mut impl BufRead) -> io::Result<ResponseHead> {
     let mut status_line = String::new();
     if reader.read_line(&mut status_line)? == 0 {
         return Err(io::Error::new(
@@ -128,6 +140,7 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
         .ok_or_else(|| invalid("malformed status line"))?;
 
     let mut content_length: Option<usize> = None;
+    let mut chunked = false;
     let mut close = false;
     let mut trace = None;
     let mut retry_after = None;
@@ -149,6 +162,8 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
                         .parse()
                         .map_err(|_| invalid("bad Content-Length"))?,
                 );
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = value.to_ascii_lowercase().contains("chunked");
             } else if name.eq_ignore_ascii_case("connection")
                 && value.trim().eq_ignore_ascii_case("close")
             {
@@ -156,6 +171,8 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
             } else if name.eq_ignore_ascii_case("x-an5d-trace") {
                 trace = Some(value.trim().to_string());
             } else if name.eq_ignore_ascii_case("retry-after") {
+                // Unparseable hints are treated as absent, not as zero —
+                // the backoff schedule then decides the pause alone.
                 retry_after = value.trim().parse().ok();
             }
         }
@@ -163,10 +180,48 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseHead> {
     Ok(ResponseHead {
         status,
         content_length,
+        chunked,
         close,
         trace,
         retry_after,
     })
+}
+
+/// Read one response body under strict framing: `Transfer-Encoding:
+/// chunked` when announced (it wins over `Content-Length`), else
+/// exactly `Content-Length` bytes. A response with neither is an
+/// error, and so is a body cut short mid-frame — truncation is never
+/// returned as success. Bytes past the body's end (the next pipelined
+/// response) are left in the reader.
+fn read_body(reader: &mut impl BufRead, head: &ResponseHead) -> io::Result<String> {
+    let bytes = if head.chunked {
+        let mut decoder = ChunkDecoder::new();
+        let mut bytes = Vec::new();
+        while !decoder.is_done() {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(invalid("truncated chunked body"));
+            }
+            let consumed = decoder.decode(buf, &mut bytes)?;
+            reader.consume(consumed);
+        }
+        bytes
+    } else if let Some(length) = head.content_length {
+        let mut bytes = vec![0u8; length];
+        // A truncated body must NOT surface as UnexpectedEof: that kind
+        // marks "no response bytes arrived" for the keep-alive retry
+        // logic, and a partially-received response may already have been
+        // acted upon server-side.
+        reader
+            .read_exact(&mut bytes)
+            .map_err(|e| invalid(&format!("truncated response body: {e}")))?;
+        bytes
+    } else {
+        return Err(invalid(
+            "response with neither Content-Length nor chunked framing",
+        ));
+    };
+    String::from_utf8(bytes).map_err(|_| invalid("non-UTF-8 body"))
 }
 
 /// Send raw request bytes and read one `(status, body)` response.
@@ -219,19 +274,7 @@ pub fn raw_response(addr: SocketAddr, request: &str) -> io::Result<HttpResponse>
 
     let mut reader = BufReader::new(stream);
     let head = read_head(&mut reader)?;
-    let body = match head.content_length {
-        Some(length) => {
-            let mut body = vec![0u8; length];
-            reader.read_exact(&mut body)?;
-            String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?
-        }
-        None => {
-            // No Content-Length: fall back to read-to-EOF framing.
-            let mut body = String::new();
-            reader.read_to_string(&mut body)?;
-            body
-        }
-    };
+    let body = read_body(&mut reader, &head)?;
     Ok(HttpResponse {
         status: head.status,
         body,
@@ -450,17 +493,17 @@ impl KeepAliveClient {
                 invalid(&format!("failed reading response head: {e}"))
             }
         })?;
-        let length = head
-            .content_length
-            .ok_or_else(|| invalid("keep-alive response without Content-Length"))?;
-        let mut bytes = vec![0u8; length];
-        // A body truncated mid-response must NOT surface as
-        // UnexpectedEof: that kind marks "no response bytes arrived" for
-        // the retry logic in `request`, and a partially-received
-        // response may already have been acted upon server-side.
-        conn.read_exact(&mut bytes)
-            .map_err(|e| invalid(&format!("truncated response body: {e}")))?;
-        let body = String::from_utf8(bytes).map_err(|_| invalid("non-UTF-8 body"))?;
+        // Strict framing, Content-Length or chunked; every body failure
+        // is remapped to InvalidData (never UnexpectedEof or a transport
+        // kind), so the retry logic in `request` cannot silently re-send
+        // after a response started arriving.
+        let body = read_body(conn, &head).map_err(|e| {
+            if e.kind() == io::ErrorKind::InvalidData {
+                e
+            } else {
+                invalid(&format!("failed reading response body: {e}"))
+            }
+        })?;
         Ok((body, head))
     }
 
@@ -589,6 +632,7 @@ impl KeepAliveClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
 
     #[test]
     fn backoff_is_deterministic_for_a_seed_and_capped() {
@@ -628,18 +672,91 @@ mod tests {
     }
 
     #[test]
-    fn retry_after_hint_floors_the_backoff() {
-        let policy = RetryPolicy {
+    fn retry_after_hint_floors_the_backoff_up_to_the_cap() {
+        // A hint below the ceiling is honored in full…
+        let roomy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        let pause = roomy.backoff(0, 0, Some(2));
+        assert!(
+            (Duration::from_secs(2)..=Duration::from_secs(10)).contains(&pause),
+            "hint below cap must be honored, got {pause:?}"
+        );
+
+        // …but a huge (buggy or hostile) hint is clamped to the policy's
+        // ceiling instead of stalling the whole retry budget.
+        let tight = RetryPolicy {
             base: Duration::from_millis(1),
             cap: Duration::from_millis(4),
             ..RetryPolicy::default()
         };
-        let pause = policy.backoff(0, 0, Some(2));
-        assert!(
-            pause >= Duration::from_secs(2),
-            "Retry-After must be honored in full, got {pause:?}"
+        for hint in [2, 3600, u64::MAX] {
+            let pause = tight.backoff(0, 0, Some(hint));
+            assert!(
+                pause <= Duration::from_millis(4),
+                "hint {hint}s must be clamped to the 4ms cap, got {pause:?}"
+            );
+        }
+        assert!(tight.backoff(0, 0, None) < Duration::from_millis(5));
+    }
+
+    /// Build a `ResponseHead` by parsing wire bytes, so framing tests
+    /// exercise the real header parser.
+    fn head_of(wire: &str) -> ResponseHead {
+        read_head(&mut io::Cursor::new(wire.as_bytes().to_vec())).expect("head parses")
+    }
+
+    #[test]
+    fn head_parses_chunked_framing_and_unparseable_retry_after() {
+        let head =
+            head_of("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nRetry-After: soon\r\n\r\n");
+        assert!(head.chunked);
+        assert_eq!(head.content_length, None);
+        assert_eq!(head.retry_after, None, "unparseable hint is absent");
+        assert!(head_of("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n").content_length == Some(2));
+    }
+
+    #[test]
+    fn read_body_decodes_chunked_and_leaves_the_surplus() {
+        let head = head_of("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let wire = b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\nNEXT".to_vec();
+        let mut reader = io::Cursor::new(wire);
+        assert_eq!(read_body(&mut reader, &head).unwrap(), "hello world");
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"NEXT", "pipelined bytes stay in the reader");
+    }
+
+    #[test]
+    fn truncated_bodies_are_errors_not_success() {
+        // Chunked body cut off mid-chunk.
+        let chunked = head_of("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let err = read_body(&mut io::Cursor::new(b"5\r\nhel".to_vec()), &chunked).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+
+        // Content-Length body shorter than announced.
+        let framed = head_of("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n");
+        let err = read_body(&mut io::Cursor::new(b"short".to_vec()), &framed).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+
+        // No framing at all: the old read-to-EOF fallback accepted any
+        // truncation as success — now it is rejected outright.
+        let unframed = head_of("HTTP/1.1 200 OK\r\n\r\n");
+        let err = read_body(&mut io::Cursor::new(b"anything".to_vec()), &unframed).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn chunked_wins_over_content_length() {
+        let head =
+            head_of("HTTP/1.1 200 OK\r\nContent-Length: 999\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let body = read_body(
+            &mut io::Cursor::new(b"2\r\nok\r\n0\r\n\r\n".to_vec()),
+            &head,
         );
-        assert!(policy.backoff(0, 0, None) < Duration::from_millis(5));
+        assert_eq!(body.unwrap(), "ok");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::api::{self, ApiError};
 use crate::fleet::{Fleet, FleetShard, RoutePolicy};
-use crate::http::{Request, Response};
+use crate::http::{ChunkSource, Request, Response, ResponseBody};
 use crate::json::{self, Json};
 use crate::metrics::{MeteredBackend, Metrics};
 use crate::telemetry;
@@ -30,6 +30,9 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 /// Default latency above which a request is logged as slow.
 pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_secs(1);
 
+/// Default payload size of one streamed chunk (before chunked framing).
+pub const DEFAULT_STREAM_CHUNK: usize = 16 * 1024;
+
 /// The endpoints served, with the method each accepts.
 pub const ENDPOINTS: &[(&str, &str)] = &[
     ("GET", "/devices"),
@@ -42,6 +45,7 @@ pub const ENDPOINTS: &[(&str, &str)] = &[
     ("POST", "/tune"),
     ("POST", "/codegen"),
     ("POST", "/execute"),
+    ("POST", "/batch"),
     ("POST", "/shutdown"),
 ];
 
@@ -53,6 +57,7 @@ pub struct ServiceState {
     metrics: Arc<Metrics>,
     traces: TraceRing,
     slow_threshold: Duration,
+    stream_chunk: usize,
 }
 
 impl std::fmt::Debug for ServiceState {
@@ -98,6 +103,7 @@ impl ServiceState {
             metrics,
             traces: TraceRing::new(DEFAULT_TRACE_CAPACITY),
             slow_threshold: DEFAULT_SLOW_THRESHOLD,
+            stream_chunk: DEFAULT_STREAM_CHUNK,
         }
     }
 
@@ -130,6 +136,14 @@ impl ServiceState {
     #[must_use]
     pub fn with_slow_threshold(mut self, threshold: Duration) -> Self {
         self.slow_threshold = threshold;
+        self
+    }
+
+    /// Produce streamed response bodies in chunks of `bytes` (before
+    /// chunked framing). Zero is clamped to one byte.
+    #[must_use]
+    pub fn with_stream_chunk(mut self, bytes: usize) -> Self {
+        self.stream_chunk = bytes.max(1);
         self
     }
 
@@ -172,6 +186,12 @@ impl ServiceState {
     #[must_use]
     pub fn slow_threshold(&self) -> Duration {
         self.slow_threshold
+    }
+
+    /// Payload size of one streamed chunk.
+    #[must_use]
+    pub fn stream_chunk(&self) -> usize {
+        self.stream_chunk
     }
 }
 
@@ -224,7 +244,12 @@ pub fn dispatch(state: &ServiceState, request: &Request) -> Response {
         handle(state, path, request)
     };
     let elapsed = started.elapsed();
-    state.metrics.record(path, elapsed, response.status < 300);
+    // Streamed responses are recorded when the stream finishes (see
+    // `metered_stream`): the handler only set up the chunk source here,
+    // so `elapsed` would undercount them.
+    if matches!(response.body, ResponseBody::Full(_)) {
+        state.metrics.record(path, elapsed, response.status < 300);
+    }
     match trace {
         Some(trace) => {
             let id = trace.id();
@@ -255,17 +280,20 @@ fn handle(state: &ServiceState, path: &str, request: &Request) -> Response {
                 Ok(parsed) => parsed,
                 Err(response) => return response,
             };
+            // `/codegen` and `/execute` stream on request (`?stream=1`);
+            // `/batch` streams NDJSON unless opted out (`?stream=0`).
             let result = match path {
-                "/parse" => parse_endpoint(&parsed),
-                "/plan" => plan_endpoint(state, &parsed),
-                "/predict" => predict_endpoint(state, &parsed),
-                "/tune" => tune_endpoint(state, &parsed, request.query_flag("refresh")),
-                "/codegen" => codegen_endpoint(state, &parsed),
-                "/execute" => execute_endpoint(state, &parsed),
+                "/parse" => parse_endpoint(&parsed).map(ok),
+                "/plan" => plan_endpoint(state, &parsed).map(ok),
+                "/predict" => predict_endpoint(state, &parsed).map(ok),
+                "/tune" => tune_endpoint(state, &parsed, request.query_flag("refresh")).map(ok),
+                "/codegen" => codegen_endpoint(state, &parsed, request.query_flag("stream")),
+                "/execute" => execute_endpoint(state, &parsed, request.query_flag("stream")),
+                "/batch" => batch_endpoint(state, &parsed, batch_streams(request)),
                 _ => unreachable!("ENDPOINTS and handle() cover the same paths"),
             };
             match result {
-                Ok(body) => ok(body),
+                Ok(response) => response,
                 Err(e) => match e.deadline {
                     Some((completed, total)) => {
                         state.metrics.record_deadline_expired();
@@ -450,15 +478,73 @@ fn tune_endpoint(state: &ServiceState, body: &Json, refresh: bool) -> Result<Jso
     })
 }
 
-fn codegen_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
-    let shard = routed(state, body, RoutePolicy::LeastLoaded)?;
-    shard.observe(|| {
-        let (_, plan) = planned(shard, body)?;
-        Ok(api::codegen_response(&generate_cuda_for_plan(&plan)))
+/// `/batch` streams by default; `?stream=0` (or `false`) buffers.
+fn batch_streams(request: &Request) -> bool {
+    !matches!(request.query_param("stream"), Some("0" | "false"))
+}
+
+/// Wrap a chunk source so the shared [`Metrics`] see the stream: TTFB
+/// on the first chunk, per-chunk and per-byte counters as it flows, and
+/// the endpoint's latency/status record when it ends (dispatch skips
+/// the immediate record for streamed bodies — the handler only set the
+/// stream up).
+fn metered_stream(
+    state: &ServiceState,
+    path: &'static str,
+    mut source: ChunkSource,
+) -> ChunkSource {
+    let metrics = Arc::clone(&state.metrics);
+    let started = Instant::now();
+    let mut first = true;
+    let mut finished = false;
+    Box::new(move || match source() {
+        Ok(Some(chunk)) => {
+            if first {
+                first = false;
+                metrics.record_stream_ttfb(path, started.elapsed());
+            }
+            metrics.record_stream_chunk(path, chunk.len());
+            Ok(Some(chunk))
+        }
+        Ok(None) => {
+            if !finished {
+                finished = true;
+                metrics.record(path, started.elapsed(), true);
+            }
+            Ok(None)
+        }
+        Err(e) => {
+            if !finished {
+                finished = true;
+                metrics.record(path, started.elapsed(), false);
+            }
+            Err(e)
+        }
     })
 }
 
-fn execute_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError> {
+fn codegen_endpoint(state: &ServiceState, body: &Json, stream: bool) -> Result<Response, ApiError> {
+    let shard = routed(state, body, RoutePolicy::LeastLoaded)?;
+    shard.observe(|| {
+        let (_, plan) = planned(shard, body)?;
+        let code = generate_cuda_for_plan(&plan);
+        if stream {
+            // The JSON body is rendered lazily chunk by chunk — the
+            // first chunk reaches the reactor (and the wire) before the
+            // serialized body exists.
+            let source = api::codegen_chunk_source(code, state.stream_chunk);
+            Ok(Response::stream(
+                200,
+                "application/json",
+                metered_stream(state, "/codegen", source),
+            ))
+        } else {
+            Ok(ok(api::codegen_response(&code)))
+        }
+    })
+}
+
+fn execute_endpoint(state: &ServiceState, body: &Json, stream: bool) -> Result<Response, ApiError> {
     let shard = routed(state, body, RoutePolicy::LeastLoaded)?;
     shard.observe(|| {
         let pipeline = api::pipeline_from(body)?;
@@ -484,7 +570,51 @@ fn execute_endpoint(state: &ServiceState, body: &Json) -> Result<Json, ApiError>
                 }
                 _ => ApiError::new(e.to_string()),
             })?;
-        Ok(api::execute_response(&outcome))
+        let body = api::execute_response(&outcome).render();
+        if stream {
+            let source = api::string_chunk_source(body, state.stream_chunk);
+            Ok(Response::stream(
+                200,
+                "application/json",
+                metered_stream(state, "/execute", source),
+            ))
+        } else {
+            Ok(Response::new(200, body))
+        }
+    })
+}
+
+/// `POST /batch`: run a list of `/execute`-style jobs through the
+/// routed shard's [`an5d::BatchDriver`]. Streaming (the default) emits
+/// one NDJSON line per job *as each job finishes* — jobs run one at a
+/// time inside the chunk source, so early results reach the client
+/// while later jobs are still executing. The buffered opt-out
+/// (`?stream=0`) produces byte-identical lines in one body.
+fn batch_endpoint(state: &ServiceState, body: &Json, stream: bool) -> Result<Response, ApiError> {
+    let shard = routed(state, body, RoutePolicy::LeastLoaded)?;
+    shard.observe(|| {
+        let jobs = api::batch_jobs_from(body)?;
+        let driver = shard.driver().clone();
+        if stream {
+            let source = api::batch_chunk_source(driver, jobs);
+            Ok(Response::stream(
+                200,
+                "application/x-ndjson",
+                metered_stream(state, "/batch", source),
+            ))
+        } else {
+            let mut out = String::new();
+            for (index, job) in jobs.into_iter().enumerate() {
+                let result = driver
+                    .run(&[job])
+                    .pop()
+                    .expect("one job in yields one result out");
+                out.push_str(&api::batch_job_line(index, &result));
+            }
+            let mut response = Response::new(200, out);
+            response.content_type = "application/x-ndjson";
+            Ok(response)
+        }
     })
 }
 

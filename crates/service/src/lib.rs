@@ -30,8 +30,9 @@
 //! | `/plan` | POST | blocking config → geometry/resource summary |
 //! | `/predict` | POST | Section 5 model prediction on a device |
 //! | `/tune` | POST | Section 6.3 tuner over a search space |
-//! | `/codegen` | POST | CUDA kernel + host source |
-//! | `/execute` | POST | blocked run: checksum + traffic counters |
+//! | `/codegen` | POST | CUDA kernel + host source (`?stream=1` for a chunked body) |
+//! | `/execute` | POST | blocked run: checksum + traffic counters (`?stream=1` chunked) |
+//! | `/batch` | POST | job list through the shard's `BatchDriver`; streams NDJSON, one line per job as it finishes (`?stream=0` buffers) |
 //! | `/devices` | GET | registered GPU profiles + routing default |
 //! | `/stats` | GET | fleet-wide + per-device cache stats, pool and endpoint latencies |
 //! | `/metrics` | GET | Prometheus text: latency histograms, cache/fleet/pool/tunedb series |
@@ -49,6 +50,15 @@
 //! mixed traffic). Overload is shed at admission: when the bounded
 //! dispatch queue is full, the offending *request* gets an immediate
 //! `503` (idle connections are nearly free and are never shed).
+//!
+//! Large bodies can **stream**: `?stream=1` on `/codegen` or `/execute`
+//! (and `/batch` by default) answers with `Transfer-Encoding: chunked`,
+//! the body produced chunk by chunk on the worker while the reactor
+//! writes segments under `POLLOUT` — first bytes reach the client
+//! before the body has finished rendering, and streamed bytes
+//! reassemble identical to the buffered response. `/metrics` watches
+//! the path via `an5d_stream_chunks_total`, `an5d_stream_bytes_total`
+//! and the `an5d_stream_ttfb_us` histogram.
 //!
 //! Requests may carry an `x-an5d-deadline-ms` budget ([`DEADLINE_HEADER`]):
 //! one that has already expired at dispatch is shed with `503` +
@@ -122,9 +132,15 @@ pub use an5d_tunedb::TUNE_DB_ENV;
 pub use client::{HttpResponse, KeepAliveClient, RetryPolicy};
 pub use fleet::{Fleet, FleetShard, RoutePolicy, ShardStats, ShardTuneDbStats};
 pub use handlers::{
-    dispatch, ServiceState, DEFAULT_SLOW_THRESHOLD, DEFAULT_TRACE_CAPACITY, ENDPOINTS,
+    dispatch, ServiceState, DEFAULT_SLOW_THRESHOLD, DEFAULT_STREAM_CHUNK, DEFAULT_TRACE_CAPACITY,
+    ENDPOINTS,
 };
-pub use http::{Parse, Request, RequestParser, Response, DEADLINE_HEADER, MAX_DEADLINE_MS};
+pub use http::{
+    encode_chunk, ChunkDecoder, ChunkSource, Parse, Request, RequestParser, Response, ResponseBody,
+    CHUNK_TERMINATOR, DEADLINE_HEADER, MAX_DEADLINE_MS,
+};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use metrics::{ConnectionSnapshot, ConnectionStats, EndpointStats, MeteredBackend, Metrics};
+pub use metrics::{
+    ConnectionSnapshot, ConnectionStats, EndpointStats, MeteredBackend, Metrics, StreamSnapshot,
+};
 pub use server::{banner, Server, ServerConfig};

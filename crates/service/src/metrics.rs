@@ -68,6 +68,29 @@ impl EndpointRecorder {
     }
 }
 
+/// A point-in-time copy of one endpoint's streaming counters.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// Streamed responses that produced at least one chunk.
+    pub streams: u64,
+    /// Chunks produced across all streams of the endpoint.
+    pub chunks: u64,
+    /// Payload bytes produced (before chunked framing).
+    pub bytes: u64,
+    /// Time-to-first-byte: handler start to first chunk produced.
+    pub ttfb: HistogramSnapshot,
+}
+
+/// One endpoint's streaming recorder: chunk/byte counters plus a
+/// time-to-first-byte histogram.
+#[derive(Debug, Default)]
+struct StreamRecorder {
+    streams: AtomicU64,
+    chunks: AtomicU64,
+    bytes: AtomicU64,
+    ttfb: Histogram,
+}
+
 /// A point-in-time copy of the connection-layer gauges and counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConnectionSnapshot {
@@ -168,6 +191,8 @@ impl ConnectionStats {
 #[derive(Debug, Default)]
 pub struct Metrics {
     endpoints: Mutex<BTreeMap<String, Arc<EndpointRecorder>>>,
+    /// Streaming counters per endpoint (`?stream=1` and `/batch`).
+    streams: Mutex<BTreeMap<String, Arc<StreamRecorder>>>,
     /// `backend.execute` latency per backend name, fed by
     /// [`MeteredBackend`] wrappers around every backend the service
     /// executes on.
@@ -206,6 +231,50 @@ impl Metrics {
     pub fn record(&self, endpoint: &str, latency: Duration, ok: bool) {
         let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         self.recorder(endpoint).record(micros, ok);
+    }
+
+    fn stream_recorder(&self, endpoint: &str) -> Arc<StreamRecorder> {
+        let mut streams = self.streams.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(streams.entry(endpoint.to_string()).or_default())
+    }
+
+    /// Record a streamed response's time-to-first-byte (handler start
+    /// to first chunk produced); also counts the stream itself.
+    pub fn record_stream_ttfb(&self, endpoint: &str, latency: Duration) {
+        let recorder = self.stream_recorder(endpoint);
+        recorder.streams.fetch_add(1, Ordering::Relaxed);
+        recorder.ttfb.record_duration(latency);
+    }
+
+    /// Record one produced chunk of `bytes` payload bytes on a
+    /// streamed response.
+    pub fn record_stream_chunk(&self, endpoint: &str, bytes: usize) {
+        let recorder = self.stream_recorder(endpoint);
+        recorder.chunks.fetch_add(1, Ordering::Relaxed);
+        recorder
+            .bytes
+            .fetch_add(u64::try_from(bytes).unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// Per-endpoint streaming snapshots, sorted by path — the data
+    /// source for the `an5d_stream_*` series of `/metrics`.
+    #[must_use]
+    pub fn stream_snapshots(&self) -> Vec<(String, StreamSnapshot)> {
+        let streams = self.streams.lock().unwrap_or_else(PoisonError::into_inner);
+        streams
+            .iter()
+            .map(|(path, recorder)| {
+                (
+                    path.clone(),
+                    StreamSnapshot {
+                        streams: recorder.streams.load(Ordering::Relaxed),
+                        chunks: recorder.chunks.load(Ordering::Relaxed),
+                        bytes: recorder.bytes.load(Ordering::Relaxed),
+                        ttfb: recorder.ttfb.snapshot(),
+                    },
+                )
+            })
+            .collect()
     }
 
     /// Record one `backend.execute` call on the named backend.

@@ -36,7 +36,13 @@
 //!   deadline firing late is ignored.
 //! * **Writing** — response bytes draining; write interest, I/O
 //!   deadline. `close_after_write` carries the `Connection: close` /
-//!   request-bound / error / 503 decision.
+//!   request-bound / error / 503 decision. Bytes live in a queue of
+//!   segments drained front to back (scatter/gather): a buffered
+//!   response is one segment, a streamed one starts with its chunked
+//!   head and refills from the worker's `ResponseStream` as chunks are
+//!   produced — blocked on the *producer* the connection holds no
+//!   write interest and no I/O deadline, blocked on the *socket* it
+//!   waits for `POLLOUT` under the usual budget.
 //!
 //! Closes distinguish *clean* ends (EOF while parked between requests,
 //! idle timeout, shutdown) from *aborted* ones (EOF, transport error,
@@ -46,9 +52,11 @@
 
 use crate::api;
 use crate::http::{Parse, Request, RequestParser, Response};
-use crate::server::{render_response, DispatchItem, Shared, IO_TIMEOUT};
+use crate::server::{
+    render_response, CompletionBody, DispatchItem, ResponseStream, Shared, StreamStatus, IO_TIMEOUT,
+};
 use an5d_net::{fd_of_listener, fd_of_stream, Event, Interest, Poller, TimerWheel, WakeReceiver};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
@@ -96,9 +104,16 @@ enum ConnState {
 struct Conn {
     stream: TcpStream,
     parser: RequestParser,
-    /// Pending response bytes (write-backpressure buffer).
-    out: Vec<u8>,
+    /// Pending response segments (write-backpressure buffer), drained
+    /// front to back under `POLLOUT` — scatter/gather style, so a
+    /// streamed body never gets copied into one contiguous buffer.
+    out: VecDeque<Vec<u8>>,
+    /// Bytes of the *front* segment already written.
     out_pos: usize,
+    /// Live body producer for a streamed response: when `out` runs dry
+    /// the reactor pulls freshly produced segments from here instead of
+    /// finishing the response.
+    body_stream: Option<Arc<ResponseStream>>,
     /// Requests served on this connection.
     served: usize,
     state: ConnState,
@@ -116,6 +131,10 @@ pub(crate) struct Reactor {
     poller: Poller,
     wheel: TimerWheel,
     conns: BTreeMap<usize, Conn>,
+    /// Tokens with a live [`ResponseStream`]: visited after every wake
+    /// so newly produced segments reach their sockets without waiting
+    /// for a poll event (stale tokens are dropped lazily).
+    streaming: BTreeSet<usize>,
     next_token: usize,
     expired_scratch: Vec<(usize, u64)>,
 }
@@ -142,6 +161,7 @@ impl Reactor {
             poller,
             wheel: TimerWheel::new(TIMER_GRANULARITY, TIMER_SLOTS, Instant::now()),
             conns: BTreeMap::new(),
+            streaming: BTreeSet::new(),
             next_token: FIRST_CONN_TOKEN,
             expired_scratch: Vec::new(),
         })
@@ -175,6 +195,9 @@ impl Reactor {
             // Completions first: handing finished responses to their
             // sockets is what frees workers for the dispatch queue.
             self.apply_completions();
+            // Then streaming connections: a worker woke us after pushing
+            // fresh body segments; move them toward their sockets.
+            self.pump_streams();
             for event in events.iter().copied() {
                 match event.token {
                     LISTENER => self.do_accept(),
@@ -220,10 +243,15 @@ impl Reactor {
         }
     }
 
-    /// Close and forget a connection. `aborted` marks a mid-request
-    /// death for the `an5d_connections_aborted` counter.
+    /// Close and forget a connection. `aborted` marks a mid-request (or
+    /// mid-response) death for the `an5d_connections_aborted` counter.
     fn close(&mut self, token: usize, aborted: bool) {
+        self.streaming.remove(&token);
         if let Some(conn) = self.conns.remove(&token) {
+            if let Some(stream) = &conn.body_stream {
+                // Unblock and stop the producing worker.
+                stream.close();
+            }
             self.poller.deregister(token);
             if conn.state == ConnState::Parked {
                 self.stats().on_unparked();
@@ -243,8 +271,9 @@ impl Reactor {
                     if stream.set_nonblocking(true).is_err() {
                         continue; // dropped: cannot safely poll it
                     }
-                    // Responses are written as one segment each; disable
-                    // Nagle so one never waits on a delayed ACK.
+                    // Disable Nagle: buffered responses go out as one
+                    // segment, and a streamed chunk must hit the wire
+                    // when produced instead of waiting on a delayed ACK.
                     let _ = stream.set_nodelay(true);
                     let token = self.next_token;
                     self.next_token += 1;
@@ -255,8 +284,9 @@ impl Reactor {
                         Conn {
                             stream,
                             parser: RequestParser::new(),
-                            out: Vec::new(),
+                            out: VecDeque::new(),
                             out_pos: 0,
+                            body_stream: None,
                             served: 0,
                             state: ConnState::Reading,
                             close_after_write: false,
@@ -349,7 +379,7 @@ impl Reactor {
                 // Framing errors poison the stream position; answer and
                 // close rather than guess where the next request starts.
                 let body = render_response(
-                    &Response::new(err.status, api::error_body(&err.message)),
+                    &mut Response::new(err.status, api::error_body(&err.message)),
                     false,
                 );
                 self.start_write(token, body, true);
@@ -410,7 +440,7 @@ impl Reactor {
         if request.deadline.is_some_and(|d| d.expired()) {
             self.shared.state.metrics().record_deadline_shed();
             let body = render_response(
-                &Response::new(503, api::error_body("deadline expired before dispatch"))
+                &mut Response::new(503, api::error_body("deadline expired before dispatch"))
                     .with_retry_after(1),
                 false,
             );
@@ -426,7 +456,7 @@ impl Reactor {
         if depth >= self.shared.queue_depth {
             self.shared.state.metrics().record_rejected();
             let body = render_response(
-                &Response::new(503, api::error_body("server overloaded, retry later"))
+                &mut Response::new(503, api::error_body("server overloaded, retry later"))
                     .with_retry_after(1),
                 false,
             );
@@ -459,13 +489,16 @@ impl Reactor {
         self.shared.available.notify_one();
     }
 
-    /// Take ownership of response bytes and start draining them.
+    /// Take ownership of fully-rendered response bytes and start
+    /// draining them as a single segment.
     fn start_write(&mut self, token: usize, bytes: Vec<u8>, close_after: bool) {
         self.leave_parked(token);
         if let Some(conn) = self.conns.get_mut(&token) {
             conn.state = ConnState::Writing;
-            conn.out = bytes;
+            conn.out.clear();
+            conn.out.push_back(bytes);
             conn.out_pos = 0;
+            conn.body_stream = None;
             conn.close_after_write = close_after;
             self.poller.set_interest(token, Interest::WRITABLE);
             self.arm(token, IO_TIMEOUT);
@@ -475,10 +508,38 @@ impl Reactor {
         }
     }
 
+    /// Start a streamed response: the chunked head drains now, body
+    /// segments follow from `stream` as the worker produces them.
+    fn start_stream(
+        &mut self,
+        token: usize,
+        head: Vec<u8>,
+        stream: Arc<ResponseStream>,
+        close_after: bool,
+    ) {
+        self.leave_parked(token);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            stream.close(); // connection died first; stop the producer
+            return;
+        };
+        conn.state = ConnState::Writing;
+        conn.out.clear();
+        conn.out.push_back(head);
+        conn.out_pos = 0;
+        conn.body_stream = Some(stream);
+        conn.close_after_write = close_after;
+        self.streaming.insert(token);
+        self.poller.set_interest(token, Interest::WRITABLE);
+        self.arm(token, IO_TIMEOUT);
+        self.try_flush(token);
+    }
+
     fn try_flush(&mut self, token: usize) {
         let mut failed = false;
-        let mut injected = false;
         let mut done = false;
+        // Streaming only: ran out of segments while the producer is
+        // still running — nothing to write until the next worker wake.
+        let mut waiting = false;
         // Injected write faults: a kill aborts the connection mid-
         // response; a short write caps the bytes this call may drain
         // (the level-triggered poll resumes the rest), exercising the
@@ -487,10 +548,7 @@ impl Reactor {
         match an5d_fault::point("reactor.write") {
             None => {}
             Some(an5d_fault::FaultAction::Delay(d)) => std::thread::sleep(d),
-            Some(an5d_fault::FaultAction::Error) => {
-                failed = true;
-                injected = true;
-            }
+            Some(an5d_fault::FaultAction::Error) => failed = true,
             Some(an5d_fault::FaultAction::Short(n)) => budget = n.max(1),
         }
         if !failed {
@@ -498,15 +556,52 @@ impl Reactor {
                 return;
             };
             loop {
-                if conn.out_pos == conn.out.len() {
-                    done = true;
-                    break;
+                // Drop the front segment once fully written.
+                if conn
+                    .out
+                    .front()
+                    .is_some_and(|front| front.len() == conn.out_pos)
+                {
+                    conn.out.pop_front();
+                    conn.out_pos = 0;
+                    continue;
+                }
+                if conn.out.is_empty() {
+                    // Queue dry: a buffered response is done; a streamed
+                    // one pulls whatever the producer has pushed since.
+                    let Some(stream) = &conn.body_stream else {
+                        done = true;
+                        break;
+                    };
+                    let (segments, status) = Arc::clone(stream).drain();
+                    match status {
+                        StreamStatus::Failed => {
+                            failed = true;
+                            break;
+                        }
+                        StreamStatus::Done => {
+                            conn.body_stream = None;
+                            if segments.is_empty() {
+                                done = true;
+                                break;
+                            }
+                        }
+                        StreamStatus::Open => {
+                            if segments.is_empty() {
+                                waiting = true;
+                                break;
+                            }
+                        }
+                    }
+                    conn.out.extend(segments);
+                    continue;
                 }
                 if budget == 0 {
                     break; // short-write cap hit; poll picks it back up
                 }
-                let limit = conn.out.len().min(conn.out_pos.saturating_add(budget));
-                match (&conn.stream).write(&conn.out[conn.out_pos..limit]) {
+                let front = &conn.out[0];
+                let limit = front.len().min(conn.out_pos.saturating_add(budget));
+                match (&conn.stream).write(&front[conn.out_pos..limit]) {
                     Ok(0) => {
                         failed = true;
                         break;
@@ -525,21 +620,34 @@ impl Reactor {
             }
         }
         if failed {
-            let aborted = injected
-                || self
-                    .conns
-                    .get(&token)
-                    .is_some_and(|conn| !conn.parser.is_clean());
-            self.close(token, aborted);
+            // Any failure mid-response — transport error, injected kill,
+            // or a chunk source dying — is an abort: the client holds a
+            // truncated response, and on a kept-alive connection a
+            // half-written chunked body would desync every pipelined
+            // successor, so the connection must go down with it.
+            self.close(token, true);
         } else if done {
             self.on_response_written(token);
+        } else if waiting {
+            // Blocked on the producer, not the socket: no write interest
+            // (a level-triggered POLLOUT on an open send buffer would
+            // spin) and no I/O deadline — there is no pending I/O. The
+            // worker's wake re-enters via `pump_streams`.
+            self.poller.set_interest(token, Interest::NONE);
+            self.disarm(token);
+        } else {
+            // Blocked on the socket: wait for POLLOUT under a fresh I/O
+            // budget (re-armed so a slowly-draining client is judged per
+            // write step, not per response).
+            self.poller.set_interest(token, Interest::WRITABLE);
+            self.arm(token, IO_TIMEOUT);
         }
-        // Otherwise stay in Writing; poll reports writability later.
     }
 
     /// The response is fully on the wire: close, or look for the next
     /// request (which may already be buffered, pipelined).
     fn on_response_written(&mut self, token: usize) {
+        self.streaming.remove(&token);
         let close =
             self.conns[&token].close_after_write || self.shared.shutdown.load(Ordering::Acquire);
         if close {
@@ -547,13 +655,15 @@ impl Reactor {
             return;
         }
         if let Some(conn) = self.conns.get_mut(&token) {
-            conn.out = Vec::new();
+            conn.out.clear();
             conn.out_pos = 0;
+            conn.body_stream = None;
         }
         self.advance_parser(token, false);
     }
 
-    /// Hand each finished response back to its connection.
+    /// Hand each finished (or starting-to-stream) response back to its
+    /// connection.
     fn apply_completions(&mut self) {
         let completed = std::mem::take(
             &mut *self
@@ -563,8 +673,36 @@ impl Reactor {
                 .expect("completion queue poisoned"),
         );
         for completion in completed {
-            if self.conns.contains_key(&completion.token) {
-                self.start_write(completion.token, completion.bytes, !completion.keep_alive);
+            if !self.conns.contains_key(&completion.token) {
+                if let CompletionBody::Stream { stream, .. } = &completion.body {
+                    stream.close(); // connection already gone: stop the producer
+                }
+                continue;
+            }
+            match completion.body {
+                CompletionBody::Full(bytes) => {
+                    self.start_write(completion.token, bytes, !completion.keep_alive);
+                }
+                CompletionBody::Stream { head, stream } => {
+                    self.start_stream(completion.token, head, stream, !completion.keep_alive);
+                }
+            }
+        }
+    }
+
+    /// Move freshly produced segments of every live streamed response
+    /// toward their sockets; stale tokens fall out of the set here.
+    fn pump_streams(&mut self) {
+        let tokens: Vec<usize> = self.streaming.iter().copied().collect();
+        for token in tokens {
+            let live = self
+                .conns
+                .get(&token)
+                .is_some_and(|conn| conn.state == ConnState::Writing);
+            if live {
+                self.try_flush(token);
+            } else {
+                self.streaming.remove(&token);
             }
         }
     }
@@ -582,8 +720,10 @@ impl Reactor {
                 continue; // re-armed or in flight since scheduling
             }
             // Keep-alive expiry on a parked connection is a clean reap;
-            // a deadline mid-request or mid-response is an abort.
-            let aborted = !conn.parser.is_clean();
+            // a deadline mid-request or mid-response (a response still
+            // draining — buffered or streamed — when the I/O budget ran
+            // out) is an abort.
+            let aborted = !conn.parser.is_clean() || conn.state == ConnState::Writing;
             self.close(token, aborted);
         }
         self.expired_scratch = due;

@@ -119,6 +119,54 @@ pub fn render_prometheus(state: &ServiceState) -> String {
         );
     }
 
+    // Streaming: per-endpoint chunk/byte counters and the
+    // time-to-first-byte histogram (empty until the first streamed
+    // response — `?stream=1` on /codegen or /execute, or /batch).
+    let stream_snapshots = state.metrics().stream_snapshots();
+    out.push_str("# HELP an5d_streams_total Streamed responses started, by endpoint.\n");
+    out.push_str("# TYPE an5d_streams_total counter\n");
+    for (path, snap) in &stream_snapshots {
+        let _ = writeln!(
+            out,
+            "an5d_streams_total{{endpoint=\"{path}\"}} {}",
+            snap.streams
+        );
+    }
+    out.push_str(
+        "# HELP an5d_stream_chunks_total Chunks produced on streamed responses, by endpoint.\n",
+    );
+    out.push_str("# TYPE an5d_stream_chunks_total counter\n");
+    for (path, snap) in &stream_snapshots {
+        let _ = writeln!(
+            out,
+            "an5d_stream_chunks_total{{endpoint=\"{path}\"}} {}",
+            snap.chunks
+        );
+    }
+    out.push_str(
+        "# HELP an5d_stream_bytes_total Payload bytes streamed (before chunked framing), by endpoint.\n",
+    );
+    out.push_str("# TYPE an5d_stream_bytes_total counter\n");
+    for (path, snap) in &stream_snapshots {
+        let _ = writeln!(
+            out,
+            "an5d_stream_bytes_total{{endpoint=\"{path}\"}} {}",
+            snap.bytes
+        );
+    }
+    out.push_str(
+        "# HELP an5d_stream_ttfb_us Handler start to first streamed chunk, microseconds.\n",
+    );
+    out.push_str("# TYPE an5d_stream_ttfb_us histogram\n");
+    for (path, snap) in &stream_snapshots {
+        render_histogram(
+            &mut out,
+            "an5d_stream_ttfb_us",
+            &format!("endpoint=\"{path}\","),
+            &snap.ttfb,
+        );
+    }
+
     out.push_str("# HELP an5d_rejected_connections_total Requests shed by admission control.\n");
     out.push_str("# TYPE an5d_rejected_connections_total counter\n");
     let _ = writeln!(
@@ -186,7 +234,8 @@ pub fn render_prometheus(state: &ServiceState) -> String {
         ),
         (
             "an5d_connections_aborted",
-            "Connections that died mid-request (truncated head or body).",
+            "Connections that died mid-request or mid-response (truncated \
+             head or body, or a response that failed while draining).",
             "counter",
             conns.aborted,
         ),

@@ -1,0 +1,469 @@
+//! Streaming round-trip tests: the chunked transfer coding survives
+//! every byte split (mirroring `parser_incremental.rs` for the request
+//! parser), streamed `/codegen`, `/execute` and `/batch` bodies
+//! reassemble byte-identical to their buffered twins, `/batch` emits
+//! job lines incrementally while later jobs are still running, and a
+//! response that fails mid-stream aborts the connection (the
+//! keep-alive regression behind `an5d_connections_aborted`).
+
+use an5d::SerialBackend;
+use an5d_service::{client, encode_chunk, ChunkDecoder, Server, ServerConfig, CHUNK_TERMINATOR};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Chunked codec round-trip at every byte split
+// ---------------------------------------------------------------------
+
+/// Payload sets to frame; each becomes one chunked body.
+fn fixtures() -> Vec<Vec<Vec<u8>>> {
+    vec![
+        vec![],                                      // empty body: terminator only
+        vec![b"x".to_vec()],                         // single one-byte chunk
+        vec![b"hello".to_vec(), b" world".to_vec()], // two small chunks
+        vec![vec![0u8; 300]],                        // multi-hex-digit size line
+        vec![
+            b"a".to_vec(),
+            b"bb".to_vec(),
+            b"ccc".to_vec(),
+            b"dddd".to_vec(),
+        ],
+        vec![b"\r\n0\r\n\r\n".to_vec()], // payload that looks like framing
+    ]
+}
+
+/// Frame `payloads` as a complete chunked body.
+fn wire_of(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for p in payloads {
+        wire.extend_from_slice(&encode_chunk(p));
+    }
+    wire.extend_from_slice(CHUNK_TERMINATOR);
+    wire
+}
+
+/// Ground truth: decode the whole wire in one call.
+fn one_shot(wire: &[u8]) -> (Vec<u8>, usize, bool) {
+    let mut decoder = ChunkDecoder::new();
+    let mut out = Vec::new();
+    let consumed = decoder.decode(wire, &mut out).expect("well-formed wire");
+    (out, consumed, decoder.is_done())
+}
+
+/// Decode `wire` delivered as the given consecutive slices, resuming
+/// the decoder across calls exactly as a client reading a socket would.
+fn incremental(pieces: &[&[u8]]) -> (Vec<u8>, bool) {
+    let mut decoder = ChunkDecoder::new();
+    let mut out = Vec::new();
+    for piece in pieces {
+        let mut offset = 0;
+        while offset < piece.len() && !decoder.is_done() {
+            let consumed = decoder
+                .decode(&piece[offset..], &mut out)
+                .expect("well-formed wire");
+            if consumed == 0 {
+                break; // partial size line: needs more input
+            }
+            offset += consumed;
+        }
+    }
+    (out, decoder.is_done())
+}
+
+#[test]
+fn whole_wire_matches_the_payloads() {
+    for payloads in fixtures() {
+        let wire = wire_of(&payloads);
+        let expected: Vec<u8> = payloads.concat();
+        let (out, consumed, done) = one_shot(&wire);
+        assert_eq!(out, expected);
+        assert_eq!(consumed, wire.len());
+        assert!(done);
+    }
+}
+
+#[test]
+fn every_two_chunk_split_matches_one_shot() {
+    for payloads in fixtures() {
+        let wire = wire_of(&payloads);
+        let expected: Vec<u8> = payloads.concat();
+        for cut in 0..=wire.len() {
+            let (a, b) = wire.split_at(cut);
+            let (out, done) = incremental(&[a, b]);
+            assert_eq!(out, expected, "split at {cut}");
+            assert!(done, "split at {cut}");
+        }
+    }
+}
+
+#[test]
+fn byte_by_byte_replay_matches_one_shot() {
+    for payloads in fixtures() {
+        let wire = wire_of(&payloads);
+        let expected: Vec<u8> = payloads.concat();
+        let pieces: Vec<&[u8]> = wire.chunks(1).collect();
+        let (out, done) = incremental(&pieces);
+        assert_eq!(out, expected);
+        assert!(done);
+    }
+}
+
+#[test]
+fn surplus_after_the_terminator_is_left_unconsumed() {
+    for payloads in fixtures() {
+        let mut wire = wire_of(&payloads);
+        let body_len = wire.len();
+        wire.extend_from_slice(b"NEXT RESPONSE");
+        let (out, consumed, done) = one_shot(&wire);
+        assert_eq!(out, payloads.concat());
+        assert_eq!(consumed, body_len, "decoder must stop at the terminator");
+        assert!(done);
+    }
+}
+
+#[test]
+fn truncation_is_never_silently_done() {
+    for payloads in fixtures() {
+        let wire = wire_of(&payloads);
+        // Every strict prefix decodes without error but reports not-done:
+        // the caller can tell a truncated body from a complete one.
+        for cut in 0..wire.len() {
+            let mut decoder = ChunkDecoder::new();
+            let mut out = Vec::new();
+            let mut offset = 0;
+            while offset < cut {
+                let consumed = decoder.decode(&wire[offset..cut], &mut out).unwrap();
+                if consumed == 0 {
+                    break;
+                }
+                offset += consumed;
+            }
+            assert!(!decoder.is_done(), "prefix of {cut} bytes claimed done");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random payloads delivered at random byte splits always decode
+    /// to the concatenated payloads.
+    fn random_chunkings_match_one_shot(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..64), 0..6),
+        mut cuts in prop::collection::vec(0usize..4096, 0..12),
+    ) {
+        let wire = wire_of(&payloads);
+        for cut in &mut cuts {
+            *cut %= wire.len() + 1;
+        }
+        cuts.sort_unstable();
+        let mut pieces: Vec<&[u8]> = Vec::new();
+        let mut prev = 0;
+        for &cut in &cuts {
+            pieces.push(&wire[prev..cut]);
+            prev = cut;
+        }
+        pieces.push(&wire[prev..]);
+        let (out, done) = incremental(&pieces);
+        prop_assert_eq!(out, payloads.concat());
+        prop_assert!(done);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server-side streaming
+// ---------------------------------------------------------------------
+
+/// Serializes every server-backed test in this binary: fault plans are
+/// process-global, so a test installing one must not overlap a test
+/// whose streams would trip it.
+static FAULT_GATE: Mutex<()> = Mutex::new(());
+
+fn start_server() -> Server {
+    Server::start_with_backend(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 64,
+            ..ServerConfig::default()
+        },
+        Arc::new(SerialBackend),
+    )
+    .expect("server starts")
+}
+
+fn install_plan(spec: &str) {
+    an5d_fault::install(an5d_fault::FaultPlan::parse(spec).expect("valid plan"));
+}
+
+const CODEGEN_BODY: &str = r#"{"benchmark":"star2d1r","interior":[128,128],"steps":16,
+    "config":{"bt":4,"bs":[64],"hsn":64,"precision":"single"}}"#;
+
+const EXECUTE_BODY: &str = r#"{"benchmark":"j2d5pt","interior":[24,24],"steps":5,
+    "config":{"bt":2,"bs":[12],"precision":"double"}}"#;
+
+/// Three `/execute`-style jobs, exercising both benchmarks and an
+/// explicit grid seed.
+const BATCH_BODY: &str = r#"{"jobs":[
+    {"benchmark":"j2d5pt","interior":[24,24],"steps":5,
+     "config":{"bt":2,"bs":[12],"precision":"double"}},
+    {"benchmark":"star2d1r","interior":[128,128],"steps":8,
+     "config":{"bt":4,"bs":[64],"hsn":64,"precision":"single"}},
+    {"benchmark":"j2d5pt","interior":[16,16],"steps":3,
+     "config":{"bt":2,"bs":[8],"precision":"double"},"seed":7}
+]}"#;
+
+#[test]
+fn streamed_codegen_and_execute_match_their_buffered_twins() {
+    let _gate = FAULT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    an5d_fault::uninstall();
+    let server = start_server();
+    let addr = server.addr();
+
+    for (path, body) in [("/codegen", CODEGEN_BODY), ("/execute", EXECUTE_BODY)] {
+        let (status, buffered) = client::post(addr, path, body).expect("buffered request");
+        assert_eq!(status, 200, "{path}: {buffered}");
+        let streamed_path = format!("{path}?stream=1");
+        let (status, streamed) =
+            client::post(addr, &streamed_path, body).expect("streamed request");
+        assert_eq!(status, 200, "{streamed_path}: {streamed}");
+        assert_eq!(
+            streamed, buffered,
+            "{path}: streamed bytes must match buffered"
+        );
+    }
+
+    // The streamed requests flowed through the stream metrics, not the
+    // buffered counters alone.
+    let streams = server.state().metrics().stream_snapshots();
+    for path in ["/codegen", "/execute"] {
+        let (_, snap) = streams
+            .iter()
+            .find(|(p, _)| p == path)
+            .unwrap_or_else(|| panic!("{path} missing from stream snapshots"));
+        assert_eq!(snap.streams, 1, "{path}");
+        assert!(snap.chunks >= 1, "{path}");
+        assert!(snap.bytes > 0, "{path}");
+        assert_eq!(snap.ttfb.count(), 1, "{path}");
+    }
+    let (status, metrics) = client::get(addr, "/metrics").expect("/metrics");
+    assert_eq!(status, 200);
+    for series in [
+        "an5d_streams_total{endpoint=\"/codegen\"}",
+        "an5d_stream_chunks_total{endpoint=\"/codegen\"}",
+        "an5d_stream_bytes_total{endpoint=\"/execute\"}",
+        "an5d_stream_ttfb_us",
+    ] {
+        assert!(metrics.contains(series), "missing {series}");
+    }
+
+    let _ = client::post(addr, "/shutdown", "");
+    server.wait();
+}
+
+#[test]
+fn streamed_batch_matches_buffered_and_orders_lines_by_index() {
+    let _gate = FAULT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    an5d_fault::uninstall();
+    let server = start_server();
+    let addr = server.addr();
+
+    let (status, buffered) = client::post(addr, "/batch?stream=0", BATCH_BODY).expect("buffered");
+    assert_eq!(status, 200, "{buffered}");
+    let (status, streamed) = client::post(addr, "/batch", BATCH_BODY).expect("streamed");
+    assert_eq!(status, 200, "{streamed}");
+    assert_eq!(streamed, buffered, "streamed NDJSON must match buffered");
+
+    let lines: Vec<&str> = streamed.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for (index, line) in lines.iter().enumerate() {
+        let parsed = an5d_service::parse_json(line).expect("each line is standalone JSON");
+        let got = parsed.get("index").and_then(an5d_service::Json::as_f64);
+        assert_eq!(got, Some(index as f64), "line {index}: {line}");
+        assert!(parsed.get("checksum").is_some(), "line {index}: {line}");
+    }
+
+    let _ = client::post(addr, "/shutdown", "");
+    server.wait();
+}
+
+/// Read an HTTP response head byte by byte off a raw socket, returning
+/// the head text (everything through the blank line).
+fn read_head(stream: &mut TcpStream) -> String {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("head read");
+        assert!(n > 0, "connection closed mid-head");
+        head.push(byte[0]);
+    }
+    String::from_utf8(head).expect("ASCII head")
+}
+
+fn raw_post(addr: SocketAddr, path: &str, body: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: an5d\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    stream
+}
+
+#[test]
+fn streamed_responses_use_chunked_framing_on_the_wire() {
+    let _gate = FAULT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    an5d_fault::uninstall();
+    let server = start_server();
+    let addr = server.addr();
+
+    let mut stream = raw_post(addr, "/codegen?stream=1", CODEGEN_BODY);
+    let head = read_head(&mut stream);
+    let lower = head.to_ascii_lowercase();
+    assert!(lower.starts_with("http/1.1 200"), "{head}");
+    assert!(lower.contains("transfer-encoding: chunked"), "{head}");
+    assert!(!lower.contains("content-length"), "{head}");
+
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("drain body");
+    let mut decoder = ChunkDecoder::new();
+    let mut body = Vec::new();
+    let mut offset = 0;
+    while !decoder.is_done() {
+        let consumed = decoder
+            .decode(&rest[offset..], &mut body)
+            .expect("valid chunks");
+        assert!(consumed > 0, "truncated chunked body on the wire");
+        offset += consumed;
+    }
+    let body = String::from_utf8(body).expect("UTF-8 body");
+    let (_, buffered) = client::post(addr, "/codegen", CODEGEN_BODY).expect("buffered");
+    assert_eq!(body, buffered);
+
+    let _ = client::post(addr, "/shutdown", "");
+    server.wait();
+}
+
+#[test]
+fn batch_lines_arrive_before_the_batch_completes() {
+    let _gate = FAULT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    an5d_fault::uninstall();
+    let server = start_server();
+    let addr = server.addr();
+
+    // Delay the second chunk pull only: job 0's line hits the wire
+    // immediately, then the producer stalls 600ms before job 1. If the
+    // server buffered the NDJSON body, the first line could not arrive
+    // ~600ms before the last byte.
+    install_plan("seed=1;stream.chunk=delay:600@every:2#1");
+
+    let mut stream = raw_post(addr, "/batch", BATCH_BODY);
+    let head = read_head(&mut stream);
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "{head}"
+    );
+
+    let mut decoder = ChunkDecoder::new();
+    let mut body = Vec::new();
+    let mut buf = [0u8; 4096];
+    let mut first_line_at: Option<Instant> = None;
+    while !decoder.is_done() {
+        let n = stream.read(&mut buf).expect("body read");
+        assert!(n > 0, "connection closed before the terminator");
+        let mut offset = 0;
+        while offset < n {
+            let consumed = decoder
+                .decode(&buf[offset..n], &mut body)
+                .expect("valid chunks");
+            if consumed == 0 {
+                break;
+            }
+            offset += consumed;
+        }
+        if first_line_at.is_none() && body.contains(&b'\n') {
+            first_line_at = Some(Instant::now());
+        }
+    }
+    let done_at = Instant::now();
+    let first_line_at = first_line_at.expect("at least one NDJSON line");
+    let gap = done_at.duration_since(first_line_at);
+    assert!(
+        gap >= Duration::from_millis(300),
+        "first line arrived only {gap:?} before completion; expected an early line"
+    );
+    assert_eq!(String::from_utf8(body).expect("UTF-8").lines().count(), 3);
+
+    an5d_fault::uninstall();
+    let _ = client::post(addr, "/shutdown", "");
+    server.wait();
+}
+
+#[test]
+fn batch_honors_the_request_deadline_per_job() {
+    let _gate = FAULT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    an5d_fault::uninstall();
+    let server = start_server();
+    let addr = server.addr();
+
+    // Burn the whole 100ms budget before the first job runs: every job
+    // must then be refused with a deadline marker, not silently run
+    // past the client's budget.
+    install_plan("seed=1;stream.chunk=delay:400#1");
+    let response =
+        client::post_with_deadline(addr, "/batch", BATCH_BODY, 100).expect("streamed batch");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let body = response.body;
+    assert_eq!(body.lines().count(), 3);
+    for line in body.lines() {
+        assert!(line.contains("\"deadline_exceeded\":true"), "line: {line}");
+    }
+
+    an5d_fault::uninstall();
+    let _ = client::post(addr, "/shutdown", "");
+    server.wait();
+}
+
+#[test]
+fn mid_stream_failure_aborts_the_connection() {
+    let _gate = FAULT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    an5d_fault::uninstall();
+    let server = start_server();
+    let addr = server.addr();
+    let aborted_before = server.state().metrics().connections().snapshot().aborted;
+
+    // Fail the producer after the first chunk: the head and one chunk
+    // reach the wire, then the terminator never arrives. A chunked
+    // response has no other way to signal failure, so the server must
+    // sever the connection and the client must report truncation.
+    install_plan("seed=1;stream.chunk=error@every:2#1");
+    let err = client::post(addr, "/batch", BATCH_BODY).expect_err("truncated stream");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    an5d_fault::uninstall();
+
+    // The reactor counts the severed connection as aborted.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let snapshot = server.state().metrics().connections().snapshot();
+        if snapshot.aborted > aborted_before {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no abort recorded: {snapshot:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The server itself stays healthy: a fresh request succeeds.
+    let (status, body) = client::post(addr, "/batch", BATCH_BODY).expect("recovery");
+    assert_eq!(status, 200, "{body}");
+
+    let _ = client::post(addr, "/shutdown", "");
+    server.wait();
+}
